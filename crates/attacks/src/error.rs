@@ -1,0 +1,72 @@
+use std::fmt;
+
+use gradsec_nn::NnError;
+
+/// Errors produced by the attack suite.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// An underlying model/tensor failure.
+    Nn(NnError),
+    /// Not enough data to run the attack (empty splits, single-class
+    /// labels, etc.).
+    InsufficientData {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Invalid attack configuration.
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Nn(e) => write!(f, "model error: {e}"),
+            AttackError::InsufficientData { reason } => {
+                write!(f, "insufficient data: {reason}")
+            }
+            AttackError::BadConfig { reason } => write!(f, "bad config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Nn(e)
+    }
+}
+
+impl From<gradsec_tensor::TensorError> for AttackError {
+    fn from(e: gradsec_tensor::TensorError) -> Self {
+        AttackError::Nn(NnError::Tensor(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: AttackError = NnError::EmptyModel.into();
+        assert!(e.to_string().contains("model error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

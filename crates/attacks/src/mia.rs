@@ -1,0 +1,329 @@
+//! Membership Inference Attack (MIA) — Nasr et al. (paper reference
+//! [39]).
+//!
+//! The attacker holds sets `D1 ⊂ D` (known members) and `D2 ⊄ D` (known
+//! non-members), computes the target model's per-sample gradients for
+//! both, trains a binary attack classifier on the gradient features, and
+//! uses it to score membership of fresh samples (paper §3.2). Enclave
+//! protection deletes the corresponding feature columns before the
+//! classifier ever sees them (§8.1).
+
+use gradsec_data::{batch_of, one_hot, Batcher, Dataset};
+use gradsec_data::split::member_split;
+use gradsec_nn::optim::Sgd;
+use gradsec_nn::Sequential;
+
+use crate::classifier::{AttackModel, LogisticRegression};
+use crate::dgrad::GradientDataset;
+use crate::features::reduce_snapshot;
+use crate::metrics::auc;
+use crate::{AttackError, Result};
+
+/// MIA configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MiaConfig {
+    /// Member-set size (an equal non-member set is drawn).
+    pub members: usize,
+    /// Epochs the victim trains on the member set — the overfitting that
+    /// creates the membership signal.
+    pub overfit_epochs: usize,
+    /// Victim training batch size.
+    pub batch_size: usize,
+    /// Victim learning rate.
+    pub learning_rate: f32,
+    /// Fraction of each class given to the attack model for training; the
+    /// remainder is the evaluation set.
+    pub attack_train_frac: f32,
+    /// Raw gradient values sampled per layer in the feature reduction.
+    pub raw_per_layer: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for MiaConfig {
+    fn default() -> Self {
+        MiaConfig {
+            members: 100,
+            overfit_epochs: 30,
+            batch_size: 16,
+            learning_rate: 0.05,
+            attack_train_frac: 0.5,
+            raw_per_layer: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of an MIA run.
+#[derive(Debug, Clone, Copy)]
+pub struct MiaOutcome {
+    /// Attack AUC on the held-out evaluation rows (0.5 = random guess).
+    pub auc: f32,
+    /// Rows the attack model trained on.
+    pub train_rows: usize,
+    /// Rows it was evaluated on.
+    pub test_rows: usize,
+    /// Victim's final training accuracy on the member set (the degree of
+    /// overfitting achieved).
+    pub victim_train_accuracy: f32,
+}
+
+/// Trains the victim on the member split (the overfitting phase).
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn overfit_victim(
+    model: &mut Sequential,
+    dataset: &dyn Dataset,
+    member_idx: &[usize],
+    cfg: &MiaConfig,
+) -> Result<f32> {
+    let mut opt = Sgd::new(cfg.learning_rate);
+    let batcher = Batcher::new(member_idx.len(), cfg.batch_size, cfg.seed);
+    for epoch in 0..cfg.overfit_epochs {
+        for batch in batcher.epoch(epoch as u64) {
+            let global: Vec<usize> = batch.iter().map(|&i| member_idx[i]).collect();
+            let (x, y) = batch_of(dataset, &global);
+            model.train_batch(&x, &y, &mut opt)?;
+        }
+    }
+    let (x, y) = batch_of(dataset, member_idx);
+    Ok(model.accuracy(&x, &y)?)
+}
+
+/// Computes one sample's gradient feature row.
+fn sample_features(
+    model: &mut Sequential,
+    dataset: &dyn Dataset,
+    index: usize,
+    raw_per_layer: usize,
+) -> Result<(Vec<f32>, crate::features::FeatureLayout)> {
+    let s = dataset.sample(index);
+    let (c, h, w) = dataset.image_dims();
+    let x = s.image.reshape(&[1, c, h, w])?;
+    let y = one_hot(&[s.label], dataset.num_classes());
+    let (_, snap) = model.forward_backward(&x, &y)?;
+    model.zero_grads();
+    Ok(reduce_snapshot(&snap, raw_per_layer))
+}
+
+/// Precomputes the attacker's full (pre-deletion) gradient feature rows
+/// for given member and non-member index sets against an already-trained
+/// victim.
+///
+/// Figure-6 style sweeps reuse these rows across protection configs: the
+/// victim is trained once, and each config only changes which columns are
+/// deleted.
+///
+/// # Errors
+///
+/// Propagates model errors; requires non-empty index sets.
+pub fn gradient_rows(
+    model: &mut Sequential,
+    dataset: &dyn Dataset,
+    members: &[usize],
+    non_members: &[usize],
+    raw_per_layer: usize,
+) -> Result<(crate::features::FeatureLayout, Vec<(Vec<f32>, bool)>)> {
+    let first = members.first().or_else(|| non_members.first()).ok_or_else(|| {
+        AttackError::InsufficientData {
+            reason: "no samples to probe".to_owned(),
+        }
+    })?;
+    let (_, layout) = sample_features(model, dataset, *first, raw_per_layer)?;
+    let mut rows = Vec::with_capacity(members.len() + non_members.len());
+    for &idx in members {
+        let (f, _) = sample_features(model, dataset, idx, raw_per_layer)?;
+        rows.push((f, true));
+    }
+    for &idx in non_members {
+        let (f, _) = sample_features(model, dataset, idx, raw_per_layer)?;
+        rows.push((f, false));
+    }
+    Ok((layout, rows))
+}
+
+/// Fits the attack classifier on precomputed rows under a protection set
+/// and returns the held-out AUC.
+///
+/// Rows of each class are split by rank: the first `train_frac` fraction
+/// trains the attack model, the rest evaluates it.
+///
+/// # Errors
+///
+/// Returns [`AttackError::InsufficientData`] for degenerate splits.
+pub fn attack_auc_from_rows(
+    layout: &crate::features::FeatureLayout,
+    rows: &[(Vec<f32>, bool)],
+    protected: &[usize],
+    train_frac: f32,
+    seed: u64,
+) -> Result<f32> {
+    if !(0.0..1.0).contains(&train_frac) || train_frac == 0.0 {
+        return Err(AttackError::BadConfig {
+            reason: format!("train_frac must be in (0, 1), got {train_frac}"),
+        });
+    }
+    let mut train = GradientDataset::new(layout.clone());
+    let mut test = GradientDataset::new(layout.clone());
+    let mut seen_pos = 0usize;
+    let mut seen_neg = 0usize;
+    let n_pos = rows.iter().filter(|(_, l)| *l).count();
+    let n_neg = rows.len() - n_pos;
+    for (f, label) in rows {
+        let (rank, total) = if *label {
+            seen_pos += 1;
+            (seen_pos, n_pos)
+        } else {
+            seen_neg += 1;
+            (seen_neg, n_neg)
+        };
+        let cut = ((total as f32) * train_frac).round() as usize;
+        let target = if rank <= cut { &mut train } else { &mut test };
+        target.push(f.clone(), *label, protected)?;
+    }
+    let means = train.column_means();
+    let x_train = train.impute_with(&means);
+    let x_test = test.impute_with(&means);
+    let mut attack = LogisticRegression::default_attack_model(seed);
+    attack.fit(&x_train, train.labels())?;
+    auc(&attack.scores(&x_test), test.labels())
+}
+
+/// Runs the full MIA pipeline against a (fresh) victim model.
+///
+/// `protected` lists the layer indices GradSec shelters; their gradient
+/// columns are deleted from the attacker's view.
+///
+/// # Errors
+///
+/// Returns [`AttackError::InsufficientData`] when the dataset cannot
+/// provide two disjoint splits of `cfg.members` samples.
+pub fn run_mia(
+    model: &mut Sequential,
+    dataset: &dyn Dataset,
+    protected: &[usize],
+    cfg: &MiaConfig,
+) -> Result<MiaOutcome> {
+    if 2 * cfg.members > dataset.len() {
+        return Err(AttackError::InsufficientData {
+            reason: format!(
+                "need {} samples for member/non-member splits, dataset has {}",
+                2 * cfg.members,
+                dataset.len()
+            ),
+        });
+    }
+    if !(0.0..1.0).contains(&cfg.attack_train_frac) || cfg.attack_train_frac == 0.0 {
+        return Err(AttackError::BadConfig {
+            reason: format!(
+                "attack_train_frac must be in (0, 1), got {}",
+                cfg.attack_train_frac
+            ),
+        });
+    }
+    let (members, non_members) = member_split(dataset.len(), cfg.members, cfg.seed);
+    let victim_train_accuracy = overfit_victim(model, dataset, &members, cfg)?;
+    // Build the attacker's D_grad: one row per probed sample.
+    let (_, layout) = sample_features(model, dataset, members[0], cfg.raw_per_layer)?;
+    let mut train = GradientDataset::new(layout.clone());
+    let mut test = GradientDataset::new(layout);
+    let cut = ((cfg.members as f32) * cfg.attack_train_frac) as usize;
+    for (rank, &idx) in members.iter().enumerate() {
+        let (f, _) = sample_features(model, dataset, idx, cfg.raw_per_layer)?;
+        let target = if rank < cut { &mut train } else { &mut test };
+        target.push(f, true, protected)?;
+    }
+    for (rank, &idx) in non_members.iter().enumerate() {
+        let (f, _) = sample_features(model, dataset, idx, cfg.raw_per_layer)?;
+        let target = if rank < cut { &mut train } else { &mut test };
+        target.push(f, false, protected)?;
+    }
+    // Mean-impute with train statistics, fit, score, AUC.
+    let means = train.column_means();
+    let x_train = train.impute_with(&means);
+    let x_test = test.impute_with(&means);
+    let mut attack = LogisticRegression::default_attack_model(cfg.seed);
+    attack.fit(&x_train, train.labels())?;
+    let scores = attack.scores(&x_test);
+    let a = auc(&scores, test.labels())?;
+    Ok(MiaOutcome {
+        auc: a,
+        train_rows: train.len(),
+        test_rows: test.len(),
+        victim_train_accuracy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradsec_data::SyntheticCifar100;
+    use gradsec_nn::zoo;
+
+    fn quick_cfg() -> MiaConfig {
+        MiaConfig {
+            members: 40,
+            overfit_epochs: 60,
+            batch_size: 8,
+            learning_rate: 0.04,
+            attack_train_frac: 0.5,
+            raw_per_layer: 8,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn unprotected_mia_beats_chance() {
+        let ds = SyntheticCifar100::with_classes(120, 4, 17);
+        let mut model = zoo::tiny_mlp(3 * 32 * 32, 24, 4, 5).unwrap();
+        let out = run_mia(&mut model, &ds, &[], &quick_cfg()).unwrap();
+        assert!(
+            out.victim_train_accuracy > 0.9,
+            "victim failed to overfit: {}",
+            out.victim_train_accuracy
+        );
+        assert!(out.auc > 0.6, "mia auc only {}", out.auc);
+        assert_eq!(out.train_rows, 40);
+        assert_eq!(out.test_rows, 40);
+    }
+
+    #[test]
+    fn protecting_all_layers_neutralises_mia() {
+        let ds = SyntheticCifar100::with_classes(120, 4, 17);
+        let mut model = zoo::tiny_mlp(3 * 32 * 32, 24, 4, 5).unwrap();
+        let out = run_mia(&mut model, &ds, &[0, 1], &quick_cfg()).unwrap();
+        // Every column deleted -> constant imputed features -> AUC ≈ 0.5.
+        assert!(
+            (out.auc - 0.5).abs() < 0.15,
+            "fully protected auc should be near chance, got {}",
+            out.auc
+        );
+    }
+
+    #[test]
+    fn insufficient_data_rejected() {
+        let ds = SyntheticCifar100::with_classes(20, 2, 1);
+        let mut model = zoo::tiny_mlp(3 * 32 * 32, 8, 2, 1).unwrap();
+        let cfg = MiaConfig {
+            members: 50,
+            ..quick_cfg()
+        };
+        assert!(run_mia(&mut model, &ds, &[], &cfg).is_err());
+    }
+
+    #[test]
+    fn bad_fraction_rejected() {
+        let ds = SyntheticCifar100::with_classes(120, 2, 1);
+        let mut model = zoo::tiny_mlp(3 * 32 * 32, 8, 2, 1).unwrap();
+        for frac in [0.0f32, 1.0, 1.5] {
+            let cfg = MiaConfig {
+                attack_train_frac: frac,
+                members: 20,
+                ..quick_cfg()
+            };
+            assert!(run_mia(&mut model, &ds, &[], &cfg).is_err());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Attack-pipeline benchmarks: the per-iteration cost of DRIA's
+//! gradient-matching objective, MIA feature extraction, and the DPIA
+//! forest fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gradsec_attacks::classifier::{AttackModel, ForestConfig, RandomForest};
+use gradsec_attacks::dria::{run_dria, DriaConfig, DriaOptimizer};
+use gradsec_attacks::features::reduce_snapshot;
+use gradsec_data::{one_hot, Dataset, SyntheticCifar100};
+use gradsec_nn::zoo;
+use gradsec_tensor::init;
+
+fn bench_dria_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dria");
+    group.sample_size(10);
+    let ds = SyntheticCifar100::new(4, 1);
+    let s = ds.sample(0);
+    let target = s.image.reshape(&[1, 3, 32, 32]).unwrap();
+    let label = one_hot(&[s.label], ds.num_classes());
+    group.bench_function("lenet_adam_3iters", |b| {
+        let mut model = zoo::lenet5(2).unwrap();
+        let cfg = DriaConfig {
+            iterations: 3,
+            optimizer: DriaOptimizer::Adam { lr: 0.1 },
+            seed: 1,
+            ..DriaConfig::default()
+        };
+        b.iter(|| black_box(run_dria(&mut model, &target, &label, &[], &cfg).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_mia_features(c: &mut Criterion) {
+    let ds = SyntheticCifar100::new(8, 1);
+    let mut model = zoo::lenet5(2).unwrap();
+    let s = ds.sample(0);
+    let x = s.image.reshape(&[1, 3, 32, 32]).unwrap();
+    let y = one_hot(&[s.label], 100);
+    c.bench_function("mia_gradient_row", |b| {
+        b.iter(|| {
+            let (_, snap) = model.forward_backward(&x, &y).unwrap();
+            black_box(reduce_snapshot(&snap, 16))
+        })
+    });
+}
+
+fn bench_forest_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpia");
+    group.sample_size(10);
+    let x = init::uniform(&[100, 120], -1.0, 1.0, 5);
+    let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+    group.bench_function("forest_fit_100x120", |b| {
+        b.iter(|| {
+            let mut f = RandomForest::new(ForestConfig::default(), 3);
+            f.fit(black_box(&x), &labels).unwrap();
+            black_box(f)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dria_iteration,
+    bench_mia_features,
+    bench_forest_fit
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! GradSec vs DarkneTZ (Figure 8): real wall-clock of the grouped
+//! protection configurations through the identical secure trainer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gradsec_core::policy::DarknetzPolicy;
+use gradsec_core::trainer::SecureTrainer;
+use gradsec_data::SyntheticCifar100;
+use gradsec_nn::zoo;
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("darknetz_compare");
+    group.sample_size(10);
+    let ds = SyntheticCifar100::with_classes(64, 10, 1);
+    let gradsec_layers = vec![1usize, 4];
+    let darknetz_layers = DarknetzPolicy::covering(&gradsec_layers)
+        .expect("non-empty")
+        .layers();
+    for (name, layers) in [
+        ("gradsec_L2_L5", gradsec_layers),
+        ("darknetz_L2_to_L5", darknetz_layers),
+    ] {
+        group.bench_function(name, |b| {
+            let mut model = zoo::lenet5_with(10, 2).unwrap();
+            let mut trainer = SecureTrainer::new();
+            let batches: Vec<Vec<usize>> =
+                (0..2).map(|k| (k * 8..(k + 1) * 8).collect()).collect();
+            b.iter(|| {
+                black_box(
+                    trainer
+                        .run_cycle(&mut model, &ds, &batches, 0.01, &layers)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

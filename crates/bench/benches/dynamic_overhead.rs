@@ -1,0 +1,53 @@
+//! Dynamic GradSec overhead (Table 6's MW=2 block): real wall-clock per
+//! window position, plus the window scheduler itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gradsec_core::trainer::SecureTrainer;
+use gradsec_core::window::MovingWindow;
+use gradsec_data::SyntheticCifar100;
+use gradsec_nn::zoo;
+
+fn bench_window_positions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_cycle_mw2");
+    group.sample_size(10);
+    let ds = SyntheticCifar100::with_classes(64, 10, 1);
+    let window = MovingWindow::new(2, 5, vec![0.2, 0.1, 0.6, 0.1], 7).unwrap();
+    for pos in 0..window.positions() {
+        let layers = window.layers_at(pos);
+        let name = layers
+            .iter()
+            .map(|l| format!("L{}", l + 1))
+            .collect::<Vec<_>>()
+            .join("+");
+        group.bench_function(&name, |b| {
+            let mut model = zoo::lenet5_with(10, 2).unwrap();
+            let mut trainer = SecureTrainer::new();
+            let batches: Vec<Vec<usize>> =
+                (0..2).map(|k| (k * 8..(k + 1) * 8).collect()).collect();
+            b.iter(|| {
+                black_box(
+                    trainer
+                        .run_cycle(&mut model, &ds, &batches, 0.01, &layers)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let window = MovingWindow::new(2, 5, vec![0.2, 0.1, 0.6, 0.1], 7).unwrap();
+    c.bench_function("window_position_draw", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round = round.wrapping_add(1);
+            black_box(window.layers_for_round(round))
+        })
+    });
+}
+
+criterion_group!(benches, bench_window_positions, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Static GradSec overhead (Table 6's static block): real wall-clock of
+//! one protected training cycle per configuration, plus the analytical
+//! estimator's throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gradsec_core::trainer::{estimate_cycle, SecureTrainer};
+use gradsec_data::SyntheticCifar100;
+use gradsec_nn::zoo;
+use gradsec_tee::cost::CostModel;
+
+fn cycle_batches() -> Vec<Vec<usize>> {
+    (0..2).map(|b| (b * 8..(b + 1) * 8).collect()).collect()
+}
+
+fn bench_static_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_cycle");
+    group.sample_size(10);
+    let ds = SyntheticCifar100::with_classes(64, 10, 1);
+    let configs: [(&str, Vec<usize>); 4] = [
+        ("baseline", vec![]),
+        ("L2", vec![1]),
+        ("L5", vec![4]),
+        ("L2+L5", vec![1, 4]),
+    ];
+    for (name, protected) in configs {
+        group.bench_function(name, |b| {
+            let mut model = zoo::lenet5_with(10, 2).unwrap();
+            let mut trainer = SecureTrainer::new();
+            let batches = cycle_batches();
+            b.iter(|| {
+                black_box(
+                    trainer
+                        .run_cycle(&mut model, &ds, &batches, 0.01, &protected)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let model = zoo::lenet5(1).unwrap();
+    let cost = CostModel::raspberry_pi3();
+    c.bench_function("estimate_cycle_l2_l5", |b| {
+        b.iter(|| black_box(estimate_cycle(&model, &[1, 4], 10, 32, &cost).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_static_cycles, bench_estimator);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the substrates the reproduction is built on:
+//! tensor kernels, crypto primitives, secure storage and the trusted
+//! channel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gradsec_tee::crypto::chacha20::{xor_stream, KEY_LEN, NONCE_LEN};
+use gradsec_tee::crypto::hmac::hmac_sha256;
+use gradsec_tee::crypto::sha256::sha256;
+use gradsec_tee::storage::SecureStorage;
+use gradsec_tee::ta::Uuid;
+use gradsec_tee::tiop::{Role, SecureChannel};
+use gradsec_tensor::ops::conv::{conv2d_forward, Conv2dGeometry};
+use gradsec_tensor::ops::matmul::matmul;
+use gradsec_tensor::{init, Tensor};
+
+fn bench_tensor(c: &mut Criterion) {
+    let a = init::uniform(&[128, 128], -1.0, 1.0, 1);
+    let b = init::uniform(&[128, 128], -1.0, 1.0, 2);
+    c.bench_function("matmul_128x128", |bch| {
+        bch.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
+    });
+    // LeNet-5 L1 geometry at batch 8.
+    let geo = Conv2dGeometry::new(3, 32, 32, 12, 5, 2, 2).unwrap();
+    let x = init::uniform(&[8, 3, 32, 32], 0.0, 1.0, 3);
+    let w = init::uniform(&[12, 75], -0.3, 0.3, 4);
+    let bias = Tensor::zeros(&[12]);
+    c.bench_function("conv2d_lenet_l1_batch8", |bch| {
+        bch.iter(|| conv2d_forward(black_box(&x), black_box(&w), &bias, &geo).unwrap())
+    });
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let data = vec![0xabu8; 64 * 1024];
+    c.bench_function("sha256_64k", |bch| bch.iter(|| sha256(black_box(&data))));
+    c.bench_function("hmac_sha256_64k", |bch| {
+        bch.iter(|| hmac_sha256(b"key", black_box(&data)))
+    });
+    let key = [7u8; KEY_LEN];
+    let nonce = [9u8; NONCE_LEN];
+    c.bench_function("chacha20_64k", |bch| {
+        bch.iter_batched(
+            || data.clone(),
+            |mut buf| xor_stream(&key, 1, &nonce, &mut buf),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tee_services(c: &mut Criterion) {
+    let payload = vec![0x5au8; 4096];
+    c.bench_function("secure_storage_put_get_4k", |bch| {
+        let mut store = SecureStorage::new(b"dev", 1);
+        let ta = Uuid::from_name("bench-ta");
+        bch.iter(|| {
+            store.put(ta, "obj", black_box(&payload)).unwrap();
+            black_box(store.get(ta, "obj").unwrap());
+        })
+    });
+    c.bench_function("trusted_channel_roundtrip_4k", |bch| {
+        let mut tx = SecureChannel::established(b"s", Role::Server);
+        let mut rx = SecureChannel::established(b"s", Role::Client);
+        bch.iter(|| {
+            let f = tx.seal(black_box(&payload));
+            black_box(rx.open(&f).unwrap());
+        })
+    });
+}
+
+criterion_group!(benches, bench_tensor, bench_crypto, bench_tee_services);
+criterion_main!(benches);

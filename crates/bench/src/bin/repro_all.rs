@@ -1,0 +1,33 @@
+//! Runs every reproduction experiment in sequence (Tables 1, 5, 6 and
+//! Figures 5-8).
+
+use gradsec_bench::experiments::{fig5, fig6, fig7, fig8, table1, table5, table6};
+use gradsec_bench::{master_seed, Profile};
+
+fn main() {
+    let profile = Profile::from_env();
+    let seed = master_seed();
+    println!("GradSec reproduction — full suite (profile {profile:?}, seed {seed})\n");
+
+    println!("==== Table 6 ====");
+    let t6 = table6::run();
+    println!("{}", table6::render(&t6));
+
+    println!("==== Figure 7 ====");
+    println!("{}", fig7::render(&fig7::from_table6(&t6)));
+
+    println!("==== Figure 8 ====");
+    println!("{}", fig8::render(&fig8::run()));
+
+    println!("==== Figure 5 ====");
+    println!("{}", fig5::render(&fig5::run(profile, seed)));
+
+    println!("==== Figure 6 ====");
+    println!("{}", fig6::render(&fig6::run(profile, seed)));
+
+    println!("==== Table 5 ====");
+    println!("{}", table5::render(&table5::run(profile, seed)));
+
+    println!("==== Table 1 ====");
+    println!("{}", table1::render(&table1::run(profile, seed)));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 5 (DRIA ImageLoss per protected layer).
+
+use gradsec_bench::experiments::fig5;
+use gradsec_bench::{master_seed, Profile};
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("GradSec reproduction — Figure 5 (profile {profile:?}, seed {})", master_seed());
+    println!("Paper shape: ImageLoss small unprotected; explodes when L1/L2 is sheltered.\n");
+    let f = fig5::run(profile, master_seed());
+    println!("{}", fig5::render(&f));
+}

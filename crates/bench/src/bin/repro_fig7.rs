@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 7 (bar charts of Table 6).
+
+use gradsec_bench::experiments::fig7;
+
+fn main() {
+    println!("GradSec reproduction — Figure 7\n");
+    let f = fig7::run();
+    println!("{}", fig7::render(&f));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 8 (GradSec vs DarkneTZ).
+
+use gradsec_bench::experiments::fig8;
+
+fn main() {
+    println!("GradSec reproduction — Figure 8");
+    println!("Paper: static -8.3% time / -30% memory; dynamic -56.7% time / -8% memory.\n");
+    let f = fig8::run();
+    println!("{}", fig8::render(&f));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table 6 (CPU time and TEE memory per config).
+
+use gradsec_bench::experiments::table6;
+
+fn main() {
+    println!("GradSec reproduction — Table 6 (LeNet-5, batch 32, Pi-3B+ cost model)");
+    println!("Paper baseline: 2.191s + 0.021s + 0s; L2 20% ovh; L5 212%; L2+L5 235%.\n");
+    let t = table6::run();
+    println!("{}", table6::render(&t));
+}

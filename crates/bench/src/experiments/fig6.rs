@@ -1,0 +1,186 @@
+//! Figure 6 — MIA AUC under static GradSec protection.
+//!
+//! Panel (a): LeNet-5 with tail-layer sets `{}`, `{L5}`, `{L5,L4}`,
+//! `{L5..L3}`, `{L5..L2}` (paper: AUC 0.95 → 0.85 → … → 0.80).
+//! Panel (b): AlexNet with `{}`, conv-only, dense-only and `{L6}`
+//! (paper: 0.85 / 0.79 / 0.59 / 0.56).
+//!
+//! The victim is trained (overfitted) once per model; every protection
+//! config then reuses the same precomputed gradient rows with different
+//! column deletions — exactly the `D_grad` semantics of §8.1.
+
+use gradsec_attacks::mia::{attack_auc_from_rows, gradient_rows, overfit_victim, MiaConfig};
+use gradsec_data::{split::member_split, Dataset, SyntheticCifar100};
+use gradsec_nn::zoo;
+
+use crate::table::TextTable;
+use crate::Profile;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Config label (paper's y-axis).
+    pub label: String,
+    /// Protected layer indices.
+    pub protected: Vec<usize>,
+    /// Attack AUC.
+    pub auc: f32,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Panel (a) rows.
+    pub lenet: Vec<Row>,
+    /// LeNet victim's final training accuracy (overfitting check).
+    pub lenet_victim_acc: f32,
+    /// Panel (b) rows.
+    pub alexnet: Vec<Row>,
+    /// AlexNet victim's final training accuracy.
+    pub alexnet_victim_acc: f32,
+}
+
+#[allow(clippy::type_complexity)]
+fn panel(
+    mut model: gradsec_nn::Sequential,
+    dataset: &SyntheticCifar100,
+    cfg: &MiaConfig,
+    configs: &[(&str, Vec<usize>)],
+) -> (Vec<Row>, f32) {
+    let (members, non_members) = member_split(dataset.len(), cfg.members, cfg.seed);
+    let victim_acc =
+        overfit_victim(&mut model, dataset, &members, cfg).expect("victim training succeeds");
+    let (layout, rows) =
+        gradient_rows(&mut model, dataset, &members, &non_members, cfg.raw_per_layer)
+            .expect("gradient probing succeeds");
+    let out = configs
+        .iter()
+        .map(|(label, protected)| Row {
+            label: (*label).to_owned(),
+            protected: protected.clone(),
+            auc: attack_auc_from_rows(&layout, &rows, protected, cfg.attack_train_frac, cfg.seed)
+                .expect("attack evaluation succeeds"),
+        })
+        .collect();
+    (out, victim_acc)
+}
+
+/// Runs both panels.
+pub fn run(profile: Profile, seed: u64) -> Fig6 {
+    // Panel (a): LeNet-5 on synthetic CIFAR-100.
+    let (members, epochs) = if profile.is_full() { (150, 60) } else { (80, 40) };
+    let lenet_ds = SyntheticCifar100::new(2 * members + 50, seed);
+    // Summary-statistic features only (raw_per_layer = 0): raw strided
+    // gradient values act as noise dimensions for the linear attack model
+    // and mask the membership signal the paper's attacker exploits.
+    let lenet_cfg = MiaConfig {
+        members,
+        overfit_epochs: epochs,
+        batch_size: 16,
+        learning_rate: 0.03,
+        attack_train_frac: 0.5,
+        raw_per_layer: 0,
+        seed,
+    };
+    let lenet_configs: [(&str, Vec<usize>); 5] = [
+        ("None", vec![]),
+        ("L5", vec![4]),
+        ("L5+L4", vec![4, 3]),
+        ("L5+L4+L3", vec![4, 3, 2]),
+        ("L5+L4+L3+L2", vec![4, 3, 2, 1]),
+    ];
+    let (lenet, lenet_victim_acc) = panel(
+        zoo::lenet5(seed + 1).expect("LeNet-5 builds"),
+        &lenet_ds,
+        &lenet_cfg,
+        &lenet_configs,
+    );
+    // Panel (b): AlexNet.
+    let (a_members, a_epochs) = if profile.is_full() { (48, 25) } else { (16, 15) };
+    let alex_ds = SyntheticCifar100::new(2 * a_members + 20, seed + 9);
+    let alex_cfg = MiaConfig {
+        members: a_members,
+        overfit_epochs: a_epochs,
+        batch_size: 8,
+        learning_rate: 0.01,
+        attack_train_frac: 0.5,
+        raw_per_layer: 0,
+        seed: seed + 9,
+    };
+    let alex_configs: [(&str, Vec<usize>); 4] = [
+        ("None", vec![]),
+        ("convolutional (L1_to_L5)", vec![0, 1, 2, 3, 4]),
+        ("dense (L6-L7-L8)", vec![5, 6, 7]),
+        ("L6", vec![5]),
+    ];
+    let (alexnet, alexnet_victim_acc) = panel(
+        zoo::alexnet(seed + 2).expect("AlexNet builds"),
+        &alex_ds,
+        &alex_cfg,
+        &alex_configs,
+    );
+    Fig6 {
+        lenet,
+        lenet_victim_acc,
+        alexnet,
+        alexnet_victim_acc,
+    }
+}
+
+/// Renders both panels.
+pub fn render(f: &Fig6) -> String {
+    let mut out = String::new();
+    for (title, rows, acc) in [
+        (
+            "(a) MIA vs LeNet-5 — AUC per protected set",
+            &f.lenet,
+            f.lenet_victim_acc,
+        ),
+        (
+            "(b) MIA vs AlexNet — AUC per protected set",
+            &f.alexnet,
+            f.alexnet_victim_acc,
+        ),
+    ] {
+        out.push_str(&format!("{title} (victim train acc {acc:.2})\n"));
+        let mut t = TextTable::new(vec!["protected", "AUC"]);
+        for r in rows {
+            t.row(vec![r.label.clone(), format!("{:.3}", r.auc)]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Full panels are exercised by the repro binary; here a miniature
+    // LeNet-5 variant checks the pipeline end to end.
+    #[test]
+    fn miniature_panel_produces_ordered_rows() {
+        let ds = SyntheticCifar100::with_classes(60, 4, 3);
+        let cfg = MiaConfig {
+            members: 20,
+            overfit_epochs: 20,
+            batch_size: 8,
+            learning_rate: 0.05,
+            attack_train_frac: 0.5,
+            raw_per_layer: 8,
+            seed: 1,
+        };
+        let configs: [(&str, Vec<usize>); 2] = [("None", vec![]), ("all", vec![0, 1])];
+        let (rows, acc) = panel(
+            zoo::tiny_mlp(3 * 32 * 32, 16, 4, 2).unwrap(),
+            &ds,
+            &cfg,
+            &configs,
+        );
+        assert_eq!(rows.len(), 2);
+        assert!(acc > 0.8, "victim should overfit, acc {acc}");
+        // Full protection cannot beat no protection.
+        assert!(rows[1].auc <= rows[0].auc + 0.1);
+    }
+}

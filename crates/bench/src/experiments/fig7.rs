@@ -1,0 +1,165 @@
+//! Figure 7 — bar charts of one-cycle training time (A, C) and TEE
+//! memory (B, D) for static and dynamic (MW=2) GradSec.
+//!
+//! The data is Table 6's; this module arranges it into the four panels
+//! and renders ASCII bar charts.
+
+use crate::experiments::table6::{self, Row, Table6};
+
+/// One bar of a panel.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Config label.
+    pub label: String,
+    /// Stacked time components (user, kernel, alloc) or a single memory
+    /// value in MB.
+    pub values: Vec<f64>,
+}
+
+/// The four panels of Figure 7.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Panel A: static training-time bars (user/kernel/alloc stacked).
+    pub a_static_time: Vec<Bar>,
+    /// Panel B: static TEE memory bars.
+    pub b_static_mem: Vec<Bar>,
+    /// Panel C: dynamic (MW=2) training-time bars.
+    pub c_dynamic_time: Vec<Bar>,
+    /// Panel D: dynamic (MW=2) TEE memory bars.
+    pub d_dynamic_mem: Vec<Bar>,
+    /// Baseline total time (the dashed line of panels A/C).
+    pub baseline_total_s: f64,
+}
+
+fn time_bar(r: &Row) -> Bar {
+    Bar {
+        label: r.label.clone(),
+        values: vec![r.times.user_s, r.times.kernel_s, r.times.alloc_s],
+    }
+}
+
+fn mem_bar(r: &Row) -> Bar {
+    Bar {
+        label: r.label.clone(),
+        values: vec![r.tee_mb],
+    }
+}
+
+/// Builds the panels from a computed Table 6.
+pub fn from_table6(t: &Table6) -> Fig7 {
+    let statics = &t.static_rows;
+    let (_, mw2_rows, _) = &t.dynamic[0];
+    Fig7 {
+        a_static_time: statics.iter().map(time_bar).collect(),
+        b_static_mem: statics.iter().map(mem_bar).collect(),
+        c_dynamic_time: mw2_rows.iter().map(time_bar).collect(),
+        d_dynamic_mem: mw2_rows.iter().map(mem_bar).collect(),
+        baseline_total_s: t.baseline.times.total_s(),
+    }
+}
+
+/// Computes the figure from scratch.
+pub fn run() -> Fig7 {
+    from_table6(&table6::run())
+}
+
+/// Renders one panel as an ASCII bar chart.
+pub fn render_panel(title: &str, bars: &[Bar], unit: &str) -> String {
+    let mut out = format!("{title}\n");
+    let max: f64 = bars
+        .iter()
+        .map(|b| b.values.iter().sum::<f64>())
+        .fold(0.0, f64::max)
+        .max(1e-9);
+    const WIDTH: usize = 48;
+    for b in bars {
+        let total: f64 = b.values.iter().sum();
+        let mut line = format!("  {:<28} |", b.label);
+        // Stacked components use distinct glyphs: user '=', kernel '#',
+        // alloc '@' (single-value bars just use '=').
+        let glyphs = ['=', '#', '@'];
+        for (i, v) in b.values.iter().enumerate() {
+            let cells = ((v / max) * WIDTH as f64).round() as usize;
+            line.push_str(&glyphs[i.min(2)].to_string().repeat(cells));
+        }
+        line.push_str(&format!(" {total:.3} {unit}"));
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders all four panels.
+pub fn render(f: &Fig7) -> String {
+    let mut out = String::new();
+    out.push_str(&render_panel(
+        &format!(
+            "A - One cycle training time per protected layers (static; baseline {:.3} s)  [= user, # kernel, @ alloc]",
+            f.baseline_total_s
+        ),
+        &f.a_static_time,
+        "s",
+    ));
+    out.push('\n');
+    out.push_str(&render_panel(
+        "B - TEE memory usage per protected layers (static)",
+        &f.b_static_mem,
+        "MB",
+    ));
+    out.push('\n');
+    out.push_str(&render_panel(
+        "C - One cycle training time (dynamic, size_MW = 2)",
+        &f.c_dynamic_time,
+        "s",
+    ));
+    out.push('\n');
+    out.push_str(&render_panel(
+        "D - TEE memory usage (dynamic, size_MW = 2)",
+        &f.d_dynamic_mem,
+        "MB",
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_have_expected_cardinality() {
+        let f = run();
+        assert_eq!(f.a_static_time.len(), 6);
+        assert_eq!(f.b_static_mem.len(), 6);
+        assert_eq!(f.c_dynamic_time.len(), 4);
+        assert_eq!(f.d_dynamic_mem.len(), 4);
+        assert!(f.baseline_total_s > 2.0);
+    }
+
+    #[test]
+    fn stacked_time_bars_have_three_components() {
+        let f = run();
+        assert!(f.a_static_time.iter().all(|b| b.values.len() == 3));
+        assert!(f.b_static_mem.iter().all(|b| b.values.len() == 1));
+    }
+
+    #[test]
+    fn l4_l5_window_shows_the_alloc_wall() {
+        // Panel C's L4+L5 bar is dominated by allocation (paper: 5.02 s of
+        // 7.3 s total).
+        let f = run();
+        let l45 = f
+            .c_dynamic_time
+            .iter()
+            .find(|b| b.label == "L4+L5")
+            .expect("L4+L5 bar");
+        assert!(l45.values[2] > l45.values[0] + l45.values[1]);
+    }
+
+    #[test]
+    fn renders() {
+        let s = render(&run());
+        assert!(s.contains("A - "));
+        assert!(s.contains("D - "));
+        assert!(s.contains("L2+L5"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Figure 8 — GradSec vs DarkneTZ head-to-head.
+//!
+//! * Panels A/B: static GradSec `{L2, L5}` against DarkneTZ's forced
+//!   contiguous hull `L2..L5` (grouped DRIA+MIA protection).
+//! * Panels C/D: dynamic GradSec (MW=2, the paper's `V_MW`) against the
+//!   same DarkneTZ configuration for DPIA.
+//!
+//! DarkneTZ is evaluated through the identical trainer — it is simply the
+//! [`gradsec_core::policy::DarknetzPolicy`] hull, which is the point: the
+//! only difference is the contiguity restriction.
+
+use gradsec_core::policy::DarknetzPolicy;
+use gradsec_core::trainer::estimate_cycle;
+use gradsec_core::window::MovingWindow;
+use gradsec_nn::zoo;
+use gradsec_tee::cost::{CostModel, TimeBreakdown};
+
+use crate::experiments::table6::{paper_v_mw, BATCHES, BATCH_SIZE};
+use crate::table::TextTable;
+
+/// One side of a comparison.
+#[derive(Debug, Clone)]
+pub struct Side {
+    /// Label, e.g. `"Static GradSec (L2+L5)"`.
+    pub label: String,
+    /// Simulated cycle times.
+    pub times: TimeBreakdown,
+    /// TEE memory (MB) — worst position for the dynamic side.
+    pub tee_mb: f64,
+}
+
+/// A GradSec-vs-DarkneTZ panel pair (time + memory).
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The GradSec side.
+    pub gradsec: Side,
+    /// The DarkneTZ side.
+    pub darknetz: Side,
+}
+
+impl Comparison {
+    /// Training-time gain of GradSec over DarkneTZ in percent (positive =
+    /// GradSec faster — the paper's headline 8.3 % / 56.7 %).
+    pub fn time_gain_pct(&self) -> f64 {
+        (1.0 - self.gradsec.times.total_s() / self.darknetz.times.total_s()) * 100.0
+    }
+
+    /// TEE-memory gain in percent (the paper's 30 % / 8 %).
+    pub fn memory_gain_pct(&self) -> f64 {
+        (1.0 - self.gradsec.tee_mb / self.darknetz.tee_mb) * 100.0
+    }
+}
+
+/// The two comparisons of Figure 8.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// Panels A/B: grouped static protection (DRIA+MIA).
+    pub static_grouped: Comparison,
+    /// Panels C/D: dynamic protection (DPIA).
+    pub dynamic: Comparison,
+}
+
+/// Computes both comparisons.
+pub fn run() -> Fig8 {
+    let model = zoo::lenet5(1).expect("LeNet-5 builds");
+    let cost = CostModel::raspberry_pi3();
+    let mb = |bytes: usize| bytes as f64 / (1024.0 * 1024.0);
+    // DarkneTZ must cover {L2, L5} with one slice: L2..L5.
+    let hull = DarknetzPolicy::covering(&[1, 4]).expect("non-empty");
+    let hull_layers = hull.layers();
+    let (dz_times, dz_peak) =
+        estimate_cycle(&model, &hull_layers, BATCHES, BATCH_SIZE, &cost).expect("valid");
+    let darknetz = Side {
+        label: "DarkneTZ (L2+L3+L4+L5)".to_owned(),
+        times: dz_times,
+        tee_mb: mb(dz_peak),
+    };
+    // Static GradSec: the non-contiguous pair.
+    let (gs_times, gs_peak) =
+        estimate_cycle(&model, &[1, 4], BATCHES, BATCH_SIZE, &cost).expect("valid");
+    let static_grouped = Comparison {
+        gradsec: Side {
+            label: "Static GradSec (L2+L5)".to_owned(),
+            times: gs_times,
+            tee_mb: mb(gs_peak),
+        },
+        darknetz: darknetz.clone(),
+    };
+    // Dynamic GradSec: MW=2 with the paper's V_MW, times averaged by the
+    // position distribution, memory at the worst position.
+    let v_mw = paper_v_mw(2);
+    let window = MovingWindow::new(2, model.num_layers(), v_mw.clone(), 0).expect("valid");
+    let mut weighted = Vec::new();
+    let mut worst_mem = 0.0f64;
+    for pos in 0..window.positions() {
+        let layers = window.layers_at(pos);
+        let (t, peak) = estimate_cycle(&model, &layers, BATCHES, BATCH_SIZE, &cost).expect("valid");
+        weighted.push((t, v_mw[pos]));
+        worst_mem = worst_mem.max(mb(peak));
+    }
+    let dynamic = Comparison {
+        gradsec: Side {
+            label: format!("Dynamic GradSec (V_MW={v_mw:?})"),
+            times: TimeBreakdown::weighted_average(&weighted),
+            tee_mb: worst_mem,
+        },
+        darknetz,
+    };
+    Fig8 {
+        static_grouped,
+        dynamic,
+    }
+}
+
+/// Renders both comparisons.
+pub fn render(f: &Fig8) -> String {
+    let mut out = String::new();
+    for (title, cmp) in [
+        ("A/B - Grouped protection (DRIA+MIA)", &f.static_grouped),
+        ("C/D - DPIA protection", &f.dynamic),
+    ] {
+        out.push_str(title);
+        out.push('\n');
+        let mut t = TextTable::new(vec!["system", "user", "kernel", "alloc", "total", "TEE MB"]);
+        for side in [&cmp.gradsec, &cmp.darknetz] {
+            t.row(vec![
+                side.label.clone(),
+                format!("{:.3}s", side.times.user_s),
+                format!("{:.3}s", side.times.kernel_s),
+                format!("{:.3}s", side.times.alloc_s),
+                format!("{:.3}s", side.times.total_s()),
+                format!("{:.3}", side.tee_mb),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "GradSec gain: {:.1}% training time, {:.1}% TEE memory\n\n",
+            cmp.time_gain_pct(),
+            cmp.memory_gain_pct()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_gains_match_table1_shape() {
+        // Paper: −8.3% training time, −30% TCB for grouped protection.
+        let f = run();
+        let tg = f.static_grouped.time_gain_pct();
+        let mg = f.static_grouped.memory_gain_pct();
+        assert!((2.0..20.0).contains(&tg), "time gain {tg:.1}%");
+        assert!((20.0..40.0).contains(&mg), "memory gain {mg:.1}%");
+    }
+
+    #[test]
+    fn dynamic_gains_match_table1_shape() {
+        // Paper: −56.7% training time, −8% TCB for dynamic protection.
+        let f = run();
+        let tg = f.dynamic.time_gain_pct();
+        let mg = f.dynamic.memory_gain_pct();
+        assert!((40.0..70.0).contains(&tg), "time gain {tg:.1}%");
+        assert!((2.0..15.0).contains(&mg), "memory gain {mg:.1}%");
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_time_but_not_memory() {
+        // The paper's trade-off: dynamic saves much more time (no L5
+        // alloc every cycle) but its worst window is more memory-hungry
+        // than {L2, L5}.
+        let f = run();
+        assert!(f.dynamic.time_gain_pct() > f.static_grouped.time_gain_pct());
+        assert!(f.dynamic.memory_gain_pct() < f.static_grouped.memory_gain_pct());
+    }
+
+    #[test]
+    fn renders() {
+        let s = render(&run());
+        assert!(s.contains("DarkneTZ"));
+        assert!(s.contains("GradSec gain"));
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per reproduced table/figure.
+
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table5;
+pub mod table6;

@@ -1,0 +1,90 @@
+use std::fmt;
+
+use gradsec_nn::NnError;
+use gradsec_tee::TeeError;
+
+/// Errors produced by GradSec's core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GradSecError {
+    /// Underlying model failure.
+    Nn(NnError),
+    /// Underlying TEE failure (enclave OOM during layer provisioning is
+    /// the important one: the protection config does not fit the device).
+    Tee(TeeError),
+    /// The policy is invalid for the target model.
+    BadPolicy {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A DarkneTZ policy was given non-contiguous layers — the restriction
+    /// the paper's §3.4 identifies as DarkneTZ's key limitation.
+    NonContiguousSlice {
+        /// The offending layer set.
+        layers: Vec<usize>,
+    },
+    /// Invalid configuration value.
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GradSecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GradSecError::Nn(e) => write!(f, "model error: {e}"),
+            GradSecError::Tee(e) => write!(f, "tee error: {e}"),
+            GradSecError::BadPolicy { reason } => write!(f, "bad policy: {reason}"),
+            GradSecError::NonContiguousSlice { layers } => write!(
+                f,
+                "darknetz requires successive layers, got {layers:?} (use GradSec static mode instead)"
+            ),
+            GradSecError::BadConfig { reason } => write!(f, "bad config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GradSecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GradSecError::Nn(e) => Some(e),
+            GradSecError::Tee(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for GradSecError {
+    fn from(e: NnError) -> Self {
+        GradSecError::Nn(e)
+    }
+}
+
+impl From<TeeError> for GradSecError {
+    fn from(e: TeeError) -> Self {
+        GradSecError::Tee(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: GradSecError = NnError::EmptyModel.into();
+        assert!(e.to_string().contains("model error"));
+        let e: GradSecError = TeeError::BadHandle { handle: 1 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = GradSecError::NonContiguousSlice {
+            layers: vec![1, 4],
+        };
+        assert!(e.to_string().contains("successive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GradSecError>();
+    }
+}

@@ -1,0 +1,189 @@
+//! The leakage model: what a normal-world attacker observes under a
+//! protection policy.
+//!
+//! §6 of the paper identifies two leakage flaws for a layer `l`'s
+//! gradients:
+//!
+//! * **Flaw 1** — weight diffing: `dW_l = (W_l^t − W_l^{t+1})/λ` needs
+//!   only read access to the layer's *weights* across an update.
+//! * **Flaw 2** — backprop flow: `dW_l = δ_l · A_{l−1}` (or `⊗`) needs the
+//!   backward intermediates.
+//!
+//! GradSec closes **both** for a protected layer by sheltering
+//! `W_l, Z_l, A_{l−1}, δ_l` and the operations touching them (§7,
+//! Figure 3). Hence: a layer's gradient leaks **iff the layer is not
+//! protected**, and this module reduces every policy question to that
+//! predicate, applied per FL cycle.
+
+use gradsec_nn::gradient::{GradientSnapshot, LayerGradient};
+use gradsec_tensor::Tensor;
+
+use crate::policy::ProtectionPolicy;
+
+/// Through which channel an unprotected layer's gradient is recoverable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeakChannel {
+    /// Weights readable across the SGD step (Flaw 1, eq. 2).
+    WeightDiff,
+    /// Backward-pass intermediates readable (Flaw 2, eqs. 3–4).
+    BackpropFlow,
+}
+
+/// The per-cycle leakage view of a model under a policy.
+#[derive(Debug, Clone)]
+pub struct LeakageModel {
+    policy: ProtectionPolicy,
+    n_layers: usize,
+}
+
+impl LeakageModel {
+    /// Builds the model for `n_layers` under `policy`.
+    pub fn new(policy: ProtectionPolicy, n_layers: usize) -> Self {
+        LeakageModel { policy, n_layers }
+    }
+
+    /// The policy under evaluation.
+    pub fn policy(&self) -> &ProtectionPolicy {
+        &self.policy
+    }
+
+    /// Layers protected during `round`.
+    pub fn protected(&self, round: u64) -> Vec<usize> {
+        self.policy.protected_for_round(round, self.n_layers)
+    }
+
+    /// Whether layer `layer`'s gradient leaks during `round`, and through
+    /// which channels. Both flaws are open for an unprotected layer: the
+    /// attacker can diff the weights *and* watch the backward pass.
+    pub fn leak_channels(&self, layer: usize, round: u64) -> Vec<LeakChannel> {
+        if self.protected(round).contains(&layer) {
+            Vec::new()
+        } else {
+            vec![LeakChannel::WeightDiff, LeakChannel::BackpropFlow]
+        }
+    }
+
+    /// `true` when the layer's gradients are confidential this round.
+    pub fn is_sealed(&self, layer: usize, round: u64) -> bool {
+        self.leak_channels(layer, round).is_empty()
+    }
+
+    /// The attacker's view of a gradient snapshot: protected layers are
+    /// zeroed out (their columns are *deleted* in the `D_grad` semantics;
+    /// the tensor-level view keeps shape for convenience and marks
+    /// deletion via the returned mask).
+    ///
+    /// Returns `(masked_snapshot, deleted_layers)`.
+    pub fn attacker_view(
+        &self,
+        snapshot: &GradientSnapshot,
+        round: u64,
+    ) -> (GradientSnapshot, Vec<usize>) {
+        let protected = self.protected(round);
+        let layers = snapshot
+            .iter()
+            .map(|g| {
+                if protected.contains(&g.layer) {
+                    LayerGradient {
+                        layer: g.layer,
+                        dw: Tensor::zeros(g.dw.dims()),
+                        db: Tensor::zeros(g.db.dims()),
+                    }
+                } else {
+                    g.clone()
+                }
+            })
+            .collect();
+        (GradientSnapshot::new(layers), protected)
+    }
+
+    /// Fraction of the model's gradient scalars that leak this round.
+    pub fn leaked_fraction(&self, snapshot: &GradientSnapshot, round: u64) -> f32 {
+        let protected = self.protected(round);
+        let total: usize = snapshot.iter().map(|g| g.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let leaked: usize = snapshot
+            .iter()
+            .filter(|g| !protected.contains(&g.layer))
+            .map(|g| g.len())
+            .sum();
+        leaked as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::MovingWindow;
+
+    fn snapshot(n: usize) -> GradientSnapshot {
+        GradientSnapshot::new(
+            (0..n)
+                .map(|l| LayerGradient {
+                    layer: l,
+                    dw: Tensor::ones(&[4]),
+                    db: Tensor::ones(&[1]),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn unprotected_layer_leaks_both_flaws() {
+        let m = LeakageModel::new(ProtectionPolicy::None, 5);
+        let ch = m.leak_channels(2, 0);
+        assert!(ch.contains(&LeakChannel::WeightDiff));
+        assert!(ch.contains(&LeakChannel::BackpropFlow));
+        assert!(!m.is_sealed(2, 0));
+    }
+
+    #[test]
+    fn protected_layer_is_sealed() {
+        let p = ProtectionPolicy::static_layers(&[1, 4]).unwrap();
+        let m = LeakageModel::new(p, 5);
+        assert!(m.is_sealed(1, 0));
+        assert!(m.is_sealed(4, 7));
+        assert!(!m.is_sealed(0, 0));
+        assert!(!m.is_sealed(2, 0));
+    }
+
+    #[test]
+    fn attacker_view_zeroes_protected() {
+        let p = ProtectionPolicy::static_layers(&[0]).unwrap();
+        let m = LeakageModel::new(p, 3);
+        let (view, deleted) = m.attacker_view(&snapshot(3), 0);
+        assert_eq!(deleted, vec![0]);
+        assert!(view.layer(0).unwrap().dw.data().iter().all(|&x| x == 0.0));
+        assert!(view.layer(1).unwrap().dw.data().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn leaked_fraction_tracks_protection() {
+        let snap = snapshot(5);
+        let none = LeakageModel::new(ProtectionPolicy::None, 5);
+        assert_eq!(none.leaked_fraction(&snap, 0), 1.0);
+        let all = LeakageModel::new(
+            ProtectionPolicy::static_layers(&[0, 1, 2, 3, 4]).unwrap(),
+            5,
+        );
+        assert_eq!(all.leaked_fraction(&snap, 0), 0.0);
+        let two = LeakageModel::new(ProtectionPolicy::static_layers(&[1, 4]).unwrap(), 5);
+        assert!((two.leaked_fraction(&snap, 0) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dynamic_leakage_moves_with_the_window() {
+        let w = MovingWindow::uniform(2, 5, 11).unwrap();
+        let m = LeakageModel::new(ProtectionPolicy::dynamic(w), 5);
+        // Over enough rounds every layer is sealed at least once — the
+        // "horizontal protection" goal of §1.
+        for layer in 0..5 {
+            assert!(
+                (0..100).any(|r| m.is_sealed(layer, r)),
+                "layer {layer} never protected in 100 rounds"
+            );
+        }
+    }
+}

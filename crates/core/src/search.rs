@@ -1,0 +1,178 @@
+//! `V_MW` search (paper §8.2).
+//!
+//! > "To find the best distribution of V_MW for each value of size_MW, we
+//! > train different instances of the attack model on a gradient train set
+//! > with differently located missing data [...] We evaluate each attack
+//! > model instance on a gradient validation set and we retain the V_MW
+//! > distribution of the worst instance."
+//!
+//! [`search_v_mw`] enumerates a simplex grid of candidate distributions,
+//! asks a caller-supplied evaluator (typically: simulate the dynamic
+//! schedule, build `D_grad`, train the DPIA forest, return validation
+//! AUC) and keeps the distribution under which the attack performs
+//! *worst*.
+
+use crate::window::MovingWindow;
+use crate::{GradSecError, Result};
+
+/// Enumerates every probability vector of length `positions` whose
+/// entries are multiples of `1/steps` and sum to 1.
+///
+/// The count is `C(steps + positions − 1, positions − 1)`; with the
+/// paper's 4 window positions and a 0.1 grid that is 286 candidates.
+pub fn simplex_grid(positions: usize, steps: usize) -> Vec<Vec<f64>> {
+    fn rec(remaining: usize, slots: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if slots == 1 {
+            prefix.push(remaining);
+            out.push(prefix.clone());
+            prefix.pop();
+            return;
+        }
+        for take in 0..=remaining {
+            prefix.push(take);
+            rec(remaining - take, slots - 1, prefix, out);
+            prefix.pop();
+        }
+    }
+    if positions == 0 || steps == 0 {
+        return Vec::new();
+    }
+    let mut raw = Vec::new();
+    rec(steps, positions, &mut Vec::new(), &mut raw);
+    raw.into_iter()
+        .map(|counts| {
+            counts
+                .into_iter()
+                .map(|c| c as f64 / steps as f64)
+                .collect()
+        })
+        .collect()
+}
+
+/// Outcome of a `V_MW` search.
+#[derive(Debug, Clone)]
+pub struct VmwSearchOutcome {
+    /// The best (most protective) distribution found.
+    pub v_mw: Vec<f64>,
+    /// The attack's validation score under it (lower = better defence).
+    pub attack_score: f32,
+    /// Number of candidates evaluated.
+    pub evaluated: usize,
+}
+
+/// Searches the simplex grid for the `V_MW` minimising the attack score.
+///
+/// `evaluate` receives each candidate window (size `size`, seeded with
+/// `seed`) and returns the attack's validation metric (e.g. DPIA AUC).
+///
+/// # Errors
+///
+/// Returns [`GradSecError::BadConfig`] for an empty grid and propagates
+/// evaluator failures.
+pub fn search_v_mw<F>(
+    size: usize,
+    n_layers: usize,
+    steps: usize,
+    seed: u64,
+    mut evaluate: F,
+) -> Result<VmwSearchOutcome>
+where
+    F: FnMut(&MovingWindow) -> Result<f32>,
+{
+    if size == 0 || size > n_layers {
+        return Err(GradSecError::BadConfig {
+            reason: format!("window size {size} invalid for {n_layers} layers"),
+        });
+    }
+    let positions = n_layers - size + 1;
+    let grid = simplex_grid(positions, steps);
+    if grid.is_empty() {
+        return Err(GradSecError::BadConfig {
+            reason: "empty V_MW candidate grid".to_owned(),
+        });
+    }
+    let mut best: Option<(Vec<f64>, f32)> = None;
+    let mut evaluated = 0;
+    for v in grid {
+        let window = MovingWindow::new(size, n_layers, v.clone(), seed)?;
+        let score = evaluate(&window)?;
+        evaluated += 1;
+        if best.as_ref().map(|(_, s)| score < *s).unwrap_or(true) {
+            best = Some((v, score));
+        }
+    }
+    let (v_mw, attack_score) = best.expect("non-empty grid evaluated");
+    Ok(VmwSearchOutcome {
+        v_mw,
+        attack_score,
+        evaluated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts_and_normalisation() {
+        // C(10 + 3, 3) = 286 for 4 positions at 0.1 resolution.
+        let g = simplex_grid(4, 10);
+        assert_eq!(g.len(), 286);
+        for v in &g {
+            assert_eq!(v.len(), 4);
+            let s: f64 = v.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(v.iter().all(|&p| p >= 0.0));
+        }
+        assert_eq!(simplex_grid(1, 5), vec![vec![1.0]]);
+        assert!(simplex_grid(0, 5).is_empty());
+        assert!(simplex_grid(3, 0).is_empty());
+    }
+
+    #[test]
+    fn grid_contains_the_papers_distribution() {
+        let g = simplex_grid(4, 10);
+        let paper = vec![0.2, 0.1, 0.6, 0.1];
+        assert!(g
+            .iter()
+            .any(|v| v.iter().zip(&paper).all(|(a, b)| (a - b).abs() < 1e-9)));
+    }
+
+    #[test]
+    fn search_finds_a_known_optimum() {
+        // Score = distance to the paper's [0.2, 0.1, 0.6, 0.1]; the search
+        // must find exactly it on the 0.1 grid.
+        let target = [0.2f64, 0.1, 0.6, 0.1];
+        let out = search_v_mw(2, 5, 10, 7, |w| {
+            let d: f64 = w
+                .v_mw()
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            Ok(d as f32)
+        })
+        .unwrap();
+        assert_eq!(out.evaluated, 286);
+        assert!(out.attack_score < 1e-6);
+        for (a, b) in out.v_mw.iter().zip(&target) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn search_propagates_evaluator_errors() {
+        let r = search_v_mw(2, 5, 2, 0, |_| {
+            Err(GradSecError::BadConfig {
+                reason: "boom".to_owned(),
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn search_validates_size() {
+        assert!(search_v_mw(0, 5, 2, 0, |_| Ok(0.0)).is_err());
+        assert!(search_v_mw(6, 5, 2, 0, |_| Ok(0.0)).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for GradSec's policies, window and cost
+//! accounting.
+
+use gradsec_core::memory_model::layers_tee_bytes;
+use gradsec_core::policy::{DarknetzPolicy, ProtectionPolicy};
+use gradsec_core::search::simplex_grid;
+use gradsec_core::trainer::estimate_cycle;
+use gradsec_core::window::MovingWindow;
+use gradsec_nn::zoo;
+use gradsec_tee::cost::CostModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn window_always_covers_size_successive_layers(
+        size in 1usize..5, n_layers in 5usize..9, seed in 0u64..1000, round in 0u64..1000
+    ) {
+        let w = MovingWindow::uniform(size, n_layers, seed).unwrap();
+        let layers = w.layers_for_round(round);
+        prop_assert_eq!(layers.len(), size);
+        for pair in layers.windows(2) {
+            prop_assert_eq!(pair[1], pair[0] + 1);
+        }
+        prop_assert!(*layers.last().unwrap() < n_layers);
+    }
+
+    #[test]
+    fn window_draws_are_deterministic(seed in 0u64..1000, round in 0u64..1000) {
+        let a = MovingWindow::uniform(2, 5, seed).unwrap();
+        let b = MovingWindow::uniform(2, 5, seed).unwrap();
+        prop_assert_eq!(a.position_for_round(round), b.position_for_round(round));
+    }
+
+    #[test]
+    fn slices_partition_any_layer_set(layers in proptest::collection::btree_set(0usize..12, 0..8)) {
+        let v: Vec<usize> = layers.iter().copied().collect();
+        let slices = ProtectionPolicy::slices(&v);
+        // Every layer appears in exactly one slice; slices are disjoint,
+        // ordered and maximal.
+        let mut covered = Vec::new();
+        for (a, b) in &slices {
+            prop_assert!(a <= b);
+            for l in *a..=*b {
+                covered.push(l);
+            }
+        }
+        prop_assert_eq!(covered, v.clone());
+        for pair in slices.windows(2) {
+            prop_assert!(pair[0].1 + 1 < pair[1].0, "slices must be maximal");
+        }
+    }
+
+    #[test]
+    fn darknetz_accepts_exactly_contiguous_sets(start in 0usize..8, len in 1usize..5, gap in 0usize..3) {
+        let contiguous: Vec<usize> = (start..start + len).collect();
+        prop_assert!(DarknetzPolicy::new(&contiguous).is_ok());
+        if gap > 0 {
+            let mut gapped = contiguous.clone();
+            gapped.push(start + len + gap);
+            prop_assert!(DarknetzPolicy::new(&gapped).is_err());
+            // The covering hull always spans min..=max.
+            let hull = DarknetzPolicy::covering(&gapped).unwrap();
+            prop_assert_eq!(hull.layers().len(), len + gap + 1);
+        }
+    }
+
+    #[test]
+    fn estimate_cycle_is_monotone_in_protection(subset in proptest::collection::btree_set(0usize..5, 0..5)) {
+        // Adding a layer to the protected set never reduces total time or
+        // memory.
+        let model = zoo::lenet5_with(10, 1).unwrap();
+        let cost = CostModel::raspberry_pi3();
+        let base: Vec<usize> = subset.iter().copied().collect();
+        let (t0, m0) = estimate_cycle(&model, &base, 4, 8, &cost).unwrap();
+        for extra in 0..5usize {
+            if subset.contains(&extra) {
+                continue;
+            }
+            let mut bigger = base.clone();
+            bigger.push(extra);
+            bigger.sort_unstable();
+            let (t1, m1) = estimate_cycle(&model, &bigger, 4, 8, &cost).unwrap();
+            prop_assert!(t1.total_s() >= t0.total_s() - 1e-9);
+            prop_assert!(m1 >= m0);
+        }
+    }
+
+    #[test]
+    fn memory_model_is_additive(split in 1usize..4) {
+        let model = zoo::lenet5_with(10, 1).unwrap();
+        let all: Vec<usize> = (0..5).collect();
+        let (left, right) = all.split_at(split);
+        let whole = layers_tee_bytes(&model, &all, 16);
+        let parts = layers_tee_bytes(&model, left, 16) + layers_tee_bytes(&model, right, 16);
+        prop_assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn simplex_grid_vectors_are_distributions(positions in 1usize..5, steps in 1usize..8) {
+        for v in simplex_grid(positions, steps) {
+            prop_assert_eq!(v.len(), positions);
+            let sum: f64 = v.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(v.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn leakage_fraction_bounds(round in 0u64..100, size in 1usize..5) {
+        use gradsec_core::leakage::LeakageModel;
+        use gradsec_nn::gradient::{GradientSnapshot, LayerGradient};
+        use gradsec_tensor::Tensor;
+        let snap = GradientSnapshot::new(
+            (0..5)
+                .map(|l| LayerGradient {
+                    layer: l,
+                    dw: Tensor::ones(&[3]),
+                    db: Tensor::ones(&[1]),
+                })
+                .collect(),
+        );
+        let w = MovingWindow::uniform(size, 5, 7).unwrap();
+        let m = LeakageModel::new(ProtectionPolicy::dynamic(w), 5);
+        let f = m.leaked_fraction(&snap, round);
+        let expected = (5 - size) as f32 / 5.0;
+        prop_assert!((f - expected).abs() < 1e-6);
+    }
+}

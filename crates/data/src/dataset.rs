@@ -1,0 +1,138 @@
+//! The dataset abstraction.
+
+use gradsec_tensor::Tensor;
+
+/// One labelled image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// `(C, H, W)` image tensor, values roughly in `[0, 1]`.
+    pub image: Tensor,
+    /// Class label in `0..num_classes`.
+    pub label: usize,
+    /// Optional binary attribute — the DPIA target property (paper §3.2:
+    /// "a private property (prop) seen by the FL model during training").
+    pub property: Option<bool>,
+}
+
+/// A deterministic, lazily-generated dataset.
+///
+/// Implementations must make `sample(i)` a pure function of the dataset
+/// configuration and `i`, so that experiments are reproducible regardless
+/// of access order or parallelism.
+pub trait Dataset: Send + Sync {
+    /// Number of samples.
+    fn len(&self) -> usize;
+
+    /// `true` when the dataset holds no samples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct class labels.
+    fn num_classes(&self) -> usize;
+
+    /// Per-sample image dimensions `(C, H, W)`.
+    fn image_dims(&self) -> (usize, usize, usize);
+
+    /// Generates sample `index`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `index >= len()`.
+    fn sample(&self, index: usize) -> Sample;
+}
+
+/// One-hot encodes `labels` into an `(N, classes)` matrix (the paper's
+/// `Y` in Table 2).
+///
+/// # Panics
+///
+/// Panics when any label is out of range.
+pub fn one_hot(labels: &[usize], classes: usize) -> Tensor {
+    let mut y = Tensor::zeros(&[labels.len(), classes]);
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < classes, "label {l} out of range for {classes} classes");
+        y.data_mut()[i * classes + l] = 1.0;
+    }
+    y
+}
+
+/// Materialises a batch: stacks the images of `indices` into an
+/// `(N, C, H, W)` tensor and one-hot encodes their labels.
+///
+/// # Panics
+///
+/// Panics when any index is out of range.
+pub fn batch_of(ds: &dyn Dataset, indices: &[usize]) -> (Tensor, Tensor) {
+    let (c, h, w) = ds.image_dims();
+    let n = indices.len();
+    let mut x = Tensor::zeros(&[n, c, h, w]);
+    let mut labels = Vec::with_capacity(n);
+    let img_len = c * h * w;
+    for (row, &idx) in indices.iter().enumerate() {
+        let s = ds.sample(idx);
+        x.data_mut()[row * img_len..(row + 1) * img_len].copy_from_slice(s.image.data());
+        labels.push(s.label);
+    }
+    let y = one_hot(&labels, ds.num_classes());
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Tiny;
+    impl Dataset for Tiny {
+        fn len(&self) -> usize {
+            3
+        }
+        fn num_classes(&self) -> usize {
+            2
+        }
+        fn image_dims(&self) -> (usize, usize, usize) {
+            (1, 2, 2)
+        }
+        fn sample(&self, index: usize) -> Sample {
+            assert!(index < 3);
+            Sample {
+                image: Tensor::full(&[1, 2, 2], index as f32),
+                label: index % 2,
+                property: Some(index == 0),
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_basic() {
+        let y = one_hot(&[0, 2, 1], 3);
+        assert_eq!(
+            y.data(),
+            &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_bad_label() {
+        let _ = one_hot(&[3], 3);
+    }
+
+    #[test]
+    fn batch_of_stacks_in_order() {
+        let ds = Tiny;
+        let (x, y) = batch_of(&ds, &[2, 0]);
+        assert_eq!(x.dims(), &[2, 1, 2, 2]);
+        assert_eq!(&x.data()[..4], &[2.0; 4]);
+        assert_eq!(&x.data()[4..], &[0.0; 4]);
+        assert_eq!(y.dims(), &[2, 2]);
+        assert_eq!(y.get(&[0, 0]).unwrap(), 1.0); // label 0
+        assert_eq!(y.get(&[1, 0]).unwrap(), 1.0); // label 0
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let ds = Tiny;
+        assert!(!ds.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! FedAvg aggregation (Figure 2-➍).
+
+use gradsec_nn::model::ModelWeights;
+
+use crate::message::UpdateUpload;
+use crate::{FlError, Result};
+
+/// Combines client updates into the next global model by sample-weighted
+/// averaging of their post-training weights (McMahan et al.'s FedAvg, the
+/// aggregation the paper's server performs).
+///
+/// # Errors
+///
+/// Returns [`FlError::BadAggregation`] for an empty update set, a zero
+/// total sample count, or architecture mismatches between updates.
+pub fn fedavg(updates: &[UpdateUpload]) -> Result<ModelWeights> {
+    if updates.is_empty() {
+        return Err(FlError::BadAggregation {
+            reason: "no updates to aggregate".to_owned(),
+        });
+    }
+    let total: usize = updates.iter().map(|u| u.num_samples).sum();
+    if total == 0 {
+        return Err(FlError::BadAggregation {
+            reason: "total sample count is zero".to_owned(),
+        });
+    }
+    let mut acc = updates[0].weights.clone();
+    acc.scale(updates[0].num_samples as f32 / total as f32);
+    for u in &updates[1..] {
+        acc.add_scaled(&u.weights, u.num_samples as f32 / total as f32)
+            .map_err(|e| FlError::BadAggregation {
+                reason: format!("update from client {}: {e}", u.client_id),
+            })?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradsec_nn::model::LayerWeights;
+    use gradsec_tensor::Tensor;
+
+    fn upload(client: u64, value: f32, samples: usize) -> UpdateUpload {
+        UpdateUpload {
+            client_id: client,
+            round: 0,
+            weights: ModelWeights::new(vec![LayerWeights {
+                w: Tensor::full(&[2], value),
+                b: Tensor::full(&[1], value),
+            }]),
+            num_samples: samples,
+            train_loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn equal_weights_average() {
+        let g = fedavg(&[upload(0, 1.0, 10), upload(1, 3.0, 10)]).unwrap();
+        assert!(g.layer(0).unwrap().w.approx_eq(&Tensor::full(&[2], 2.0), 1e-6));
+    }
+
+    #[test]
+    fn sample_weighting() {
+        // 1.0 with 30 samples, 5.0 with 10 samples -> (30·1 + 10·5)/40 = 2.
+        let g = fedavg(&[upload(0, 1.0, 30), upload(1, 5.0, 10)]).unwrap();
+        assert!(g.layer(0).unwrap().w.approx_eq(&Tensor::full(&[2], 2.0), 1e-6));
+    }
+
+    #[test]
+    fn single_update_is_identity() {
+        let u = upload(0, 7.0, 5);
+        let g = fedavg(std::slice::from_ref(&u)).unwrap();
+        assert_eq!(g, u.weights);
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_samples() {
+        assert!(fedavg(&[]).is_err());
+        assert!(fedavg(&[upload(0, 1.0, 0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let a = upload(0, 1.0, 10);
+        let mut b = upload(1, 1.0, 10);
+        b.weights = ModelWeights::new(vec![
+            LayerWeights {
+                w: Tensor::zeros(&[2]),
+                b: Tensor::zeros(&[1]),
+            },
+            LayerWeights {
+                w: Tensor::zeros(&[2]),
+                b: Tensor::zeros(&[1]),
+            },
+        ]);
+        assert!(fedavg(&[a, b]).is_err());
+    }
+}

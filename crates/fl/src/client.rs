@@ -1,0 +1,280 @@
+//! FL clients and their devices.
+
+use std::sync::Arc;
+
+use gradsec_data::{Batcher, Dataset};
+use gradsec_nn::Sequential;
+use gradsec_tee::attestation::{sign_quote, Challenge, Measurement};
+use gradsec_tee::ta::Uuid;
+
+use crate::message::{AttestationResponse, ModelDownload, UpdateUpload};
+use crate::trainer::{CycleStats, LocalTrainer};
+use crate::Result;
+
+/// Hardware profile of a client device.
+///
+/// The paper's selection step (Figure 2-➊) discards devices without a TEE;
+/// this profile is what that check inspects.
+#[derive(Debug, Clone)]
+pub struct DeviceProfile {
+    /// Whether the device has TrustZone at all.
+    pub has_tee: bool,
+    /// Secure-memory carveout in bytes (3–5 MB typical, paper §3.3).
+    pub tee_budget: usize,
+    /// Device attestation key (provisioned at manufacture; shared with the
+    /// verifier in this symmetric simulation).
+    pub attestation_key: Vec<u8>,
+    /// The GradSec TA installed on this device, if any.
+    pub ta: Option<InstalledTa>,
+}
+
+/// A TA installed on a device.
+#[derive(Debug, Clone)]
+pub struct InstalledTa {
+    /// TA identity.
+    pub uuid: Uuid,
+    /// The TA code bytes (what attestation measures).
+    pub code: Vec<u8>,
+}
+
+impl DeviceProfile {
+    /// A well-provisioned TrustZone device running the genuine GradSec TA.
+    pub fn trustzone(device_id: u64) -> Self {
+        DeviceProfile {
+            has_tee: true,
+            tee_budget: 4 * 1024 * 1024,
+            attestation_key: format!("device-key-{device_id}").into_bytes(),
+            ta: Some(InstalledTa {
+                uuid: Uuid::from_name("gradsec-ta"),
+                code: b"gradsec-ta-code-v1".to_vec(),
+            }),
+        }
+    }
+
+    /// A legacy device with no TEE.
+    pub fn legacy(device_id: u64) -> Self {
+        DeviceProfile {
+            has_tee: false,
+            tee_budget: 0,
+            attestation_key: format!("device-key-{device_id}").into_bytes(),
+            ta: None,
+        }
+    }
+
+    /// A compromised device running modified TA code — its measurement
+    /// will not match the server's whitelist.
+    pub fn compromised(device_id: u64) -> Self {
+        DeviceProfile {
+            has_tee: true,
+            tee_budget: 4 * 1024 * 1024,
+            attestation_key: format!("device-key-{device_id}").into_bytes(),
+            ta: Some(InstalledTa {
+                uuid: Uuid::from_name("gradsec-ta"),
+                code: b"gradsec-ta-code-BACKDOORED".to_vec(),
+            }),
+        }
+    }
+}
+
+/// One federated-learning client: a device, a local data shard and a
+/// model replica.
+pub struct FlClient {
+    id: u64,
+    device: DeviceProfile,
+    dataset: Arc<dyn Dataset>,
+    shard: Vec<usize>,
+    model: Sequential,
+    trainer: Box<dyn LocalTrainer>,
+    last_stats: Option<CycleStats>,
+}
+
+impl std::fmt::Debug for FlClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlClient")
+            .field("id", &self.id)
+            .field("has_tee", &self.device.has_tee)
+            .field("shard_len", &self.shard.len())
+            .finish()
+    }
+}
+
+impl FlClient {
+    /// Creates a client.
+    pub fn new(
+        id: u64,
+        device: DeviceProfile,
+        dataset: Arc<dyn Dataset>,
+        shard: Vec<usize>,
+        model: Sequential,
+        trainer: Box<dyn LocalTrainer>,
+    ) -> Self {
+        FlClient {
+            id,
+            device,
+            dataset,
+            shard,
+            model,
+            trainer,
+            last_stats: None,
+        }
+    }
+
+    /// Client id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The device profile.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// The local shard size.
+    pub fn shard_len(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// Replaces the local trainer (e.g. swap the plain trainer for the
+    /// GradSec secure trainer).
+    pub fn set_trainer(&mut self, trainer: Box<dyn LocalTrainer>) {
+        self.trainer = trainer;
+    }
+
+    /// Statistics of the most recent cycle.
+    pub fn last_stats(&self) -> Option<&CycleStats> {
+        self.last_stats.as_ref()
+    }
+
+    /// Responds to an attestation challenge. Devices without a TEE (or
+    /// without the TA) answer with no quote and are filtered out by the
+    /// server.
+    pub fn attest(&self, challenge: &Challenge) -> AttestationResponse {
+        let quote = match (&self.device.has_tee, &self.device.ta) {
+            (true, Some(ta)) => {
+                let m = Measurement(gradsec_tee::crypto::sha256::sha256(&ta.code));
+                Some(sign_quote(
+                    &self.device.attestation_key,
+                    ta.uuid,
+                    m,
+                    challenge,
+                ))
+            }
+            _ => None,
+        };
+        AttestationResponse { quote }
+    }
+
+    /// Runs one local training cycle from a model download and returns the
+    /// update upload (Figure 2-➌/➍).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/TEE failures.
+    pub fn run_cycle(&mut self, download: &ModelDownload) -> Result<UpdateUpload> {
+        self.model.set_weights(&download.weights)?;
+        let batcher = Batcher::new(
+            self.shard.len(),
+            download.plan.batch_size,
+            download.plan.seed ^ self.id ^ download.round.wrapping_mul(0x9E37),
+        );
+        // Map shard-relative batch indices to dataset indices.
+        let batches: Vec<Vec<usize>> = batcher
+            .epoch_batches(download.round, download.plan.batches_per_cycle)
+            .into_iter()
+            .map(|b| b.into_iter().map(|i| self.shard[i]).collect())
+            .collect();
+        let stats = self.trainer.train_cycle(
+            &mut self.model,
+            self.dataset.as_ref(),
+            &batches,
+            download.plan.learning_rate,
+            &download.protected_layers,
+        )?;
+        self.last_stats = Some(stats);
+        self.model.clear_caches();
+        Ok(UpdateUpload {
+            client_id: self.id,
+            round: download.round,
+            weights: self.model.weights(),
+            num_samples: stats.samples.max(1),
+            train_loss: stats.mean_loss,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainingPlan;
+    use crate::trainer::PlainSgdTrainer;
+    use gradsec_data::SyntheticCifar100;
+    use gradsec_nn::zoo;
+    use gradsec_tee::attestation::verify_quote;
+
+    fn client(device: DeviceProfile) -> FlClient {
+        let ds = Arc::new(SyntheticCifar100::with_classes(32, 2, 3));
+        let model = zoo::tiny_mlp(3 * 32 * 32, 8, 2, 1).unwrap();
+        FlClient::new(
+            7,
+            device,
+            ds,
+            (0..32).collect(),
+            model,
+            Box::new(PlainSgdTrainer),
+        )
+    }
+
+    #[test]
+    fn trustzone_device_attests_validly() {
+        let c = client(DeviceProfile::trustzone(7));
+        let ch = Challenge::new([1u8; 16]);
+        let resp = c.attest(&ch);
+        let quote = resp.quote.expect("tee device produces a quote");
+        let expected = Measurement(gradsec_tee::crypto::sha256::sha256(
+            b"gradsec-ta-code-v1",
+        ));
+        verify_quote(b"device-key-7", &quote, expected, &ch).unwrap();
+    }
+
+    #[test]
+    fn legacy_device_has_no_quote() {
+        let c = client(DeviceProfile::legacy(7));
+        assert!(c.attest(&Challenge::new([0u8; 16])).quote.is_none());
+    }
+
+    #[test]
+    fn compromised_device_fails_verification() {
+        let c = client(DeviceProfile::compromised(7));
+        let ch = Challenge::new([1u8; 16]);
+        let quote = c.attest(&ch).quote.unwrap();
+        let expected = Measurement(gradsec_tee::crypto::sha256::sha256(
+            b"gradsec-ta-code-v1",
+        ));
+        assert!(verify_quote(b"device-key-7", &quote, expected, &ch).is_err());
+    }
+
+    #[test]
+    fn run_cycle_trains_and_uploads() {
+        let mut c = client(DeviceProfile::trustzone(7));
+        let plan = TrainingPlan {
+            rounds: 1,
+            clients_per_round: 1,
+            batches_per_cycle: 2,
+            batch_size: 8,
+            learning_rate: 0.05,
+            seed: 11,
+        };
+        let global = c.model.weights();
+        let download = ModelDownload {
+            round: 0,
+            weights: global.clone(),
+            plan,
+            protected_layers: vec![],
+        };
+        let up = c.run_cycle(&download).unwrap();
+        assert_eq!(up.client_id, 7);
+        assert_eq!(up.num_samples, 16);
+        assert_ne!(up.weights, global, "training must move the weights");
+        assert!(c.last_stats().is_some());
+    }
+}

@@ -1,0 +1,115 @@
+//! Training plans (the hyper-parameters the server ships to clients,
+//! Figure 2-➋).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FlError, Result};
+
+/// The server-chosen federated training plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingPlan {
+    /// Number of FL cycles (rounds) to run.
+    pub rounds: u64,
+    /// Clients sampled per round (after TEE/attestation filtering).
+    pub clients_per_round: usize,
+    /// Batches each client trains per cycle. The reproduction's timing
+    /// convention (see `gradsec-tee::cost`) is 10 batches per cycle.
+    pub batches_per_cycle: usize,
+    /// Mini-batch size (the paper's Table 6 uses 32).
+    pub batch_size: usize,
+    /// SGD learning rate `λ` (paper eq. 1).
+    pub learning_rate: f32,
+    /// Master seed for selection and shuffling.
+    pub seed: u64,
+}
+
+impl TrainingPlan {
+    /// Validates plan invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::BadConfig`] for zero counts or a non-positive
+    /// learning rate.
+    pub fn validate(&self) -> Result<()> {
+        if self.rounds == 0 {
+            return Err(FlError::BadConfig {
+                reason: "rounds must be positive".to_owned(),
+            });
+        }
+        if self.clients_per_round == 0 {
+            return Err(FlError::BadConfig {
+                reason: "clients_per_round must be positive".to_owned(),
+            });
+        }
+        if self.batches_per_cycle == 0 || self.batch_size == 0 {
+            return Err(FlError::BadConfig {
+                reason: "batches_per_cycle and batch_size must be positive".to_owned(),
+            });
+        }
+        if !(self.learning_rate > 0.0) {
+            return Err(FlError::BadConfig {
+                reason: format!("learning rate must be positive, got {}", self.learning_rate),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for TrainingPlan {
+    /// The paper's evaluation defaults: batch 32, 10 batches per cycle.
+    fn default() -> Self {
+        TrainingPlan {
+            rounds: 10,
+            clients_per_round: 4,
+            batches_per_cycle: 10,
+            batch_size: 32,
+            learning_rate: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let p = TrainingPlan::default();
+        p.validate().unwrap();
+        assert_eq!(p.batch_size, 32);
+        assert_eq!(p.batches_per_cycle, 10);
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        for bad in [
+            TrainingPlan {
+                rounds: 0,
+                ..TrainingPlan::default()
+            },
+            TrainingPlan {
+                clients_per_round: 0,
+                ..TrainingPlan::default()
+            },
+            TrainingPlan {
+                batches_per_cycle: 0,
+                ..TrainingPlan::default()
+            },
+            TrainingPlan {
+                batch_size: 0,
+                ..TrainingPlan::default()
+            },
+            TrainingPlan {
+                learning_rate: 0.0,
+                ..TrainingPlan::default()
+            },
+            TrainingPlan {
+                learning_rate: -1.0,
+                ..TrainingPlan::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

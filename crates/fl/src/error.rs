@@ -1,0 +1,94 @@
+use std::fmt;
+
+use gradsec_nn::NnError;
+use gradsec_tee::TeeError;
+
+/// Errors produced by the federated-learning substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// A model/training error from the NN substrate.
+    Nn(NnError),
+    /// A TEE error (attestation, enclave memory, channels).
+    Tee(TeeError),
+    /// No clients passed selection for a round.
+    NoEligibleClients {
+        /// Round index.
+        round: u64,
+    },
+    /// An aggregation input set was empty or inconsistent.
+    BadAggregation {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Invalid plan/config values.
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A client worker thread failed.
+    ClientFailure {
+        /// The failing client id.
+        client: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::Nn(e) => write!(f, "model error: {e}"),
+            FlError::Tee(e) => write!(f, "tee error: {e}"),
+            FlError::NoEligibleClients { round } => {
+                write!(f, "no eligible clients for round {round}")
+            }
+            FlError::BadAggregation { reason } => write!(f, "bad aggregation: {reason}"),
+            FlError::BadConfig { reason } => write!(f, "bad config: {reason}"),
+            FlError::ClientFailure { client, reason } => {
+                write!(f, "client {client} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlError::Nn(e) => Some(e),
+            FlError::Tee(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for FlError {
+    fn from(e: NnError) -> Self {
+        FlError::Nn(e)
+    }
+}
+
+impl From<TeeError> for FlError {
+    fn from(e: TeeError) -> Self {
+        FlError::Tee(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FlError = NnError::EmptyModel.into();
+        assert!(e.to_string().contains("model error"));
+        let e: FlError = TeeError::BadHandle { handle: 3 }.into();
+        assert!(e.to_string().contains("tee error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlError>();
+    }
+}

@@ -1,0 +1,111 @@
+//! Global-model snapshot history.
+//!
+//! The DPIA attacker is "long-term": it differences consecutive snapshots
+//! of the global model to recover the *aggregated* gradients of each FL
+//! cycle (paper §3.2). The server-side history recorded here is exactly
+//! the observable that attack consumes.
+
+use gradsec_nn::gradient::GradientSnapshot;
+use gradsec_nn::model::ModelWeights;
+
+use crate::Result;
+
+/// An append-only record of the global model after each round.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotHistory {
+    snapshots: Vec<ModelWeights>,
+}
+
+impl SnapshotHistory {
+    /// An empty history.
+    pub fn new() -> Self {
+        SnapshotHistory::default()
+    }
+
+    /// Records the global model (call once per round, plus once for the
+    /// initial model).
+    pub fn push(&mut self, weights: ModelWeights) {
+        self.snapshots.push(weights);
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The snapshot after round `r` (index 0 is the initial model).
+    pub fn snapshot(&self, index: usize) -> Option<&ModelWeights> {
+        self.snapshots.get(index)
+    }
+
+    /// The latest snapshot.
+    pub fn latest(&self) -> Option<&ModelWeights> {
+        self.snapshots.last()
+    }
+
+    /// Recovers the aggregated gradients of round `r` (0-based) via the
+    /// weight-difference formula — what the DPIA attacker computes from
+    /// "two consecutive snapshots of the global model" (paper §3.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture mismatches; returns `Ok(None)` when the
+    /// round is not covered by the history.
+    pub fn aggregated_gradients(
+        &self,
+        round: usize,
+        learning_rate: f32,
+    ) -> Result<Option<GradientSnapshot>> {
+        let (Some(before), Some(after)) =
+            (self.snapshots.get(round), self.snapshots.get(round + 1))
+        else {
+            return Ok(None);
+        };
+        let g = GradientSnapshot::from_weight_diff(before, after, learning_rate)?;
+        Ok(Some(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradsec_nn::model::LayerWeights;
+    use gradsec_tensor::Tensor;
+
+    fn weights(v: f32) -> ModelWeights {
+        ModelWeights::new(vec![LayerWeights {
+            w: Tensor::full(&[3], v),
+            b: Tensor::full(&[1], v),
+        }])
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut h = SnapshotHistory::new();
+        assert!(h.is_empty());
+        h.push(weights(0.0));
+        h.push(weights(1.0));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.snapshot(1), Some(&weights(1.0)));
+        assert_eq!(h.latest(), Some(&weights(1.0)));
+    }
+
+    #[test]
+    fn gradient_recovery() {
+        let mut h = SnapshotHistory::new();
+        h.push(weights(1.0));
+        h.push(weights(0.9)); // dW = (1.0 - 0.9)/0.1 = 1.0
+        let g = h.aggregated_gradients(0, 0.1).unwrap().unwrap();
+        assert!(g
+            .layer(0)
+            .unwrap()
+            .dw
+            .approx_eq(&Tensor::full(&[3], 1.0), 1e-4));
+        assert!(h.aggregated_gradients(1, 0.1).unwrap().is_none());
+    }
+}

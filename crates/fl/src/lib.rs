@@ -1,0 +1,66 @@
+//! # gradsec-fl
+//!
+//! Federated-learning substrate for the GradSec reproduction: the server,
+//! clients, aggregation and orchestration of Figure 2 in the paper.
+//!
+//! The workflow mirrors the paper's §5 exactly:
+//!
+//! 1. **Selection** — the server filters clients to TEE-capable devices and
+//!    verifies a remote-attestation quote before admitting them to a cycle
+//!    ([`selection`]).
+//! 2. **Transmission** — the global model and training plan are shipped to
+//!    the selected clients ([`message`]).
+//! 3. **Secure local training** — each client trains locally through a
+//!    pluggable [`LocalTrainer`](trainer::LocalTrainer); the plain SGD
+//!    trainer lives here, the enclave-partitioned GradSec trainer in
+//!    `gradsec-core`.
+//! 4. **Upload & aggregation** — updates are FedAvg-combined
+//!    ([`aggregate`]) and the global snapshot history is recorded for the
+//!    long-term DPIA attacker ([`history`]).
+//!
+//! # Example
+//!
+//! ```
+//! use gradsec_data::SyntheticCifar100;
+//! use gradsec_fl::config::TrainingPlan;
+//! use gradsec_fl::runner::Federation;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), gradsec_fl::FlError> {
+//! let data = Arc::new(SyntheticCifar100::with_classes(64, 4, 1));
+//! let plan = TrainingPlan {
+//!     rounds: 2,
+//!     clients_per_round: 2,
+//!     batches_per_cycle: 1,
+//!     batch_size: 8,
+//!     learning_rate: 0.01,
+//!     seed: 7,
+//! };
+//! let mut fed = Federation::builder(plan)
+//!     .model(|| gradsec_nn::zoo::tiny_mlp(3 * 32 * 32, 16, 4, 3).unwrap())
+//!     .clients(3, data)
+//!     .build()?;
+//! let report = fed.run()?;
+//! assert_eq!(report.rounds_completed, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod client;
+pub mod config;
+mod error;
+pub mod history;
+pub mod message;
+pub mod runner;
+pub mod selection;
+pub mod server;
+pub mod trainer;
+
+pub use error::FlError;
+
+/// Crate-wide result alias using [`FlError`].
+pub type Result<T> = std::result::Result<T, FlError>;

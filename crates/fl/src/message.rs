@@ -1,0 +1,469 @@
+//! Wire messages between the FL server and clients.
+//!
+//! The transport in this reproduction is in-process, but every payload has
+//! a concrete binary framing (a hand-rolled little-endian codec over the
+//! `bytes` crate) so the protocol could move onto a socket unchanged — and
+//! so the trusted I/O path (`gradsec-tee::tiop`) has real bytes to seal.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use gradsec_nn::model::{LayerWeights, ModelWeights};
+use gradsec_tee::attestation::{Challenge, Measurement, Quote};
+use gradsec_tee::ta::Uuid;
+use gradsec_tensor::Tensor;
+
+use crate::config::TrainingPlan;
+use crate::{FlError, Result};
+
+/// Server → client: attestation challenge during selection (Figure 2-➊).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttestationRequest {
+    /// The freshness challenge.
+    pub challenge: Challenge,
+}
+
+/// Client → server: attestation evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttestationResponse {
+    /// The signed quote, absent when the device has no TEE.
+    pub quote: Option<Quote>,
+}
+
+/// Server → client: the global model and plan for one cycle (Figure 2-➋).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelDownload {
+    /// Round this download belongs to.
+    pub round: u64,
+    /// Global model weights.
+    pub weights: ModelWeights,
+    /// The training plan.
+    pub plan: TrainingPlan,
+    /// Indices of the layers the client must shelter this cycle (the
+    /// GradSec protection configuration; empty = unprotected).
+    pub protected_layers: Vec<usize>,
+}
+
+/// Client → server: the trained update (Figure 2-➍).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateUpload {
+    /// Uploading client.
+    pub client_id: u64,
+    /// Round the update belongs to.
+    pub round: u64,
+    /// The client's post-training weights.
+    pub weights: ModelWeights,
+    /// Samples trained on (FedAvg weighting).
+    pub num_samples: usize,
+    /// Mean training loss over the cycle.
+    pub train_loss: f32,
+}
+
+/// A type with a binary wire encoding.
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `buf`.
+    fn encode_into(&self, buf: &mut BytesMut);
+
+    /// Decodes one value from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::BadConfig`] on truncated or malformed input.
+    fn decode_from(buf: &mut Bytes) -> Result<Self>;
+}
+
+/// Serialises a message to bytes.
+pub fn encode<T: Wire>(msg: &T) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    msg.encode_into(&mut buf);
+    buf.to_vec()
+}
+
+/// Deserialises a message from bytes, requiring full consumption.
+///
+/// # Errors
+///
+/// Returns [`FlError::BadConfig`] on malformed input or trailing bytes.
+pub fn decode<T: Wire>(bytes: &[u8]) -> Result<T> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    let v = T::decode_from(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(FlError::BadConfig {
+            reason: format!("{} trailing bytes after message", buf.remaining()),
+        });
+    }
+    Ok(v)
+}
+
+fn need(buf: &Bytes, n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        return Err(FlError::BadConfig {
+            reason: format!("truncated message: need {n} bytes for {what}"),
+        });
+    }
+    Ok(())
+}
+
+/// Guard against adversarial length prefixes: no single field in this
+/// protocol legitimately exceeds 256 MiB.
+const MAX_FIELD: usize = 256 * 1024 * 1024;
+
+fn decode_len(buf: &mut Bytes, what: &str) -> Result<usize> {
+    need(buf, 8, what)?;
+    let n = buf.get_u64_le() as usize;
+    if n > MAX_FIELD {
+        return Err(FlError::BadConfig {
+            reason: format!("{what} length {n} exceeds protocol maximum"),
+        });
+    }
+    Ok(n)
+}
+
+impl Wire for Tensor {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.dims().len() as u64);
+        for &d in self.dims() {
+            buf.put_u64_le(d as u64);
+        }
+        buf.put_u64_le(self.numel() as u64);
+        for &x in self.data() {
+            buf.put_f32_le(x);
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        let ndim = decode_len(buf, "tensor rank")?;
+        if ndim > 16 {
+            return Err(FlError::BadConfig {
+                reason: format!("tensor rank {ndim} exceeds protocol maximum"),
+            });
+        }
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(decode_len(buf, "tensor dim")?);
+        }
+        let n = decode_len(buf, "tensor data")?;
+        if dims.iter().product::<usize>() != n {
+            return Err(FlError::BadConfig {
+                reason: "tensor dims disagree with element count".to_owned(),
+            });
+        }
+        need(buf, 4 * n, "tensor elements")?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(buf.get_f32_le());
+        }
+        Tensor::from_vec(data, &dims).map_err(|e| FlError::BadConfig {
+            reason: format!("tensor decode: {e}"),
+        })
+    }
+}
+
+impl Wire for ModelWeights {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.num_layers() as u64);
+        for lw in self.iter() {
+            lw.w.encode_into(buf);
+            lw.b.encode_into(buf);
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        let n = decode_len(buf, "layer count")?;
+        if n > 4096 {
+            return Err(FlError::BadConfig {
+                reason: format!("layer count {n} exceeds protocol maximum"),
+            });
+        }
+        let mut layers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let w = Tensor::decode_from(buf)?;
+            let b = Tensor::decode_from(buf)?;
+            layers.push(LayerWeights { w, b });
+        }
+        Ok(ModelWeights::new(layers))
+    }
+}
+
+impl Wire for TrainingPlan {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.rounds);
+        buf.put_u64_le(self.clients_per_round as u64);
+        buf.put_u64_le(self.batches_per_cycle as u64);
+        buf.put_u64_le(self.batch_size as u64);
+        buf.put_f32_le(self.learning_rate);
+        buf.put_u64_le(self.seed);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 8 * 5 + 4, "training plan")?;
+        let rounds = buf.get_u64_le();
+        let clients_per_round = buf.get_u64_le() as usize;
+        let batches_per_cycle = buf.get_u64_le() as usize;
+        let batch_size = buf.get_u64_le() as usize;
+        let learning_rate = buf.get_f32_le();
+        let seed = buf.get_u64_le();
+        Ok(TrainingPlan {
+            rounds,
+            clients_per_round,
+            batches_per_cycle,
+            batch_size,
+            learning_rate,
+            seed,
+        })
+    }
+}
+
+impl Wire for Challenge {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_slice(&self.nonce);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 16, "challenge nonce")?;
+        let mut nonce = [0u8; 16];
+        buf.copy_to_slice(&mut nonce);
+        Ok(Challenge::new(nonce))
+    }
+}
+
+impl Wire for Quote {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_slice(self.ta.as_bytes());
+        buf.put_slice(&self.measurement.0);
+        buf.put_slice(&self.nonce);
+        buf.put_slice(&self.signature);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 16 + 32 + 16 + 32, "attestation quote")?;
+        let mut ta = [0u8; 16];
+        buf.copy_to_slice(&mut ta);
+        let mut m = [0u8; 32];
+        buf.copy_to_slice(&mut m);
+        let mut nonce = [0u8; 16];
+        buf.copy_to_slice(&mut nonce);
+        let mut sig = [0u8; 32];
+        buf.copy_to_slice(&mut sig);
+        Ok(Quote {
+            ta: Uuid(ta),
+            measurement: Measurement(m),
+            nonce,
+            signature: sig,
+        })
+    }
+}
+
+impl Wire for AttestationRequest {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        self.challenge.encode_into(buf);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        Ok(AttestationRequest {
+            challenge: Challenge::decode_from(buf)?,
+        })
+    }
+}
+
+impl Wire for AttestationResponse {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        match &self.quote {
+            Some(q) => {
+                buf.put_u8(1);
+                q.encode_into(buf);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 1, "quote presence flag")?;
+        let has = buf.get_u8();
+        match has {
+            0 => Ok(AttestationResponse { quote: None }),
+            1 => Ok(AttestationResponse {
+                quote: Some(Quote::decode_from(buf)?),
+            }),
+            other => Err(FlError::BadConfig {
+                reason: format!("bad quote presence flag {other}"),
+            }),
+        }
+    }
+}
+
+impl Wire for ModelDownload {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.round);
+        self.weights.encode_into(buf);
+        self.plan.encode_into(buf);
+        buf.put_u64_le(self.protected_layers.len() as u64);
+        for &l in &self.protected_layers {
+            buf.put_u64_le(l as u64);
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 8, "round")?;
+        let round = buf.get_u64_le();
+        let weights = ModelWeights::decode_from(buf)?;
+        let plan = TrainingPlan::decode_from(buf)?;
+        let n = decode_len(buf, "protected layer count")?;
+        if n > 4096 {
+            return Err(FlError::BadConfig {
+                reason: format!("protected layer count {n} exceeds protocol maximum"),
+            });
+        }
+        let mut protected_layers = Vec::with_capacity(n);
+        for _ in 0..n {
+            need(buf, 8, "protected layer index")?;
+            protected_layers.push(buf.get_u64_le() as usize);
+        }
+        Ok(ModelDownload {
+            round,
+            weights,
+            plan,
+            protected_layers,
+        })
+    }
+}
+
+impl Wire for UpdateUpload {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.client_id);
+        buf.put_u64_le(self.round);
+        self.weights.encode_into(buf);
+        buf.put_u64_le(self.num_samples as u64);
+        buf.put_f32_le(self.train_loss);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 16, "upload header")?;
+        let client_id = buf.get_u64_le();
+        let round = buf.get_u64_le();
+        let weights = ModelWeights::decode_from(buf)?;
+        need(buf, 12, "upload footer")?;
+        let num_samples = buf.get_u64_le() as usize;
+        let train_loss = buf.get_f32_le();
+        Ok(UpdateUpload {
+            client_id,
+            round,
+            weights,
+            num_samples,
+            train_loss,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights() -> ModelWeights {
+        ModelWeights::new(vec![LayerWeights {
+            w: Tensor::from_vec(vec![1.0, -2.5, 3.25, 0.0], &[2, 2]).unwrap(),
+            b: Tensor::from_vec(vec![0.5], &[1]).unwrap(),
+        }])
+    }
+
+    #[test]
+    fn roundtrip_model_download() {
+        let msg = ModelDownload {
+            round: 3,
+            weights: weights(),
+            plan: TrainingPlan::default(),
+            protected_layers: vec![1, 4],
+        };
+        let back: ModelDownload = decode(&encode(&msg)).unwrap();
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn roundtrip_update_upload() {
+        let msg = UpdateUpload {
+            client_id: 9,
+            round: 1,
+            weights: weights(),
+            num_samples: 320,
+            train_loss: 2.5,
+        };
+        let back: UpdateUpload = decode(&encode(&msg)).unwrap();
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn roundtrip_plan_fields() {
+        let plan = TrainingPlan {
+            rounds: 12,
+            clients_per_round: 5,
+            batches_per_cycle: 7,
+            batch_size: 16,
+            learning_rate: 0.125,
+            seed: 99,
+        };
+        let back: TrainingPlan = decode(&encode(&plan)).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn roundtrip_attestation() {
+        use gradsec_tee::attestation::sign_quote;
+        let ch = Challenge::new([3u8; 16]);
+        let req = AttestationRequest { challenge: ch };
+        let back: AttestationRequest = decode(&encode(&req)).unwrap();
+        assert_eq!(req, back);
+        let q = sign_quote(
+            b"key",
+            Uuid::from_name("ta"),
+            Measurement([9u8; 32]),
+            &ch,
+        );
+        let resp = AttestationResponse { quote: Some(q) };
+        let back: AttestationResponse = decode(&encode(&resp)).unwrap();
+        assert_eq!(resp, back);
+        let none = AttestationResponse { quote: None };
+        let back: AttestationResponse = decode(&encode(&none)).unwrap();
+        assert_eq!(none, back);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncation() {
+        assert!(decode::<UpdateUpload>(b"short").is_err());
+        let msg = UpdateUpload {
+            client_id: 1,
+            round: 1,
+            weights: weights(),
+            num_samples: 10,
+            train_loss: 0.5,
+        };
+        let mut bytes = encode(&msg);
+        bytes.truncate(bytes.len() - 3);
+        assert!(decode::<UpdateUpload>(&bytes).is_err());
+        // Trailing bytes are rejected too.
+        let mut bytes = encode(&msg);
+        bytes.push(0);
+        assert!(decode::<UpdateUpload>(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_hostile_lengths() {
+        // A tensor claiming 2^60 elements must be rejected before any
+        // allocation happens.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1); // rank 1
+        buf.put_u64_le(1 << 60); // dim
+        buf.put_u64_le(1 << 60); // elems
+        assert!(decode::<Tensor>(&buf.to_vec()).is_err());
+    }
+
+    #[test]
+    fn tensor_dims_must_match_count() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        buf.put_u64_le(3); // dim says 3
+        buf.put_u64_le(2); // but 2 elements
+        buf.put_f32_le(0.0);
+        buf.put_f32_le(0.0);
+        assert!(decode::<Tensor>(&buf.to_vec()).is_err());
+    }
+}

@@ -1,0 +1,399 @@
+//! Federation orchestration: wiring server and clients through rounds.
+
+use std::sync::Arc;
+
+use gradsec_data::{split, Dataset};
+use gradsec_nn::Sequential;
+use gradsec_tee::attestation::Measurement;
+use gradsec_tee::crypto::sha256::sha256;
+
+use crate::client::{DeviceProfile, FlClient};
+use crate::config::TrainingPlan;
+use crate::message::UpdateUpload;
+use crate::server::FlServer;
+use crate::trainer::{LocalTrainer, PlainSgdTrainer};
+use crate::{FlError, Result};
+
+/// Builds a fresh model replica for each client.
+pub type ModelFactory = Box<dyn Fn() -> Sequential + Send + Sync>;
+
+/// Builds a local trainer for a client id.
+pub type TrainerFactory = Box<dyn Fn(u64) -> Box<dyn LocalTrainer> + Send + Sync>;
+
+/// Chooses the protected layer set for a round — the hook through which
+/// GradSec's static/dynamic policies drive the federation.
+pub type ProtectionSchedule = Box<dyn FnMut(u64) -> Vec<usize> + Send>;
+
+/// Per-round outcome.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Indices of participating clients.
+    pub participants: Vec<usize>,
+    /// Mean training loss across participants.
+    pub mean_loss: f32,
+    /// The protected layers used this round.
+    pub protected_layers: Vec<usize>,
+}
+
+/// Whole-run outcome.
+#[derive(Debug, Clone, Default)]
+pub struct FederationReport {
+    /// Rounds completed.
+    pub rounds_completed: u64,
+    /// Per-round reports.
+    pub rounds: Vec<RoundReport>,
+}
+
+/// Builder for a [`Federation`].
+pub struct FederationBuilder {
+    plan: TrainingPlan,
+    model_factory: Option<ModelFactory>,
+    trainer_factory: TrainerFactory,
+    dataset: Option<Arc<dyn Dataset>>,
+    devices: Vec<DeviceProfile>,
+    schedule: ProtectionSchedule,
+    parallel: bool,
+    measurement: Measurement,
+}
+
+impl FederationBuilder {
+    fn new(plan: TrainingPlan) -> Self {
+        FederationBuilder {
+            plan,
+            model_factory: None,
+            trainer_factory: Box::new(|_| Box::new(PlainSgdTrainer)),
+            dataset: None,
+            devices: Vec::new(),
+            schedule: Box::new(|_| Vec::new()),
+            parallel: false,
+            measurement: Measurement(sha256(b"gradsec-ta-code-v1")),
+        }
+    }
+
+    /// Sets the model architecture factory.
+    pub fn model<F>(mut self, f: F) -> Self
+    where
+        F: Fn() -> Sequential + Send + Sync + 'static,
+    {
+        self.model_factory = Some(Box::new(f));
+        self
+    }
+
+    /// Adds `n` TrustZone-capable clients sharing `dataset` (sharded
+    /// evenly).
+    pub fn clients(mut self, n: usize, dataset: Arc<dyn Dataset>) -> Self {
+        self.dataset = Some(dataset);
+        self.devices = (0..n as u64).map(DeviceProfile::trustzone).collect();
+        self
+    }
+
+    /// Uses an explicit device mix instead of all-TrustZone (for the
+    /// hybrid-deployment scenarios of the paper's future work).
+    pub fn devices(mut self, devices: Vec<DeviceProfile>, dataset: Arc<dyn Dataset>) -> Self {
+        self.dataset = Some(dataset);
+        self.devices = devices;
+        self
+    }
+
+    /// Sets the per-client trainer factory (GradSec's secure trainer hooks
+    /// in here).
+    pub fn trainer<F>(mut self, f: F) -> Self
+    where
+        F: Fn(u64) -> Box<dyn LocalTrainer> + Send + Sync + 'static,
+    {
+        self.trainer_factory = Box::new(f);
+        self
+    }
+
+    /// Sets the per-round protection schedule.
+    pub fn schedule<F>(mut self, f: F) -> Self
+    where
+        F: FnMut(u64) -> Vec<usize> + Send + 'static,
+    {
+        self.schedule = Box::new(f);
+        self
+    }
+
+    /// Runs selected clients on scoped threads each round.
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
+
+    /// Overrides the whitelisted TA measurement.
+    pub fn measurement(mut self, m: Measurement) -> Self {
+        self.measurement = m;
+        self
+    }
+
+    /// Assembles the federation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::BadConfig`] when the model factory or dataset is
+    /// missing, or the plan is invalid.
+    pub fn build(self) -> Result<Federation> {
+        let model_factory = self.model_factory.ok_or_else(|| FlError::BadConfig {
+            reason: "model factory not set".to_owned(),
+        })?;
+        let dataset = self.dataset.ok_or_else(|| FlError::BadConfig {
+            reason: "dataset not set".to_owned(),
+        })?;
+        if self.devices.is_empty() {
+            return Err(FlError::BadConfig {
+                reason: "no clients configured".to_owned(),
+            });
+        }
+        self.plan.validate()?;
+        let shards = split::shard(dataset.len(), self.devices.len(), self.plan.seed);
+        let clients: Vec<FlClient> = self
+            .devices
+            .into_iter()
+            .zip(shards)
+            .enumerate()
+            .map(|(i, (device, shard))| {
+                FlClient::new(
+                    i as u64,
+                    device,
+                    dataset.clone(),
+                    shard,
+                    model_factory(),
+                    (self.trainer_factory)(i as u64),
+                )
+            })
+            .collect();
+        let initial = model_factory();
+        let server = FlServer::new(self.plan, initial.weights(), self.measurement)?;
+        Ok(Federation {
+            server,
+            clients,
+            schedule: self.schedule,
+            parallel: self.parallel,
+        })
+    }
+}
+
+/// A complete in-process federation: one server plus its client fleet.
+pub struct Federation {
+    server: FlServer,
+    clients: Vec<FlClient>,
+    schedule: ProtectionSchedule,
+    parallel: bool,
+}
+
+impl std::fmt::Debug for Federation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Federation")
+            .field("clients", &self.clients.len())
+            .field("round", &self.server.round())
+            .finish()
+    }
+}
+
+impl Federation {
+    /// Starts a builder.
+    pub fn builder(plan: TrainingPlan) -> FederationBuilder {
+        FederationBuilder::new(plan)
+    }
+
+    /// The server.
+    pub fn server(&self) -> &FlServer {
+        &self.server
+    }
+
+    /// The clients.
+    pub fn clients(&self) -> &[FlClient] {
+        &self.clients
+    }
+
+    /// Mutable client access (tests inject failures through this).
+    pub fn clients_mut(&mut self) -> &mut [FlClient] {
+        &mut self.clients
+    }
+
+    /// Runs one FL cycle: select → download → local train → aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selection, training and aggregation failures.
+    pub fn run_round(&mut self) -> Result<RoundReport> {
+        let round = self.server.round();
+        let picked = self.server.select(&self.clients)?;
+        let protected = (self.schedule)(round);
+        let download = self.server.download(protected.clone());
+        let updates: Vec<UpdateUpload> = if self.parallel {
+            // Scoped threads: hand each selected client (a disjoint &mut)
+            // to its own worker.
+            let mut refs: Vec<(usize, &mut FlClient)> = self
+                .clients
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| picked.contains(i))
+                .collect();
+            let results = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = refs
+                    .iter_mut()
+                    .map(|(_, c)| {
+                        let dl = &download;
+                        s.spawn(move |_| c.run_cycle(dl))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("federation scope panicked");
+            results.into_iter().collect::<Result<Vec<_>>>()?
+        } else {
+            let mut ups = Vec::with_capacity(picked.len());
+            for &i in &picked {
+                ups.push(self.clients[i].run_cycle(&download)?);
+            }
+            ups
+        };
+        let mean_loss =
+            updates.iter().map(|u| u.train_loss).sum::<f32>() / updates.len().max(1) as f32;
+        self.server.aggregate(&updates)?;
+        Ok(RoundReport {
+            round,
+            participants: picked,
+            mean_loss,
+            protected_layers: protected,
+        })
+    }
+
+    /// Runs the full plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round failures.
+    pub fn run(&mut self) -> Result<FederationReport> {
+        let mut report = FederationReport::default();
+        for _ in 0..self.server.plan().rounds {
+            let r = self.run_round()?;
+            report.rounds.push(r);
+            report.rounds_completed += 1;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradsec_data::SyntheticCifar100;
+    use gradsec_nn::zoo;
+
+    fn plan() -> TrainingPlan {
+        TrainingPlan {
+            rounds: 3,
+            clients_per_round: 2,
+            batches_per_cycle: 2,
+            batch_size: 4,
+            learning_rate: 0.05,
+            seed: 1,
+        }
+    }
+
+    fn dataset() -> Arc<SyntheticCifar100> {
+        Arc::new(SyntheticCifar100::with_classes(64, 2, 2))
+    }
+
+    #[test]
+    fn sequential_run_completes_all_rounds() {
+        let mut fed = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .clients(3, dataset())
+            .build()
+            .unwrap();
+        let report = fed.run().unwrap();
+        assert_eq!(report.rounds_completed, 3);
+        assert_eq!(fed.server().history().len(), 4); // initial + 3
+    }
+
+    #[test]
+    fn parallel_run_matches_round_count() {
+        let mut fed = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .clients(4, dataset())
+            .parallel(true)
+            .build()
+            .unwrap();
+        let report = fed.run().unwrap();
+        assert_eq!(report.rounds_completed, 3);
+        for r in &report.rounds {
+            assert_eq!(r.participants.len(), 2);
+        }
+    }
+
+    #[test]
+    fn schedule_reaches_downloads() {
+        let mut fed = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .clients(2, dataset())
+            .schedule(|round| vec![round as usize % 2])
+            .build()
+            .unwrap();
+        let r0 = fed.run_round().unwrap();
+        assert_eq!(r0.protected_layers, vec![0]);
+        let r1 = fed.run_round().unwrap();
+        assert_eq!(r1.protected_layers, vec![1]);
+    }
+
+    #[test]
+    fn mixed_fleet_excludes_non_tee() {
+        let ds = dataset();
+        let mut fed = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .devices(
+                vec![
+                    DeviceProfile::trustzone(0),
+                    DeviceProfile::legacy(1),
+                    DeviceProfile::compromised(2),
+                    DeviceProfile::trustzone(3),
+                ],
+                ds,
+            )
+            .build()
+            .unwrap();
+        let r = fed.run_round().unwrap();
+        assert!(r.participants.iter().all(|&i| i == 0 || i == 3));
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(Federation::builder(plan()).build().is_err());
+        let no_clients = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(4, 4, 2, 1).unwrap())
+            .build();
+        assert!(no_clients.is_err());
+    }
+
+    #[test]
+    fn training_improves_global_accuracy() {
+        // End-to-end sanity: the federated model should learn the 2-class
+        // synthetic task measurably.
+        let ds = dataset();
+        let mut fed = Federation::builder(TrainingPlan {
+            rounds: 15,
+            clients_per_round: 3,
+            batches_per_cycle: 4,
+            batch_size: 8,
+            learning_rate: 0.05,
+            seed: 5,
+        })
+        .model(|| zoo::tiny_mlp(3 * 32 * 32, 16, 2, 21).unwrap())
+        .clients(3, ds.clone())
+        .build()
+        .unwrap();
+        fed.run().unwrap();
+        let mut model = zoo::tiny_mlp(3 * 32 * 32, 16, 2, 21).unwrap();
+        model.set_weights(fed.server().global()).unwrap();
+        let (x, y) = gradsec_data::batch_of(ds.as_ref(), &(0..64).collect::<Vec<_>>());
+        let acc = model.accuracy(&x, &y).unwrap();
+        assert!(acc > 0.7, "federated accuracy only {acc}");
+    }
+}

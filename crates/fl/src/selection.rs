@@ -1,0 +1,151 @@
+//! TEE-aware client selection (Figure 2-➊).
+//!
+//! > "The FL server only samples clients with a TEE-compatible device,
+//! > discarding those without a TEE. [...] The FL server can ensure the
+//! > trustworthiness of the FL client code leveraging novel remote
+//! > attestation support."
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+use gradsec_tee::attestation::{verify_quote, Challenge, Measurement};
+
+use crate::client::FlClient;
+
+/// Outcome of screening one client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScreeningOutcome {
+    /// TEE present and quote verified against the whitelist.
+    Eligible,
+    /// Device reported no TEE / produced no quote.
+    NoTee,
+    /// Quote present but failed verification (bad key, stale nonce, or
+    /// non-whitelisted TA measurement).
+    FailedAttestation,
+}
+
+/// Screens every client with a fresh challenge and returns the verdicts,
+/// index-aligned with `clients`.
+pub fn screen_clients(
+    clients: &[FlClient],
+    expected: Measurement,
+    rng: &mut StdRng,
+) -> Vec<ScreeningOutcome> {
+    clients
+        .iter()
+        .map(|c| {
+            let mut nonce = [0u8; 16];
+            rng.fill(&mut nonce[..]);
+            let challenge = Challenge::new(nonce);
+            match c.attest(&challenge).quote {
+                None => ScreeningOutcome::NoTee,
+                Some(quote) => {
+                    match verify_quote(
+                        &c.device().attestation_key,
+                        &quote,
+                        expected,
+                        &challenge,
+                    ) {
+                        Ok(()) => ScreeningOutcome::Eligible,
+                        Err(_) => ScreeningOutcome::FailedAttestation,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Samples up to `k` eligible client indices uniformly without
+/// replacement.
+pub fn sample_eligible(
+    outcomes: &[ScreeningOutcome],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let mut eligible: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| **o == ScreeningOutcome::Eligible)
+        .map(|(i, _)| i)
+        .collect();
+    eligible.shuffle(rng);
+    eligible.truncate(k);
+    eligible.sort_unstable();
+    eligible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use crate::client::DeviceProfile;
+    use crate::trainer::PlainSgdTrainer;
+    use gradsec_data::SyntheticCifar100;
+    use gradsec_nn::zoo;
+    use gradsec_tee::crypto::sha256::sha256;
+    use std::sync::Arc;
+
+    fn make_client(id: u64, device: DeviceProfile) -> FlClient {
+        let ds = Arc::new(SyntheticCifar100::with_classes(8, 2, 1));
+        FlClient::new(
+            id,
+            device,
+            ds,
+            (0..8).collect(),
+            zoo::tiny_mlp(3 * 32 * 32, 4, 2, id).unwrap(),
+            Box::new(PlainSgdTrainer),
+        )
+    }
+
+    fn whitelist() -> Measurement {
+        Measurement(sha256(b"gradsec-ta-code-v1"))
+    }
+
+    #[test]
+    fn screening_partitions_device_kinds() {
+        let clients = vec![
+            make_client(0, DeviceProfile::trustzone(0)),
+            make_client(1, DeviceProfile::legacy(1)),
+            make_client(2, DeviceProfile::compromised(2)),
+            make_client(3, DeviceProfile::trustzone(3)),
+        ];
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcomes = screen_clients(&clients, whitelist(), &mut rng);
+        assert_eq!(
+            outcomes,
+            vec![
+                ScreeningOutcome::Eligible,
+                ScreeningOutcome::NoTee,
+                ScreeningOutcome::FailedAttestation,
+                ScreeningOutcome::Eligible,
+            ]
+        );
+    }
+
+    #[test]
+    fn sampling_respects_eligibility_and_k() {
+        let outcomes = vec![
+            ScreeningOutcome::Eligible,
+            ScreeningOutcome::NoTee,
+            ScreeningOutcome::Eligible,
+            ScreeningOutcome::Eligible,
+            ScreeningOutcome::FailedAttestation,
+        ];
+        let mut rng = StdRng::seed_from_u64(2);
+        let picked = sample_eligible(&outcomes, 2, &mut rng);
+        assert_eq!(picked.len(), 2);
+        assert!(picked.iter().all(|&i| [0usize, 2, 3].contains(&i)));
+        // Requesting more than available returns all eligible.
+        let mut rng = StdRng::seed_from_u64(3);
+        let all = sample_eligible(&outcomes, 10, &mut rng);
+        assert_eq!(all, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn sampling_none_when_no_eligible() {
+        let outcomes = vec![ScreeningOutcome::NoTee, ScreeningOutcome::FailedAttestation];
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(sample_eligible(&outcomes, 3, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! The FL server.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gradsec_nn::model::ModelWeights;
+use gradsec_tee::attestation::Measurement;
+
+use crate::aggregate::fedavg;
+use crate::config::TrainingPlan;
+use crate::history::SnapshotHistory;
+use crate::message::{ModelDownload, UpdateUpload};
+use crate::selection::{sample_eligible, screen_clients, ScreeningOutcome};
+use crate::{FlError, Result};
+
+/// The central FL server: owns the global model, screens and samples
+/// clients, aggregates updates and records history.
+#[derive(Debug)]
+pub struct FlServer {
+    plan: TrainingPlan,
+    global: ModelWeights,
+    history: SnapshotHistory,
+    expected_measurement: Measurement,
+    rng: StdRng,
+    round: u64,
+}
+
+impl FlServer {
+    /// Creates a server with the initial global model.
+    ///
+    /// `expected_measurement` is the whitelisted hash of the genuine
+    /// GradSec TA; quotes reporting anything else are rejected during
+    /// selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::BadConfig`] for an invalid plan.
+    pub fn new(
+        plan: TrainingPlan,
+        initial: ModelWeights,
+        expected_measurement: Measurement,
+    ) -> Result<Self> {
+        plan.validate()?;
+        let mut history = SnapshotHistory::new();
+        history.push(initial.clone());
+        Ok(FlServer {
+            rng: StdRng::seed_from_u64(plan.seed),
+            plan,
+            global: initial,
+            history,
+            expected_measurement,
+            round: 0,
+        })
+    }
+
+    /// The training plan.
+    pub fn plan(&self) -> &TrainingPlan {
+        &self.plan
+    }
+
+    /// The current global model.
+    pub fn global(&self) -> &ModelWeights {
+        &self.global
+    }
+
+    /// The snapshot history (the DPIA observable).
+    pub fn history(&self) -> &SnapshotHistory {
+        &self.history
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Screens all clients and samples this round's participants
+    /// (Figure 2-➊).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::NoEligibleClients`] when nobody passes.
+    pub fn select(&mut self, clients: &[crate::client::FlClient]) -> Result<Vec<usize>> {
+        let outcomes = screen_clients(clients, self.expected_measurement, &mut self.rng);
+        let picked = sample_eligible(&outcomes, self.plan.clients_per_round, &mut self.rng);
+        if picked.is_empty() {
+            return Err(FlError::NoEligibleClients { round: self.round });
+        }
+        Ok(picked)
+    }
+
+    /// Screens all clients, returning the per-client verdicts (used by
+    /// examples and tests to show who was filtered and why).
+    pub fn screen(&mut self, clients: &[crate::client::FlClient]) -> Vec<ScreeningOutcome> {
+        screen_clients(clients, self.expected_measurement, &mut self.rng)
+    }
+
+    /// Builds the model download for the current round (Figure 2-➋).
+    ///
+    /// `protected_layers` is the GradSec configuration for this cycle
+    /// (supplied by the protection scheduler in `gradsec-core`).
+    pub fn download(&self, protected_layers: Vec<usize>) -> ModelDownload {
+        ModelDownload {
+            round: self.round,
+            weights: self.global.clone(),
+            plan: self.plan,
+            protected_layers,
+        }
+    }
+
+    /// Aggregates the round's updates into the next global model
+    /// (Figure 2-➍) and records the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates aggregation failures (empty set, mismatches).
+    pub fn aggregate(&mut self, updates: &[UpdateUpload]) -> Result<()> {
+        let next = fedavg(updates)?;
+        self.global = next.clone();
+        self.history.push(next);
+        self.round += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{DeviceProfile, FlClient};
+    use crate::trainer::PlainSgdTrainer;
+    use gradsec_data::SyntheticCifar100;
+    use gradsec_nn::zoo;
+    use gradsec_tee::crypto::sha256::sha256;
+    use std::sync::Arc;
+
+    fn measurement() -> Measurement {
+        Measurement(sha256(b"gradsec-ta-code-v1"))
+    }
+
+    fn plan() -> TrainingPlan {
+        TrainingPlan {
+            rounds: 2,
+            clients_per_round: 2,
+            batches_per_cycle: 1,
+            batch_size: 4,
+            learning_rate: 0.05,
+            seed: 3,
+        }
+    }
+
+    fn make_clients(devices: Vec<DeviceProfile>) -> Vec<FlClient> {
+        let ds = Arc::new(SyntheticCifar100::with_classes(16, 2, 1));
+        devices
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                FlClient::new(
+                    i as u64,
+                    d,
+                    ds.clone(),
+                    (0..16).collect(),
+                    zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap(),
+                    Box::new(PlainSgdTrainer),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selection_filters_and_samples() {
+        let model = zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap();
+        let mut server = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+        let clients = make_clients(vec![
+            DeviceProfile::trustzone(0),
+            DeviceProfile::legacy(1),
+            DeviceProfile::compromised(2),
+            DeviceProfile::trustzone(3),
+        ]);
+        let picked = server.select(&clients).unwrap();
+        assert_eq!(picked, vec![0, 3]);
+    }
+
+    #[test]
+    fn selection_fails_without_tee_clients() {
+        let model = zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap();
+        let mut server = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+        let clients = make_clients(vec![DeviceProfile::legacy(0)]);
+        assert!(matches!(
+            server.select(&clients),
+            Err(FlError::NoEligibleClients { .. })
+        ));
+    }
+
+    #[test]
+    fn full_round_advances_history() {
+        let model = zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap();
+        let mut server = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+        let mut clients = make_clients(vec![
+            DeviceProfile::trustzone(0),
+            DeviceProfile::trustzone(1),
+        ]);
+        let picked = server.select(&clients).unwrap();
+        let download = server.download(vec![]);
+        let updates: Vec<_> = picked
+            .into_iter()
+            .map(|i| clients[i].run_cycle(&download).unwrap())
+            .collect();
+        server.aggregate(&updates).unwrap();
+        assert_eq!(server.round(), 1);
+        assert_eq!(server.history().len(), 2);
+        // The global model moved.
+        assert_ne!(server.global(), server.history().snapshot(0).unwrap());
+    }
+
+    #[test]
+    fn invalid_plan_rejected() {
+        let model = zoo::tiny_mlp(4, 4, 2, 1).unwrap();
+        let bad = TrainingPlan {
+            rounds: 0,
+            ..plan()
+        };
+        assert!(FlServer::new(bad, model.weights(), measurement()).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the FL wire protocol and aggregation.
+
+use gradsec_fl::aggregate::fedavg;
+use gradsec_fl::config::TrainingPlan;
+use gradsec_fl::message::{decode, encode, ModelDownload, UpdateUpload};
+use gradsec_nn::model::{LayerWeights, ModelWeights};
+use gradsec_tensor::{init, Tensor};
+use proptest::prelude::*;
+
+fn weights(layers: usize, width: usize, seed: u64) -> ModelWeights {
+    ModelWeights::new(
+        (0..layers)
+            .map(|i| LayerWeights {
+                w: init::uniform(&[width, width], -1.0, 1.0, seed + i as u64),
+                b: init::uniform(&[width], -1.0, 1.0, seed + 100 + i as u64),
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tensor_wire_roundtrip(r in 1usize..5, c in 1usize..6, seed in 0u64..1000) {
+        let t = init::uniform(&[r, c], -100.0, 100.0, seed);
+        let back: Tensor = decode(&encode(&t)).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn download_wire_roundtrip(layers in 1usize..4, width in 1usize..5, round in 0u64..1000, prot in proptest::collection::vec(0usize..8, 0..4)) {
+        let msg = ModelDownload {
+            round,
+            weights: weights(layers, width, round),
+            plan: TrainingPlan::default(),
+            protected_layers: prot,
+        };
+        let back: ModelDownload = decode(&encode(&msg)).unwrap();
+        prop_assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn truncated_messages_never_panic(cut in 0usize..200) {
+        let msg = UpdateUpload {
+            client_id: 1,
+            round: 2,
+            weights: weights(2, 3, 7),
+            num_samples: 10,
+            train_loss: 0.5,
+        };
+        let mut bytes = encode(&msg);
+        bytes.truncate(cut.min(bytes.len().saturating_sub(1)));
+        // Must error, not panic or loop.
+        prop_assert!(decode::<UpdateUpload>(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_length_prefixes_never_allocate_wildly(pos in 0usize..32, byte in any::<u8>()) {
+        let msg = UpdateUpload {
+            client_id: 1,
+            round: 2,
+            weights: weights(1, 2, 7),
+            num_samples: 10,
+            train_loss: 0.5,
+        };
+        let mut bytes = encode(&msg);
+        if pos < bytes.len() {
+            bytes[pos] = byte;
+        }
+        // Either decodes to something or errors — no panic, no OOM.
+        let _ = decode::<UpdateUpload>(&bytes);
+    }
+
+    #[test]
+    fn fedavg_is_idempotent_on_identical_updates(n in 1usize..6, seed in 0u64..1000) {
+        let w = weights(2, 3, seed);
+        let updates: Vec<UpdateUpload> = (0..n)
+            .map(|i| UpdateUpload {
+                client_id: i as u64,
+                round: 0,
+                weights: w.clone(),
+                num_samples: 5 + i,
+                train_loss: 0.1,
+            })
+            .collect();
+        let agg = fedavg(&updates).unwrap();
+        for (a, b) in agg.iter().zip(w.iter()) {
+            prop_assert!(a.w.approx_eq(&b.w, 1e-4));
+            prop_assert!(a.b.approx_eq(&b.b, 1e-4));
+        }
+    }
+
+    #[test]
+    fn fedavg_stays_in_convex_hull(wa in -1.0f32..1.0, wb in -1.0f32..1.0, na in 1usize..50, nb in 1usize..50) {
+        let mk = |v: f32| ModelWeights::new(vec![LayerWeights {
+            w: Tensor::full(&[2], v),
+            b: Tensor::full(&[1], v),
+        }]);
+        let updates = vec![
+            UpdateUpload { client_id: 0, round: 0, weights: mk(wa), num_samples: na, train_loss: 0.0 },
+            UpdateUpload { client_id: 1, round: 0, weights: mk(wb), num_samples: nb, train_loss: 0.0 },
+        ];
+        let agg = fedavg(&updates).unwrap();
+        let v = agg.layer(0).unwrap().w.data()[0];
+        let (lo, hi) = (wa.min(wb), wa.max(wb));
+        prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5, "{v} outside [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,147 @@
+//! Activation functions `f_l` and their derivatives `f'_l`.
+//!
+//! The backpropagation formulas of the paper (eqs. 3–4) require each layer
+//! to evaluate `f'_l(Z_l)` during the backward pass; every variant here is
+//! therefore paired with its exact derivative.
+
+use serde::{Deserialize, Serialize};
+
+use gradsec_tensor::Tensor;
+
+/// An elementwise activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Activation {
+    /// Identity: `f(z) = z` (used for logits feeding the softmax loss).
+    #[default]
+    Linear,
+    /// Rectified linear unit: `f(z) = max(0, z)`.
+    Relu,
+    /// Logistic sigmoid: `f(z) = 1/(1+e^{−z})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to a single value.
+    pub fn apply(self, z: f32) -> f32 {
+        match self {
+            Activation::Linear => z,
+            Activation::Relu => z.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+            Activation::Tanh => z.tanh(),
+        }
+    }
+
+    /// Evaluates the derivative `f'(z)` at a pre-activation value `z`.
+    pub fn derivative(self, z: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-z).exp());
+                s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = z.tanh();
+                1.0 - t * t
+            }
+        }
+    }
+
+    /// Applies the activation to every element of a tensor.
+    pub fn apply_tensor(self, z: &Tensor) -> Tensor {
+        z.map(|x| self.apply(x))
+    }
+
+    /// Evaluates the derivative elementwise over a tensor of
+    /// pre-activations.
+    pub fn derivative_tensor(self, z: &Tensor) -> Tensor {
+        z.map(|x| self.derivative(x))
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Linear => "linear",
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACTS: [Activation; 4] = [
+        Activation::Linear,
+        Activation::Relu,
+        Activation::Sigmoid,
+        Activation::Tanh,
+    ];
+
+    #[test]
+    fn known_values() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Linear.apply(-3.5), -3.5);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for act in ACTS {
+            for &z in &[-2.0f32, -0.5, 0.3, 1.7] {
+                let num = (act.apply(z + eps) - act.apply(z - eps)) / (2.0 * eps);
+                let ana = act.derivative(z);
+                assert!(
+                    (num - ana).abs() < 1e-2,
+                    "{act}: f'({z}) numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_derivative_is_a_step() {
+        assert_eq!(Activation::Relu.derivative(-0.1), 0.0);
+        assert_eq!(Activation::Relu.derivative(0.1), 1.0);
+    }
+
+    #[test]
+    fn tensor_versions_agree_with_scalar() {
+        let z = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        for act in ACTS {
+            let a = act.apply_tensor(&z);
+            let d = act.derivative_tensor(&z);
+            for i in 0..3 {
+                assert_eq!(a.data()[i], act.apply(z.data()[i]));
+                assert_eq!(d.data()[i], act.derivative(z.data()[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_outputs_in_unit_interval() {
+        for &z in &[-50.0f32, -1.0, 0.0, 1.0, 50.0] {
+            let s = Activation::Sigmoid.apply(z);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

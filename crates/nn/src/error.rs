@@ -1,0 +1,98 @@
+use std::fmt;
+
+use gradsec_tensor::TensorError;
+
+/// Errors produced while building or training a network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+    /// `backward` was called before `forward` populated the layer caches.
+    BackwardBeforeForward {
+        /// Index of the offending layer within its model.
+        layer: usize,
+    },
+    /// The model has no layers.
+    EmptyModel,
+    /// Input batch does not match the model's expected input shape.
+    BadInput {
+        /// Expected per-sample shape.
+        expected: Vec<usize>,
+        /// Provided tensor shape.
+        actual: Vec<usize>,
+    },
+    /// Two weight sets cannot be combined (different architectures).
+    IncompatibleWeights {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A layer index is out of range.
+    NoSuchLayer {
+        /// The requested index.
+        index: usize,
+        /// Number of layers in the model.
+        len: usize,
+    },
+    /// An optimizer/configuration parameter is invalid.
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::EmptyModel => write!(f, "model has no layers"),
+            NnError::BadInput { expected, actual } => {
+                write!(f, "bad input: expected per-sample {expected:?}, got {actual:?}")
+            }
+            NnError::IncompatibleWeights { reason } => {
+                write!(f, "incompatible weights: {reason}")
+            }
+            NnError::NoSuchLayer { index, len } => {
+                write!(f, "no such layer {index} (model has {len})")
+            }
+            NnError::BadConfig { reason } => write!(f, "bad config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::Tensor(TensorError::ReshapeMismatch { from: 1, to: 2 });
+        assert!(e.to_string().contains("tensor error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = NnError::EmptyModel;
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

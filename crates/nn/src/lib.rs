@@ -1,0 +1,53 @@
+//! # gradsec-nn
+//!
+//! From-scratch convolutional neural-network framework — the Darknet
+//! equivalent that the GradSec reproduction trains inside and outside the
+//! simulated TrustZone enclave.
+//!
+//! The crate provides exactly what the paper's training pipeline needs:
+//!
+//! * [`layer`] — the [`Layer`](layer::Layer) trait with [`Conv2d`](layer::Conv2d)
+//!   (optionally fused with 2×2 max pooling, the paper's `Conv2D+MP2`) and
+//!   [`Dense`](layer::Dense) layers, each caching `A_{l−1}` and `Z_l` so the
+//!   backward pass can evaluate the paper's equations (3)–(4),
+//! * [`activation`] — ReLU/Sigmoid/Tanh/Linear with derivatives,
+//! * [`loss`] — categorical cross-entropy over softmax (the paper's Loss) and
+//!   MSE,
+//! * [`optim`] — SGD (the FL client optimizer, eq. 1), Adam and L-BFGS (the
+//!   optimizers the DRIA attacker uses),
+//! * [`model`] — [`Sequential`](model::Sequential) with per-batch training,
+//!   gradient snapshots and weight import/export for federated learning,
+//! * [`gradient`] — [`GradientSnapshot`](gradient::GradientSnapshot) plus the
+//!   *Flaw 1* reconstruction `dW = (W^{t+1} − W^t)/λ`,
+//! * [`zoo`] — LeNet-5 and AlexNet exactly per the paper's Table 4.
+//!
+//! # Example
+//!
+//! ```
+//! use gradsec_nn::zoo;
+//!
+//! let model = zoo::lenet5(42).unwrap();
+//! assert_eq!(model.num_layers(), 5);
+//! // L5 is the 768 -> 100 dense head from Table 4.
+//! assert_eq!(model.layer(4).unwrap().param_count(), 768 * 100 + 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+mod error;
+pub mod gradient;
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod optim;
+pub mod zoo;
+
+pub use error::NnError;
+pub use gradient::GradientSnapshot;
+pub use model::Sequential;
+
+/// Crate-wide result alias using [`NnError`].
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,75 @@
+//! Classification metrics.
+
+use gradsec_tensor::ops::reduce::argmax_rows;
+use gradsec_tensor::Tensor;
+
+use crate::Result;
+
+/// Top-1 accuracy of `logits` against one-hot `targets`, both `(N, K)`.
+///
+/// # Errors
+///
+/// Returns rank errors for non-matrix inputs.
+///
+/// # Example
+///
+/// ```
+/// use gradsec_nn::metrics::accuracy;
+/// use gradsec_tensor::Tensor;
+///
+/// # fn main() -> Result<(), gradsec_nn::NnError> {
+/// let logits = Tensor::from_vec(vec![2.0, 1.0, 0.0, 3.0], &[2, 2])?;
+/// let y = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[2, 2])?;
+/// assert_eq!(accuracy(&logits, &y)?, 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn accuracy(logits: &Tensor, targets: &Tensor) -> Result<f32> {
+    let pred = argmax_rows(logits)?;
+    let truth = argmax_rows(targets)?;
+    let n = pred.len().max(1);
+    let correct = pred.iter().zip(&truth).filter(|(p, t)| p == t).count();
+    Ok(correct as f32 / n as f32)
+}
+
+/// A confusion pair count for binary problems: `(true_positive,
+/// false_positive, true_negative, false_negative)` at threshold 0.5,
+/// with `scores` being positive-class probabilities.
+pub fn binary_confusion(scores: &[f32], labels: &[bool]) -> (usize, usize, usize, usize) {
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut tn = 0;
+    let mut fnn = 0;
+    for (&s, &y) in scores.iter().zip(labels) {
+        let pred = s >= 0.5;
+        match (pred, y) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, false) => tn += 1,
+            (false, true) => fnn += 1,
+        }
+    }
+    (tp, fp, tn, fnn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_full_and_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let right = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let wrong = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]).unwrap();
+        assert_eq!(accuracy(&logits, &right).unwrap(), 1.0);
+        assert_eq!(accuracy(&logits, &wrong).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let scores = [0.9, 0.2, 0.7, 0.1];
+        let labels = [true, true, false, false];
+        let (tp, fp, tn, fnn) = binary_confusion(&scores, &labels);
+        assert_eq!((tp, fp, tn, fnn), (1, 1, 1, 1));
+    }
+}

@@ -1,0 +1,48 @@
+//! Optimizers.
+//!
+//! * [`Sgd`] — the FL clients' update rule (paper eq. 1,
+//!   `W^{t+1} = W^t − λ·dW`), with optional momentum,
+//! * [`Adam`] — used by the DRIA attacker as one of its two optimisation
+//!   back-ends (paper §3.2),
+//! * [`lbfgs`] — the L-BFGS minimiser the reference DRIA implementation
+//!   uses (paper §8.1).
+
+mod adam;
+pub mod lbfgs;
+mod sgd;
+
+pub use adam::Adam;
+pub use sgd::Sgd;
+
+use gradsec_tensor::Tensor;
+
+/// A stateful first-order optimizer.
+///
+/// `slot` identifies a parameter tensor across calls so stateful optimizers
+/// (momentum, Adam moments) can keep per-parameter state; models assign one
+/// slot per parameter tensor in layer order.
+pub trait Optimizer: Send {
+    /// Applies one update `param ← param − f(grad)` in place.
+    fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor);
+
+    /// Returns the current base learning rate `λ`.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the base learning rate.
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Object safety: the trainer stores `Box<dyn Optimizer>`.
+    #[test]
+    fn optimizer_is_object_safe() {
+        fn take(_o: &mut dyn Optimizer) {}
+        let mut sgd = Sgd::new(0.1);
+        take(&mut sgd);
+        let mut adam = Adam::new(0.001);
+        take(&mut adam);
+    }
+}

@@ -1,0 +1,291 @@
+//! Deterministic cost model for simulated training time.
+//!
+//! The paper's Table 6 decomposes one FL training cycle into three parts:
+//!
+//! 1. **user time** — computation in the normal world,
+//! 2. **kernel time** — computation inside the enclave plus the secure
+//!    monitor crossings,
+//! 3. **allocation time** — provisioning TEE memory for protected weights
+//!    before training starts (dominant for the 76.8 K-parameter L5).
+//!
+//! Because this reproduction runs on arbitrary hardware rather than the
+//! paper's Raspberry Pi 3B+, wall-clock timings would be meaningless to
+//! compare. Instead the trainer charges a deterministic [`SimClock`]
+//! through this [`CostModel`], whose constants are calibrated once against
+//! the paper's baseline row (2.191 s user + 0.021 s kernel for LeNet-5,
+//! batch 32) and the per-layer allocation column. Criterion benches
+//! measure *real* wall clock separately.
+//!
+//! Calibration (documented so it can be re-derived):
+//!
+//! * One simulated cycle = 10 batches of 32 images. LeNet-5 forward+backward
+//!   ≈ 2,995,200 MAC ops per image → 958.46 M ops per cycle; matching
+//!   2.191 s gives **2.286 ns/op** in the normal world.
+//! * Secure-world compute carries a 1.2× multiplier (enclave page-table and
+//!   cache effects measured by DarkneTZ-class systems).
+//! * One monitor crossing costs **3.2 ms** (full context/cache/TLB switch
+//!   on the Pi-class core; fitted from Table 6's L3 row).
+//! * Allocation: **60 µs per parameter + 0.1 s fixed per protected layer**;
+//!   a two-point fit through Table 6's L2 (3,612 params → 0.34 s) and L5
+//!   (76,900 params → 4.68 s) rows.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost constants for the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Nanoseconds per MAC op in the normal world.
+    pub ns_per_op_normal: f64,
+    /// Nanoseconds per MAC op inside the enclave.
+    pub ns_per_op_secure: f64,
+    /// Nanoseconds per secure-monitor crossing (one direction).
+    pub ns_per_crossing: f64,
+    /// Allocation nanoseconds per protected parameter.
+    pub alloc_ns_per_param: f64,
+    /// Fixed allocation nanoseconds per protected layer.
+    pub alloc_ns_fixed: f64,
+}
+
+impl CostModel {
+    /// The Raspberry Pi 3B+ calibration used throughout the reproduction
+    /// (see module docs for the derivation).
+    pub fn raspberry_pi3() -> Self {
+        CostModel {
+            ns_per_op_normal: 2.286,
+            ns_per_op_secure: 2.286 * 1.2,
+            ns_per_crossing: 3.2e6,
+            alloc_ns_per_param: 60_000.0,
+            alloc_ns_fixed: 0.1e9,
+        }
+    }
+
+    /// A zero-cost model (unit tests that only check accounting structure).
+    pub fn free() -> Self {
+        CostModel {
+            ns_per_op_normal: 0.0,
+            ns_per_op_secure: 0.0,
+            ns_per_crossing: 0.0,
+            alloc_ns_per_param: 0.0,
+            alloc_ns_fixed: 0.0,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::raspberry_pi3()
+    }
+}
+
+/// The user/kernel/allocation decomposition of one training cycle, in
+/// seconds (Table 6's three-way split).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Normal-world compute seconds.
+    pub user_s: f64,
+    /// Enclave compute + crossing seconds.
+    pub kernel_s: f64,
+    /// TEE memory provisioning seconds.
+    pub alloc_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Total seconds.
+    pub fn total_s(&self) -> f64 {
+        self.user_s + self.kernel_s + self.alloc_s
+    }
+
+    /// Percentage overhead relative to a baseline cycle — the paper's
+    /// "(X% overhead)" annotation: `total/total_baseline − 1`, in percent.
+    pub fn overhead_vs(&self, baseline: &TimeBreakdown) -> f64 {
+        let b = baseline.total_s();
+        if b == 0.0 {
+            return 0.0;
+        }
+        (self.total_s() / b - 1.0) * 100.0
+    }
+
+    /// Weighted combination of several breakdowns — used for dynamic
+    /// GradSec's `V_MW`-weighted average rows of Table 6.
+    ///
+    /// Weights need not be normalised; a zero total weight yields zeros.
+    pub fn weighted_average(items: &[(TimeBreakdown, f64)]) -> TimeBreakdown {
+        let total_w: f64 = items.iter().map(|(_, w)| w).sum();
+        if total_w == 0.0 {
+            return TimeBreakdown::default();
+        }
+        let mut out = TimeBreakdown::default();
+        for (t, w) in items {
+            out.user_s += t.user_s * w / total_w;
+            out.kernel_s += t.kernel_s * w / total_w;
+            out.alloc_s += t.alloc_s * w / total_w;
+        }
+        out
+    }
+}
+
+/// Accumulates simulated time for one training cycle.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    user_ns: f64,
+    kernel_ns: f64,
+    alloc_ns: f64,
+    crossings: u64,
+}
+
+impl SimClock {
+    /// A fresh, zeroed clock.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Charges `ops` MAC operations executed in the normal world.
+    pub fn charge_normal_ops(&mut self, ops: f64, model: &CostModel) {
+        self.user_ns += ops * model.ns_per_op_normal;
+    }
+
+    /// Charges `ops` MAC operations executed inside the enclave.
+    pub fn charge_secure_ops(&mut self, ops: f64, model: &CostModel) {
+        self.kernel_ns += ops * model.ns_per_op_secure;
+    }
+
+    /// Charges `n` secure-monitor crossings (kernel time).
+    pub fn charge_crossings(&mut self, n: u64, model: &CostModel) {
+        self.crossings += n;
+        self.kernel_ns += n as f64 * model.ns_per_crossing;
+    }
+
+    /// Charges the provisioning of one protected layer of `params`
+    /// parameters.
+    pub fn charge_layer_alloc(&mut self, params: usize, model: &CostModel) {
+        self.alloc_ns += params as f64 * model.alloc_ns_per_param + model.alloc_ns_fixed;
+    }
+
+    /// Crossings charged so far.
+    pub fn crossings(&self) -> u64 {
+        self.crossings
+    }
+
+    /// Snapshot of the accumulated times.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        TimeBreakdown {
+            user_s: self.user_ns / 1e9,
+            kernel_s: self.kernel_ns / 1e9,
+            alloc_s: self.alloc_ns / 1e9,
+        }
+    }
+
+    /// Zeroes the clock.
+    pub fn reset(&mut self) {
+        *self = SimClock::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// LeNet-5 fwd+bwd MAC ops/image under the calibration convention.
+    const LENET_OPS_PER_IMAGE: f64 = 2_995_200.0;
+    const CYCLE_IMAGES: f64 = 320.0; // 10 batches of 32
+
+    #[test]
+    fn baseline_calibration_matches_table6() {
+        // All layers in the normal world: user ≈ 2.191 s.
+        let m = CostModel::raspberry_pi3();
+        let mut clock = SimClock::new();
+        clock.charge_normal_ops(LENET_OPS_PER_IMAGE * CYCLE_IMAGES, &m);
+        let t = clock.breakdown();
+        assert!(
+            (t.user_s - 2.191).abs() < 0.01,
+            "baseline user time {} != 2.191",
+            t.user_s
+        );
+        assert_eq!(t.kernel_s, 0.0);
+    }
+
+    #[test]
+    fn l5_allocation_dominates_like_table6() {
+        // L5 has 76,900 params -> alloc ≈ 4.71 s (paper: 4.68 s).
+        let m = CostModel::raspberry_pi3();
+        let mut clock = SimClock::new();
+        clock.charge_layer_alloc(76_900, &m);
+        let t = clock.breakdown();
+        assert!((t.alloc_s - 4.68).abs() < 0.1, "alloc {}", t.alloc_s);
+        // L2 has 3,612 params -> alloc ≈ 0.32 s (paper: 0.34 s).
+        let mut clock = SimClock::new();
+        clock.charge_layer_alloc(3_612, &m);
+        let t = clock.breakdown();
+        assert!((t.alloc_s - 0.34).abs() < 0.05, "alloc {}", t.alloc_s);
+    }
+
+    #[test]
+    fn overhead_formula_matches_paper_annotation() {
+        // Table 6's L5 row: 2.044 + 0.187 + 4.68 vs baseline 2.212 => 212%.
+        let baseline = TimeBreakdown {
+            user_s: 2.191,
+            kernel_s: 0.021,
+            alloc_s: 0.0,
+        };
+        let l5 = TimeBreakdown {
+            user_s: 2.044,
+            kernel_s: 0.187,
+            alloc_s: 4.68,
+        };
+        let ovh = l5.overhead_vs(&baseline);
+        assert!((ovh - 212.0).abs() < 2.0, "overhead {ovh}");
+    }
+
+    #[test]
+    fn crossings_accumulate_kernel_time() {
+        let m = CostModel::raspberry_pi3();
+        let mut clock = SimClock::new();
+        clock.charge_crossings(20, &m);
+        assert_eq!(clock.crossings(), 20);
+        let t = clock.breakdown();
+        assert!((t.kernel_s - 0.064).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_average_is_convex() {
+        let a = TimeBreakdown {
+            user_s: 1.0,
+            kernel_s: 0.0,
+            alloc_s: 0.0,
+        };
+        let b = TimeBreakdown {
+            user_s: 3.0,
+            kernel_s: 2.0,
+            alloc_s: 4.0,
+        };
+        let avg = TimeBreakdown::weighted_average(&[(a, 1.0), (b, 3.0)]);
+        assert!((avg.user_s - 2.5).abs() < 1e-9);
+        assert!((avg.kernel_s - 1.5).abs() < 1e-9);
+        assert!((avg.alloc_s - 3.0).abs() < 1e-9);
+        // Degenerate weights.
+        let zero = TimeBreakdown::weighted_average(&[(a, 0.0)]);
+        assert_eq!(zero, TimeBreakdown::default());
+        assert_eq!(TimeBreakdown::weighted_average(&[]), TimeBreakdown::default());
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = CostModel::free();
+        let mut clock = SimClock::new();
+        clock.charge_normal_ops(1e9, &m);
+        clock.charge_secure_ops(1e9, &m);
+        clock.charge_crossings(100, &m);
+        clock.charge_layer_alloc(100_000, &m);
+        assert_eq!(clock.breakdown().total_s(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = CostModel::raspberry_pi3();
+        let mut clock = SimClock::new();
+        clock.charge_crossings(5, &m);
+        clock.reset();
+        assert_eq!(clock.crossings(), 0);
+        assert_eq!(clock.breakdown().total_s(), 0.0);
+    }
+}

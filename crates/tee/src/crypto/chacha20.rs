@@ -1,0 +1,181 @@
+//! ChaCha20 stream cipher (RFC 8439).
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    // Constants "expand 32-byte k".
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[4 * i],
+            key[4 * i + 1],
+            key[4 * i + 2],
+            key[4 * i + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR keystream; the operation is an
+/// involution).
+///
+/// `counter` is the initial block counter (RFC 8439 uses 1 for payload when
+/// block 0 is reserved for a MAC key; the caller chooses).
+///
+/// # Example
+///
+/// ```
+/// use gradsec_tee::crypto::chacha20::{xor_stream, KEY_LEN, NONCE_LEN};
+///
+/// let key = [7u8; KEY_LEN];
+/// let nonce = [9u8; NONCE_LEN];
+/// let mut msg = *b"attack at dawn";
+/// xor_stream(&key, 1, &nonce, &mut msg);
+/// assert_ne!(&msg, b"attack at dawn");
+/// xor_stream(&key, 1, &nonce, &mut msg);
+/// assert_eq!(&msg, b"attack at dawn");
+/// ```
+pub fn xor_stream(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    let mut ctr = counter;
+    for chunk in data.chunks_mut(64) {
+        let ks = block(key, ctr, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        ctr = ctr.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_to_bytes(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc8439_block_test_vector() {
+        // RFC 8439 §2.3.2.
+        let mut key = [0u8; KEY_LEN];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = i as u8;
+        }
+        let nonce_bytes = hex_to_bytes("000000090000004a00000000");
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&nonce_bytes);
+        let ks = block(&key, 1, &nonce);
+        let expected = hex_to_bytes(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(ks.to_vec(), expected);
+    }
+
+    #[test]
+    fn rfc8439_encryption_test_vector() {
+        // RFC 8439 §2.4.2 (sunscreen plaintext, counter 1).
+        let mut key = [0u8; KEY_LEN];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = i as u8;
+        }
+        let nonce_bytes = hex_to_bytes("000000000000004a00000000");
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&nonce_bytes);
+        let mut data = b"Ladies and Gentlemen of the class of '99: \
+If I could offer you only one tip for the future, sunscreen would be it."
+            .to_vec();
+        xor_stream(&key, 1, &nonce, &mut data);
+        let expected = hex_to_bytes(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn xor_is_involution_across_block_boundaries() {
+        let key = [0x42u8; KEY_LEN];
+        let nonce = [0x24u8; NONCE_LEN];
+        let original: Vec<u8> = (0..200).map(|i| (i * 7) as u8).collect();
+        let mut data = original.clone();
+        xor_stream(&key, 5, &nonce, &mut data);
+        assert_ne!(data, original);
+        xor_stream(&key, 5, &nonce, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn nonce_and_key_sensitivity() {
+        let key = [1u8; KEY_LEN];
+        let nonce = [2u8; NONCE_LEN];
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        xor_stream(&key, 0, &nonce, &mut a);
+        xor_stream(&key, 0, &[3u8; NONCE_LEN], &mut b);
+        assert_ne!(a, b);
+        let mut c = vec![0u8; 32];
+        xor_stream(&[9u8; KEY_LEN], 0, &nonce, &mut c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_data_is_noop() {
+        let key = [1u8; KEY_LEN];
+        let nonce = [2u8; NONCE_LEN];
+        let mut data: Vec<u8> = vec![];
+        xor_stream(&key, 0, &nonce, &mut data);
+        assert!(data.is_empty());
+    }
+}

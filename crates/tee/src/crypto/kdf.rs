@@ -1,0 +1,124 @@
+//! HKDF (RFC 5869) — extract-and-expand key derivation over HMAC-SHA-256.
+//!
+//! OP-TEE derives each TA's storage key (TSK) from the device Secure
+//! Storage Key (SSK) and the TA's UUID (paper §7.3); [`derive_key`] is that
+//! operation in this simulator.
+
+use crate::crypto::hmac::hmac_sha256;
+use crate::crypto::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: grows `prk` into `len` bytes of output keyed by `info`.
+///
+/// # Panics
+///
+/// Panics when `len > 255 * 32` (the RFC 5869 bound).
+pub fn expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "hkdf output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut msg = t.clone();
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        t = hmac_sha256(prk, &msg).to_vec();
+        let take = (len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&t[..take]);
+        counter = counter.wrapping_add(1);
+    }
+    out
+}
+
+/// One-call HKDF: derive a `len`-byte key from `ikm` with `salt` and
+/// `info` labels.
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+/// Derives a 32-byte subkey from a parent key and a domain-separation
+/// label — the SSK→TSK and TSK→FEK derivations of the paper's secure
+/// storage (§7.3).
+pub fn derive_key(parent: &[u8], label: &[u8]) -> [u8; DIGEST_LEN] {
+    let v = hkdf(b"gradsec-tee-storage", parent, label, DIGEST_LEN);
+    let mut out = [0u8; DIGEST_LEN];
+    out.copy_from_slice(&v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    fn hex_to_bytes(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt = hex_to_bytes("000102030405060708090a0b0c");
+        let info = hex_to_bytes("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case3_empty_salt_info() {
+        let ikm = [0x0bu8; 22];
+        let okm = hkdf(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn derive_key_is_label_separated() {
+        let parent = b"device-root-key";
+        let a = derive_key(parent, b"ta-uuid-1");
+        let b = derive_key(parent, b"ta-uuid-2");
+        assert_ne!(a, b);
+        // Deterministic.
+        assert_eq!(a, derive_key(parent, b"ta-uuid-1"));
+    }
+
+    #[test]
+    fn expand_lengths() {
+        let prk = extract(b"s", b"k");
+        assert_eq!(expand(&prk, b"i", 0).len(), 0);
+        assert_eq!(expand(&prk, b"i", 31).len(), 31);
+        assert_eq!(expand(&prk, b"i", 33).len(), 33);
+        assert_eq!(expand(&prk, b"i", 100).len(), 100);
+        // Prefix property: shorter outputs are prefixes of longer ones.
+        let long = expand(&prk, b"i", 64);
+        let short = expand(&prk, b"i", 32);
+        assert_eq!(&long[..32], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hkdf output too long")]
+    fn expand_rejects_oversize() {
+        let prk = extract(b"s", b"k");
+        let _ = expand(&prk, b"i", 255 * 32 + 1);
+    }
+}

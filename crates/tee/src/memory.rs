@@ -1,0 +1,242 @@
+//! Bounded secure-memory pool.
+//!
+//! TrustZone secure memory is a scarce, fixed-size carveout — the paper
+//! cites 3–5 MB as typical (§3.3) and treats the footprint of protected
+//! layers as a first-class cost (Table 6's "TEE Memory Usage" column).
+//! This pool enforces the budget, tracks live and peak usage, and fails
+//! allocations exactly the way a real TA hits `TEE_ERROR_OUT_OF_MEMORY`.
+
+use crate::{Result, TeeError};
+
+/// Default pool budget: 4 MiB, the middle of the paper's 3–5 MB range.
+pub const DEFAULT_BUDGET: usize = 4 * 1024 * 1024;
+
+/// Handle to one live secure allocation.
+///
+/// Handles are move-only receipts; freeing consumes the handle, which makes
+/// double-frees a compile-time error in straight-line code and a checked
+/// runtime error otherwise.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct SecureAlloc {
+    id: u64,
+    bytes: usize,
+}
+
+impl SecureAlloc {
+    /// Size of this allocation in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Opaque handle id (for logging).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A fixed-budget secure memory pool with live/peak accounting.
+#[derive(Debug)]
+pub struct SecureMemory {
+    budget: usize,
+    in_use: usize,
+    peak: usize,
+    next_id: u64,
+    live: Vec<(u64, usize)>,
+    alloc_count: u64,
+    failed_allocs: u64,
+}
+
+impl SecureMemory {
+    /// Creates a pool with the given byte budget.
+    pub fn with_budget(budget: usize) -> Self {
+        SecureMemory {
+            budget,
+            in_use: 0,
+            peak: 0,
+            next_id: 1,
+            live: Vec::new(),
+            alloc_count: 0,
+            failed_allocs: 0,
+        }
+    }
+
+    /// Creates a pool with the paper-typical 4 MiB budget.
+    pub fn new() -> Self {
+        SecureMemory::with_budget(DEFAULT_BUDGET)
+    }
+
+    /// The pool budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Live (currently allocated) bytes.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// High-water mark in bytes — the paper's "TEE Memory Usage (at exec)".
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Free bytes remaining.
+    pub fn available(&self) -> usize {
+        self.budget - self.in_use
+    }
+
+    /// Number of successful allocations performed.
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_count
+    }
+
+    /// Number of allocations rejected for lack of budget.
+    pub fn failed_allocs(&self) -> u64 {
+        self.failed_allocs
+    }
+
+    /// Allocates `bytes` of secure memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::OutOfSecureMemory`] when the budget cannot cover
+    /// the request — the same failure a real enclave hits when asked to
+    /// protect more layers than the carveout can hold.
+    pub fn alloc(&mut self, bytes: usize) -> Result<SecureAlloc> {
+        if bytes > self.available() {
+            self.failed_allocs += 1;
+            return Err(TeeError::OutOfSecureMemory {
+                requested: bytes,
+                available: self.available(),
+                budget: self.budget,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        self.live.push((id, bytes));
+        self.alloc_count += 1;
+        Ok(SecureAlloc { id, bytes })
+    }
+
+    /// Releases an allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::BadHandle`] when the handle does not belong to
+    /// this pool (e.g. forged or already freed through another pool).
+    pub fn free(&mut self, alloc: SecureAlloc) -> Result<()> {
+        match self.live.iter().position(|&(id, _)| id == alloc.id) {
+            Some(pos) => {
+                let (_, bytes) = self.live.swap_remove(pos);
+                self.in_use -= bytes;
+                Ok(())
+            }
+            None => Err(TeeError::BadHandle { handle: alloc.id }),
+        }
+    }
+
+    /// Frees every live allocation (end-of-cycle teardown) and returns the
+    /// number of allocations released.
+    pub fn free_all(&mut self) -> usize {
+        let n = self.live.len();
+        self.live.clear();
+        self.in_use = 0;
+        n
+    }
+
+    /// Resets the peak watermark to the current live usage (start of a new
+    /// measurement window, e.g. a new FL cycle).
+    pub fn reset_peak(&mut self) {
+        self.peak = self.in_use;
+    }
+}
+
+impl Default for SecureMemory {
+    fn default() -> Self {
+        SecureMemory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_accounting() {
+        let mut m = SecureMemory::with_budget(100);
+        let a = m.alloc(40).unwrap();
+        let b = m.alloc(30).unwrap();
+        assert_eq!(m.in_use(), 70);
+        assert_eq!(m.available(), 30);
+        assert_eq!(m.peak(), 70);
+        m.free(a).unwrap();
+        assert_eq!(m.in_use(), 30);
+        assert_eq!(m.peak(), 70, "peak survives frees");
+        m.free(b).unwrap();
+        assert_eq!(m.in_use(), 0);
+        assert_eq!(m.alloc_count(), 2);
+    }
+
+    #[test]
+    fn oom_is_reported_with_context() {
+        let mut m = SecureMemory::with_budget(50);
+        let _a = m.alloc(40).unwrap();
+        let err = m.alloc(20).unwrap_err();
+        assert_eq!(
+            err,
+            TeeError::OutOfSecureMemory {
+                requested: 20,
+                available: 10,
+                budget: 50
+            }
+        );
+        assert_eq!(m.failed_allocs(), 1);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut m = SecureMemory::with_budget(64);
+        let a = m.alloc(64).unwrap();
+        assert_eq!(m.available(), 0);
+        m.free(a).unwrap();
+        assert_eq!(m.available(), 64);
+    }
+
+    #[test]
+    fn foreign_handle_rejected() {
+        let mut m1 = SecureMemory::with_budget(100);
+        let mut m2 = SecureMemory::with_budget(100);
+        let a = m1.alloc(10).unwrap();
+        let err = m2.free(a).unwrap_err();
+        assert!(matches!(err, TeeError::BadHandle { .. }));
+    }
+
+    #[test]
+    fn free_all_and_reset_peak() {
+        let mut m = SecureMemory::with_budget(100);
+        let _a = m.alloc(60).unwrap();
+        let _b = m.alloc(20).unwrap();
+        assert_eq!(m.free_all(), 2);
+        assert_eq!(m.in_use(), 0);
+        assert_eq!(m.peak(), 80);
+        m.reset_peak();
+        assert_eq!(m.peak(), 0);
+    }
+
+    #[test]
+    fn zero_sized_alloc_is_fine() {
+        let mut m = SecureMemory::with_budget(10);
+        let a = m.alloc(0).unwrap();
+        assert_eq!(m.in_use(), 0);
+        m.free(a).unwrap();
+    }
+
+    #[test]
+    fn default_budget_matches_paper_range() {
+        let m = SecureMemory::new();
+        let mb = m.budget() as f64 / (1024.0 * 1024.0);
+        assert!((3.0..=5.0).contains(&mb));
+    }
+}

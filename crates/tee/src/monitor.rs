@@ -1,0 +1,198 @@
+//! Secure monitor — the `SMC` gateway between worlds (paper Figure 1).
+//!
+//! Every transition between the Rich Execution Environment and the TEE
+//! goes through the secure monitor. World crossings are *the* per-batch
+//! CPU cost of sheltering layers (each protected slice costs an entry and
+//! an exit per batch), so the monitor counts them precisely; the
+//! [`crate::cost::CostModel`] later converts counts into kernel time.
+
+use crate::world::World;
+use crate::{Result, TeeError};
+
+/// The secure monitor: tracks the current world and counts crossings.
+#[derive(Debug, Clone)]
+pub struct SecureMonitor {
+    world: World,
+    to_secure: u64,
+    to_normal: u64,
+}
+
+impl SecureMonitor {
+    /// Creates a monitor starting in the normal world.
+    pub fn new() -> Self {
+        SecureMonitor {
+            world: World::Normal,
+            to_secure: 0,
+            to_normal: 0,
+        }
+    }
+
+    /// The world currently executing.
+    pub fn world(&self) -> World {
+        self.world
+    }
+
+    /// Number of normal→secure transitions taken.
+    pub fn entries(&self) -> u64 {
+        self.to_secure
+    }
+
+    /// Number of secure→normal transitions taken.
+    pub fn exits(&self) -> u64 {
+        self.to_normal
+    }
+
+    /// Total crossings in either direction.
+    pub fn crossings(&self) -> u64 {
+        self.to_secure + self.to_normal
+    }
+
+    /// Issues an `SMC` into the secure world.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::WrongWorld`] when already in the secure world —
+    /// a protocol bug in the caller, not a legal no-op, because a real
+    /// monitor trap from the secure world has different semantics.
+    pub fn smc_enter(&mut self) -> Result<()> {
+        if self.world.is_secure() {
+            return Err(TeeError::WrongWorld {
+                op: "smc_enter",
+                was: self.world,
+            });
+        }
+        self.world = World::Secure;
+        self.to_secure += 1;
+        Ok(())
+    }
+
+    /// Returns to the normal world.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::WrongWorld`] when already in the normal world.
+    pub fn smc_exit(&mut self) -> Result<()> {
+        if !self.world.is_secure() {
+            return Err(TeeError::WrongWorld {
+                op: "smc_exit",
+                was: self.world,
+            });
+        }
+        self.world = World::Normal;
+        self.to_normal += 1;
+        Ok(())
+    }
+
+    /// Ensures the monitor is in `target`, crossing if needed. Returns
+    /// `true` when a crossing was taken.
+    pub fn ensure_world(&mut self, target: World) -> bool {
+        if self.world == target {
+            return false;
+        }
+        match target {
+            World::Secure => self.smc_enter().expect("checked world"),
+            World::Normal => self.smc_exit().expect("checked world"),
+        }
+        true
+    }
+
+    /// Runs `f` inside the secure world, entering/exiting as required, and
+    /// restores the previous world afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the closure's error.
+    pub fn with_secure<T, F>(&mut self, f: F) -> Result<T>
+    where
+        F: FnOnce() -> Result<T>,
+    {
+        let entered = self.ensure_world(World::Secure);
+        let out = f();
+        if entered {
+            self.ensure_world(World::Normal);
+        }
+        out
+    }
+
+    /// Zeroes the crossing counters (start of a measurement window).
+    pub fn reset_counters(&mut self) {
+        self.to_secure = 0;
+        self.to_normal = 0;
+    }
+}
+
+impl Default for SecureMonitor {
+    fn default() -> Self {
+        SecureMonitor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_exit_counts() {
+        let mut m = SecureMonitor::new();
+        assert_eq!(m.world(), World::Normal);
+        m.smc_enter().unwrap();
+        assert_eq!(m.world(), World::Secure);
+        m.smc_exit().unwrap();
+        assert_eq!(m.crossings(), 2);
+        assert_eq!(m.entries(), 1);
+        assert_eq!(m.exits(), 1);
+    }
+
+    #[test]
+    fn double_enter_is_a_protocol_error() {
+        let mut m = SecureMonitor::new();
+        m.smc_enter().unwrap();
+        assert!(matches!(m.smc_enter(), Err(TeeError::WrongWorld { .. })));
+        m.smc_exit().unwrap();
+        assert!(matches!(m.smc_exit(), Err(TeeError::WrongWorld { .. })));
+    }
+
+    #[test]
+    fn ensure_world_is_idempotent() {
+        let mut m = SecureMonitor::new();
+        assert!(!m.ensure_world(World::Normal));
+        assert!(m.ensure_world(World::Secure));
+        assert!(!m.ensure_world(World::Secure));
+        assert_eq!(m.crossings(), 1);
+    }
+
+    #[test]
+    fn with_secure_restores_world() {
+        let mut m = SecureMonitor::new();
+        let out: i32 = m.with_secure(|| Ok(7)).unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(m.world(), World::Normal);
+        assert_eq!(m.crossings(), 2);
+        // From inside the secure world, no extra crossings.
+        m.smc_enter().unwrap();
+        m.with_secure::<(), _>(|| Ok(())).unwrap();
+        assert_eq!(m.world(), World::Secure);
+        assert_eq!(m.crossings(), 3);
+    }
+
+    #[test]
+    fn with_secure_restores_on_error() {
+        let mut m = SecureMonitor::new();
+        let r: Result<()> = m.with_secure(|| {
+            Err(TeeError::TaError {
+                reason: "boom".to_owned(),
+            })
+        });
+        assert!(r.is_err());
+        assert_eq!(m.world(), World::Normal);
+    }
+
+    #[test]
+    fn reset_counters() {
+        let mut m = SecureMonitor::new();
+        m.smc_enter().unwrap();
+        m.smc_exit().unwrap();
+        m.reset_counters();
+        assert_eq!(m.crossings(), 0);
+    }
+}

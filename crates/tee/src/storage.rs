@@ -1,0 +1,331 @@
+//! OP-TEE secure storage with the paper's key hierarchy (§7.3).
+//!
+//! > "It leverages a randomly generated File Encryption Key (FEK) for
+//! > encrypting and decrypting the data stored in block file. The FEK
+//! > itself is encrypted/decrypted by the Trusted Application Storage Key
+//! > (TSK) which is derived from the per-device Secure Storage Key (SSK)
+//! > and the TA's identifier (UUID)."
+//!
+//! Implemented exactly: `TSK = HKDF(SSK, UUID)`, a fresh random FEK per
+//! object generation, FEK wrapped under the TSK, payload encrypted with
+//! ChaCha20 under the FEK, and an encrypt-then-MAC tag (HMAC-SHA-256 under
+//! a MAC subkey of the TSK) covering the header and ciphertext. Updates
+//! are atomic: a failed write leaves the previous object version intact.
+//!
+//! GradSec uses this to park the FL model and client data between cycles
+//! (paper §5, "Secure local training").
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::crypto::chacha20::{xor_stream, KEY_LEN, NONCE_LEN};
+use crate::crypto::hmac::{hmac_sha256, hmac_verify};
+use crate::crypto::kdf::derive_key;
+use crate::ta::Uuid;
+use crate::{Result, TeeError};
+
+/// One encrypted object at rest (what the REE filesystem would hold:
+/// opaque bytes the normal world can store but not read or undetectably
+/// modify).
+#[derive(Debug, Clone)]
+struct StoredObject {
+    version: u64,
+    nonce: [u8; NONCE_LEN],
+    wrapped_fek: [u8; KEY_LEN],
+    ciphertext: Vec<u8>,
+    mac: [u8; 32],
+}
+
+/// The secure storage service of the trusted OS.
+///
+/// # Example
+///
+/// ```
+/// use gradsec_tee::storage::SecureStorage;
+/// use gradsec_tee::ta::Uuid;
+///
+/// # fn main() -> Result<(), gradsec_tee::TeeError> {
+/// let mut store = SecureStorage::new(b"device-unique-secret", 7);
+/// let ta = Uuid::from_name("gradsec-ta");
+/// store.put(ta, "model", b"weights-bytes")?;
+/// assert_eq!(store.get(ta, "model")?, b"weights-bytes");
+/// # Ok(())
+/// # }
+/// ```
+pub struct SecureStorage {
+    ssk: [u8; 32],
+    objects: HashMap<(Uuid, String), StoredObject>,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for SecureStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureStorage")
+            .field("objects", &self.objects.len())
+            .finish()
+    }
+}
+
+fn header_bytes(ta: Uuid, name: &str, version: u64, nonce: &[u8; NONCE_LEN]) -> Vec<u8> {
+    let mut h = Vec::with_capacity(16 + name.len() + 8 + NONCE_LEN);
+    h.extend_from_slice(ta.as_bytes());
+    h.extend_from_slice(name.as_bytes());
+    h.extend_from_slice(&version.to_le_bytes());
+    h.extend_from_slice(nonce);
+    h
+}
+
+impl SecureStorage {
+    /// Creates a storage instance bound to a device secret (from which the
+    /// SSK derives) and a simulation RNG seed for FEK generation.
+    pub fn new(device_secret: &[u8], seed: u64) -> Self {
+        SecureStorage {
+            ssk: derive_key(device_secret, b"ssk"),
+            objects: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn tsk(&self, ta: Uuid) -> [u8; 32] {
+        // TSK = KDF(SSK, UUID) — paper §7.3.
+        derive_key(&self.ssk, ta.as_bytes())
+    }
+
+    /// Writes (or atomically replaces) an object.
+    ///
+    /// A fresh FEK is generated per write, so re-encryptions never reuse a
+    /// (key, nonce) pair.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` because real storage can fail and
+    /// callers should already handle it.
+    pub fn put(&mut self, ta: Uuid, name: &str, data: &[u8]) -> Result<()> {
+        let version = self
+            .objects
+            .get(&(ta, name.to_owned()))
+            .map(|o| o.version + 1)
+            .unwrap_or(0);
+        let mut fek = [0u8; KEY_LEN];
+        self.rng.fill(&mut fek[..]);
+        let mut nonce = [0u8; NONCE_LEN];
+        self.rng.fill(&mut nonce[..]);
+        let tsk = self.tsk(ta);
+        let enc_key = derive_key(&tsk, b"enc");
+        let mac_key = derive_key(&tsk, b"mac");
+        // Encrypt payload under the FEK (counter 1; block 0 unused).
+        let mut ciphertext = data.to_vec();
+        xor_stream(&fek, 1, &nonce, &mut ciphertext);
+        // Wrap the FEK under the TSK encryption subkey (counter 0).
+        let mut wrapped_fek = fek;
+        xor_stream(&enc_key, 0, &nonce, &mut wrapped_fek);
+        // Encrypt-then-MAC over header ‖ wrapped FEK ‖ ciphertext.
+        let mut mac_input = header_bytes(ta, name, version, &nonce);
+        mac_input.extend_from_slice(&wrapped_fek);
+        mac_input.extend_from_slice(&ciphertext);
+        let mac = hmac_sha256(&mac_key, &mac_input);
+        // Atomic replace: the object is fully constructed before insertion.
+        self.objects.insert(
+            (ta, name.to_owned()),
+            StoredObject {
+                version,
+                nonce,
+                wrapped_fek,
+                ciphertext,
+                mac,
+            },
+        );
+        Ok(())
+    }
+
+    /// Reads and authenticates an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::NotFound`] for unknown names and
+    /// [`TeeError::IntegrityViolation`] when the MAC does not verify
+    /// (tampered at rest).
+    pub fn get(&self, ta: Uuid, name: &str) -> Result<Vec<u8>> {
+        let obj = self
+            .objects
+            .get(&(ta, name.to_owned()))
+            .ok_or_else(|| TeeError::NotFound {
+                id: format!("{ta}/{name}"),
+            })?;
+        let tsk = self.tsk(ta);
+        let enc_key = derive_key(&tsk, b"enc");
+        let mac_key = derive_key(&tsk, b"mac");
+        let mut mac_input = header_bytes(ta, name, obj.version, &obj.nonce);
+        mac_input.extend_from_slice(&obj.wrapped_fek);
+        mac_input.extend_from_slice(&obj.ciphertext);
+        if !hmac_verify(&mac_key, &mac_input, &obj.mac) {
+            return Err(TeeError::IntegrityViolation {
+                context: "secure storage object",
+            });
+        }
+        let mut fek = obj.wrapped_fek;
+        xor_stream(&enc_key, 0, &obj.nonce, &mut fek);
+        let mut plain = obj.ciphertext.clone();
+        xor_stream(&fek, 1, &obj.nonce, &mut plain);
+        Ok(plain)
+    }
+
+    /// Deletes an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::NotFound`] for unknown names.
+    pub fn delete(&mut self, ta: Uuid, name: &str) -> Result<()> {
+        self.objects
+            .remove(&(ta, name.to_owned()))
+            .map(|_| ())
+            .ok_or_else(|| TeeError::NotFound {
+                id: format!("{ta}/{name}"),
+            })
+    }
+
+    /// Lists the object names stored for a TA (names are not secret in
+    /// OP-TEE's REE-FS layout either).
+    pub fn list(&self, ta: Uuid) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .objects
+            .keys()
+            .filter(|(u, _)| *u == ta)
+            .map(|(_, n)| n.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Current version counter of an object (number of rewrites).
+    pub fn version(&self, ta: Uuid, name: &str) -> Option<u64> {
+        self.objects.get(&(ta, name.to_owned())).map(|o| o.version)
+    }
+
+    /// Failure injection for tests: flips one ciphertext bit at `offset`,
+    /// as a malicious REE filesystem could. Returns `false` when the object
+    /// does not exist or is too short.
+    pub fn tamper_ciphertext(&mut self, ta: Uuid, name: &str, offset: usize) -> bool {
+        match self.objects.get_mut(&(ta, name.to_owned())) {
+            Some(o) if offset < o.ciphertext.len() => {
+                o.ciphertext[offset] ^= 0x01;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Failure injection for tests: replaces an object with an older copy
+    /// of itself would require keeping history; instead this lowers the
+    /// version field (a rollback forgery), which must break the MAC.
+    pub fn tamper_version(&mut self, ta: Uuid, name: &str) -> bool {
+        match self.objects.get_mut(&(ta, name.to_owned())) {
+            Some(o) => {
+                o.version = o.version.wrapping_add(1);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> (SecureStorage, Uuid) {
+        (
+            SecureStorage::new(b"device-secret", 42),
+            Uuid::from_name("gradsec-ta"),
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (mut s, ta) = store();
+        s.put(ta, "model", b"the model weights").unwrap();
+        assert_eq!(s.get(ta, "model").unwrap(), b"the model weights");
+    }
+
+    #[test]
+    fn missing_object() {
+        let (s, ta) = store();
+        assert!(matches!(s.get(ta, "nope"), Err(TeeError::NotFound { .. })));
+    }
+
+    #[test]
+    fn overwrite_bumps_version_and_changes_ciphertext() {
+        let (mut s, ta) = store();
+        s.put(ta, "o", b"v0").unwrap();
+        assert_eq!(s.version(ta, "o"), Some(0));
+        s.put(ta, "o", b"v1").unwrap();
+        assert_eq!(s.version(ta, "o"), Some(1));
+        assert_eq!(s.get(ta, "o").unwrap(), b"v1");
+    }
+
+    #[test]
+    fn tampering_ciphertext_is_detected() {
+        let (mut s, ta) = store();
+        s.put(ta, "o", b"sensitive gradients").unwrap();
+        assert!(s.tamper_ciphertext(ta, "o", 3));
+        assert!(matches!(
+            s.get(ta, "o"),
+            Err(TeeError::IntegrityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn tampering_version_is_detected() {
+        let (mut s, ta) = store();
+        s.put(ta, "o", b"data").unwrap();
+        assert!(s.tamper_version(ta, "o"));
+        assert!(matches!(
+            s.get(ta, "o"),
+            Err(TeeError::IntegrityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn per_ta_isolation() {
+        let (mut s, ta) = store();
+        let other = Uuid::from_name("other-ta");
+        s.put(ta, "o", b"mine").unwrap();
+        // The other TA does not see the object at all.
+        assert!(s.get(other, "o").is_err());
+        assert!(s.list(other).is_empty());
+        assert_eq!(s.list(ta), vec!["o".to_owned()]);
+    }
+
+    #[test]
+    fn same_plaintext_distinct_ciphertexts() {
+        // Fresh FEK per write: identical payloads encrypt differently.
+        let (mut s, ta) = store();
+        s.put(ta, "a", b"same-bytes").unwrap();
+        s.put(ta, "b", b"same-bytes").unwrap();
+        let ca = s.objects[&(ta, "a".to_owned())].ciphertext.clone();
+        let cb = s.objects[&(ta, "b".to_owned())].ciphertext.clone();
+        assert_ne!(ca, cb);
+        assert_ne!(ca, b"same-bytes".to_vec());
+    }
+
+    #[test]
+    fn delete_then_get_fails() {
+        let (mut s, ta) = store();
+        s.put(ta, "o", b"x").unwrap();
+        s.delete(ta, "o").unwrap();
+        assert!(s.get(ta, "o").is_err());
+        assert!(s.delete(ta, "o").is_err());
+    }
+
+    #[test]
+    fn empty_and_large_payloads() {
+        let (mut s, ta) = store();
+        s.put(ta, "empty", b"").unwrap();
+        assert_eq!(s.get(ta, "empty").unwrap(), b"");
+        let big = vec![0xabu8; 1 << 16];
+        s.put(ta, "big", &big).unwrap();
+        assert_eq!(s.get(ta, "big").unwrap(), big);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the TrustZone simulator.
+
+use gradsec_tee::crypto::chacha20::{xor_stream, KEY_LEN, NONCE_LEN};
+use gradsec_tee::crypto::hmac::{hmac_sha256, hmac_verify};
+use gradsec_tee::crypto::kdf::hkdf;
+use gradsec_tee::crypto::sha256::{sha256, Sha256};
+use gradsec_tee::memory::SecureMemory;
+use gradsec_tee::storage::SecureStorage;
+use gradsec_tee::ta::Uuid;
+use gradsec_tee::tiop::{Role, SecureChannel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sha256_incremental_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn chacha_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..300), key in any::<[u8; KEY_LEN]>(), nonce in any::<[u8; NONCE_LEN]>(), ctr in any::<u32>()) {
+        let mut buf = data.clone();
+        xor_stream(&key, ctr, &nonce, &mut buf);
+        xor_stream(&key, ctr, &nonce, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn hmac_verifies_itself_and_rejects_flips(
+        key in proptest::collection::vec(any::<u8>(), 0..100),
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        flip in 0usize..32
+    ) {
+        let mut tag = hmac_sha256(&key, &data);
+        prop_assert!(hmac_verify(&key, &data, &tag));
+        tag[flip] ^= 0x80;
+        prop_assert!(!hmac_verify(&key, &data, &tag));
+    }
+
+    #[test]
+    fn hkdf_output_length_exact(len in 0usize..200) {
+        prop_assert_eq!(hkdf(b"salt", b"ikm", b"info", len).len(), len);
+    }
+
+    #[test]
+    fn storage_roundtrips_arbitrary_blobs(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        name in "[a-z]{1,12}",
+        seed in any::<u64>()
+    ) {
+        let mut s = SecureStorage::new(b"dev", seed);
+        let ta = Uuid::from_name("ta");
+        s.put(ta, &name, &data).unwrap();
+        prop_assert_eq!(s.get(ta, &name).unwrap(), data);
+    }
+
+    #[test]
+    fn storage_detects_any_single_bit_tamper(
+        data in proptest::collection::vec(any::<u8>(), 1..200),
+        offset in 0usize..200
+    ) {
+        let mut s = SecureStorage::new(b"dev", 1);
+        let ta = Uuid::from_name("ta");
+        s.put(ta, "obj", &data).unwrap();
+        let offset = offset % data.len();
+        prop_assert!(s.tamper_ciphertext(ta, "obj", offset));
+        prop_assert!(s.get(ta, "obj").is_err());
+    }
+
+    #[test]
+    fn channel_delivers_any_message_sequence(
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..100), 1..20)
+    ) {
+        let mut tx = SecureChannel::established(b"s", Role::Server);
+        let mut rx = SecureChannel::established(b"s", Role::Client);
+        for m in &msgs {
+            let f = tx.seal(m);
+            prop_assert_eq!(&rx.open(&f).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_invariants(ops in proptest::collection::vec((any::<bool>(), 1usize..2000), 1..60)) {
+        let mut mem = SecureMemory::with_budget(8192);
+        let mut live = Vec::new();
+        let mut expected_in_use = 0usize;
+        for (is_alloc, size) in ops {
+            if is_alloc || live.is_empty() {
+                match mem.alloc(size) {
+                    Ok(h) => {
+                        expected_in_use += size;
+                        live.push(h);
+                    }
+                    Err(_) => prop_assert!(size > 8192 - expected_in_use),
+                }
+            } else {
+                let h = live.pop().unwrap();
+                expected_in_use -= h.bytes();
+                mem.free(h).unwrap();
+            }
+            prop_assert_eq!(mem.in_use(), expected_in_use);
+            prop_assert!(mem.in_use() <= mem.budget());
+            prop_assert!(mem.peak() >= mem.in_use());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+use std::fmt;
+
+/// Errors produced by tensor construction and tensor operations.
+///
+/// All variants carry enough context to diagnose the failing call without a
+/// debugger; messages are lowercase without trailing punctuation per Rust API
+/// guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the requested shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Human-readable operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The operation requires a tensor of a different rank.
+    RankMismatch {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Provided rank.
+        actual: usize,
+    },
+    /// An index is out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// Convolution / pooling geometry is impossible (e.g. kernel larger than
+    /// the padded input, or a stride of zero).
+    BadGeometry {
+        /// Human-readable description of the geometric inconsistency.
+        reason: String,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch {
+        /// Source element count.
+        from: usize,
+        /// Target element count.
+        to: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "length mismatch: shape requires {expected} elements, got {actual}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "rank mismatch in {op}: expected {expected}, got {actual}"),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::BadGeometry { reason } => write!(f, "bad geometry: {reason}"),
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into {to} elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn errors_compare_equal() {
+        let a = TensorError::ReshapeMismatch { from: 4, to: 5 };
+        let b = TensorError::ReshapeMismatch { from: 4, to: 5 };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,557 @@
+//! 2-D convolution via im2col/col2im.
+//!
+//! Layout conventions (matching Darknet, the substrate of DarkneTZ):
+//!
+//! * inputs/outputs are `NCHW` tensors,
+//! * weights are `(F, C·K·K)` matrices (one row per output filter),
+//! * geometry uses Darknet's floor rule
+//!   `out = (in + 2·pad − k) / stride + 1` (integer division),
+//!   which yields exactly the layer shapes of the paper's Table 4.
+//!
+//! Three passes are provided: [`conv2d_forward`], and a combined
+//! [`conv2d_backward`] returning `(dW, db, dInput)` per the paper's
+//! equation (4): `dW_l = δ_l ⊗ A_{l−1}`.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Validated convolution geometry shared by the forward and backward passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channel count `C`.
+    pub in_channels: usize,
+    /// Input height `H`.
+    pub in_h: usize,
+    /// Input width `W`.
+    pub in_w: usize,
+    /// Output filter count `F`.
+    pub out_channels: usize,
+    /// Square kernel edge `K`.
+    pub kernel: usize,
+    /// Stride (same in both directions).
+    pub stride: usize,
+    /// Zero padding (same on all four sides).
+    pub pad: usize,
+    /// Computed output height.
+    pub out_h: usize,
+    /// Computed output width.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Computes and validates a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadGeometry`] when the stride is zero or the
+    /// kernel does not fit in the padded input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self> {
+        if stride == 0 {
+            return Err(TensorError::BadGeometry {
+                reason: "stride must be non-zero".to_owned(),
+            });
+        }
+        if kernel == 0 || out_channels == 0 || in_channels == 0 {
+            return Err(TensorError::BadGeometry {
+                reason: "kernel, in_channels and out_channels must be non-zero".to_owned(),
+            });
+        }
+        if in_h + 2 * pad < kernel || in_w + 2 * pad < kernel {
+            return Err(TensorError::BadGeometry {
+                reason: format!(
+                    "kernel {kernel} larger than padded input {}x{}",
+                    in_h + 2 * pad,
+                    in_w + 2 * pad
+                ),
+            });
+        }
+        let out_h = (in_h + 2 * pad - kernel) / stride + 1;
+        let out_w = (in_w + 2 * pad - kernel) / stride + 1;
+        Ok(Conv2dGeometry {
+            in_channels,
+            in_h,
+            in_w,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            out_h,
+            out_w,
+        })
+    }
+
+    /// Elements in one image's im2col matrix: `(C·K·K) × (OH·OW)`.
+    pub fn col_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel * self.out_h * self.out_w
+    }
+
+    /// Number of weights (excluding bias): `F·C·K·K`.
+    pub fn weight_len(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Elements in one input image: `C·H·W`.
+    pub fn in_len(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+
+    /// Elements in one output image: `F·OH·OW`.
+    pub fn out_len(&self) -> usize {
+        self.out_channels * self.out_h * self.out_w
+    }
+}
+
+/// Expands one `C×H×W` image into its `(C·K·K) × (OH·OW)` column matrix.
+///
+/// Out-of-bounds taps (padding) contribute zeros.
+///
+/// # Panics
+///
+/// Debug-asserts the buffer lengths; callers are internal and pre-size them.
+pub fn im2col(input: &[f32], geo: &Conv2dGeometry, col: &mut [f32]) {
+    debug_assert_eq!(input.len(), geo.in_len());
+    debug_assert_eq!(col.len(), geo.col_len());
+    let k = geo.kernel;
+    let cols = geo.out_h * geo.out_w;
+    for c in 0..geo.in_channels {
+        let chan = &input[c * geo.in_h * geo.in_w..(c + 1) * geo.in_h * geo.in_w];
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (c * k * k + ki * k + kj) * cols;
+                for oh in 0..geo.out_h {
+                    let ih = (oh * geo.stride + ki) as isize - geo.pad as isize;
+                    let base = row + oh * geo.out_w;
+                    if ih < 0 || ih as usize >= geo.in_h {
+                        col[base..base + geo.out_w].fill(0.0);
+                        continue;
+                    }
+                    let ih = ih as usize;
+                    for ow in 0..geo.out_w {
+                        let iw = (ow * geo.stride + kj) as isize - geo.pad as isize;
+                        col[base + ow] = if iw < 0 || iw as usize >= geo.in_w {
+                            0.0
+                        } else {
+                            chan[ih * geo.in_w + iw as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters a column matrix back into image space, accumulating into
+/// `input_grad` (the adjoint of [`im2col`]).
+pub fn col2im(col: &[f32], geo: &Conv2dGeometry, input_grad: &mut [f32]) {
+    debug_assert_eq!(input_grad.len(), geo.in_len());
+    debug_assert_eq!(col.len(), geo.col_len());
+    let k = geo.kernel;
+    let cols = geo.out_h * geo.out_w;
+    for c in 0..geo.in_channels {
+        let chan =
+            &mut input_grad[c * geo.in_h * geo.in_w..(c + 1) * geo.in_h * geo.in_w];
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (c * k * k + ki * k + kj) * cols;
+                for oh in 0..geo.out_h {
+                    let ih = (oh * geo.stride + ki) as isize - geo.pad as isize;
+                    if ih < 0 || ih as usize >= geo.in_h {
+                        continue;
+                    }
+                    let ih = ih as usize;
+                    let base = row + oh * geo.out_w;
+                    for ow in 0..geo.out_w {
+                        let iw = (ow * geo.stride + kj) as isize - geo.pad as isize;
+                        if iw < 0 || iw as usize >= geo.in_w {
+                            continue;
+                        }
+                        chan[ih * geo.in_w + iw as usize] += col[base + ow];
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_batch_input(input: &Tensor, geo: &Conv2dGeometry) -> Result<usize> {
+    let d = input.dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 4,
+            actual: d.len(),
+        });
+    }
+    if d[1] != geo.in_channels || d[2] != geo.in_h || d[3] != geo.in_w {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: d.to_vec(),
+            rhs: vec![0, geo.in_channels, geo.in_h, geo.in_w],
+        });
+    }
+    Ok(d[0])
+}
+
+fn check_weights(weights: &Tensor, bias: &Tensor, geo: &Conv2dGeometry) -> Result<()> {
+    let k2 = geo.in_channels * geo.kernel * geo.kernel;
+    if weights.dims() != [geo.out_channels, k2] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d weights",
+            lhs: weights.dims().to_vec(),
+            rhs: vec![geo.out_channels, k2],
+        });
+    }
+    if bias.dims() != [geo.out_channels] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d bias",
+            lhs: bias.dims().to_vec(),
+            rhs: vec![geo.out_channels],
+        });
+    }
+    Ok(())
+}
+
+/// Convolution forward pass: `Z = W ⊛ A + b` over a batch.
+///
+/// `input` is `(N, C, H, W)`, `weights` is `(F, C·K·K)`, `bias` is `(F)`;
+/// the result is `(N, F, OH, OW)`.
+///
+/// # Errors
+///
+/// Returns shape errors when any operand disagrees with `geo`.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+    geo: &Conv2dGeometry,
+) -> Result<Tensor> {
+    let n = check_batch_input(input, geo)?;
+    check_weights(weights, bias, geo)?;
+    let k2 = geo.in_channels * geo.kernel * geo.kernel;
+    let cols = geo.out_h * geo.out_w;
+    let mut out = Tensor::zeros(&[n, geo.out_channels, geo.out_h, geo.out_w]);
+    let mut col = vec![0.0f32; geo.col_len()];
+    let wd = weights.data();
+    let bd = bias.data();
+    for img in 0..n {
+        let inp = &input.data()[img * geo.in_len()..(img + 1) * geo.in_len()];
+        im2col(inp, geo, &mut col);
+        let out_img =
+            &mut out.data_mut()[img * geo.out_len()..(img + 1) * geo.out_len()];
+        // out_img (F, cols) = W (F, k2) × col (k2, cols)
+        for f in 0..geo.out_channels {
+            let wrow = &wd[f * k2..(f + 1) * k2];
+            let orow = &mut out_img[f * cols..(f + 1) * cols];
+            orow.fill(bd[f]);
+            for (kk, &w) in wrow.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                let crow = &col[kk * cols..(kk + 1) * cols];
+                for j in 0..cols {
+                    orow[j] += w * crow[j];
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Convolution backward pass.
+///
+/// Given the upstream error `delta_out = ∂Loss/∂Z` of shape `(N, F, OH, OW)`,
+/// returns `(dW, db, dInput)` where
+///
+/// * `dW = Σ_img δ · colᵀ` — shape `(F, C·K·K)` (paper eq. 4,
+///   `δ_l ⊗ A_{l−1}`),
+/// * `db = Σ spatial+batch δ` — shape `(F)`,
+/// * `dInput = col2im(Wᵀ · δ)` — shape `(N, C, H, W)` (the `W_{l+1} ⊗ δ_{l+1}`
+///   term that propagates to the previous layer).
+///
+/// # Errors
+///
+/// Returns shape errors when any operand disagrees with `geo`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weights: &Tensor,
+    delta_out: &Tensor,
+    geo: &Conv2dGeometry,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let n = check_batch_input(input, geo)?;
+    let k2 = geo.in_channels * geo.kernel * geo.kernel;
+    if delta_out.dims() != [n, geo.out_channels, geo.out_h, geo.out_w] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward delta",
+            lhs: delta_out.dims().to_vec(),
+            rhs: vec![n, geo.out_channels, geo.out_h, geo.out_w],
+        });
+    }
+    if weights.dims() != [geo.out_channels, k2] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward weights",
+            lhs: weights.dims().to_vec(),
+            rhs: vec![geo.out_channels, k2],
+        });
+    }
+    let cols = geo.out_h * geo.out_w;
+    let mut dw = Tensor::zeros(&[geo.out_channels, k2]);
+    let mut db = Tensor::zeros(&[geo.out_channels]);
+    let mut dinput = Tensor::zeros(input.dims());
+    let mut col = vec![0.0f32; geo.col_len()];
+    let mut dcol = vec![0.0f32; geo.col_len()];
+    let wd = weights.data();
+    for img in 0..n {
+        let inp = &input.data()[img * geo.in_len()..(img + 1) * geo.in_len()];
+        let dout = &delta_out.data()[img * geo.out_len()..(img + 1) * geo.out_len()];
+        im2col(inp, geo, &mut col);
+        // dW += δ (F, cols) × colᵀ (cols, k2)
+        {
+            let dwd = dw.data_mut();
+            for f in 0..geo.out_channels {
+                let drow = &dout[f * cols..(f + 1) * cols];
+                let dwrow = &mut dwd[f * k2..(f + 1) * k2];
+                for kk in 0..k2 {
+                    let crow = &col[kk * cols..(kk + 1) * cols];
+                    let mut acc = 0.0f32;
+                    for j in 0..cols {
+                        acc += drow[j] * crow[j];
+                    }
+                    dwrow[kk] += acc;
+                }
+            }
+        }
+        // db += Σ spatial δ
+        {
+            let dbd = db.data_mut();
+            for f in 0..geo.out_channels {
+                dbd[f] += dout[f * cols..(f + 1) * cols].iter().sum::<f32>();
+            }
+        }
+        // dcol = Wᵀ (k2, F) × δ (F, cols); then scatter to image space.
+        dcol.fill(0.0);
+        for f in 0..geo.out_channels {
+            let wrow = &wd[f * k2..(f + 1) * k2];
+            let drow = &dout[f * cols..(f + 1) * cols];
+            for kk in 0..k2 {
+                let w = wrow[kk];
+                if w == 0.0 {
+                    continue;
+                }
+                let dcrow = &mut dcol[kk * cols..(kk + 1) * cols];
+                for j in 0..cols {
+                    dcrow[j] += w * drow[j];
+                }
+            }
+        }
+        let dinp =
+            &mut dinput.data_mut()[img * geo.in_len()..(img + 1) * geo.in_len()];
+        col2im(&dcol, geo, dinp);
+    }
+    Ok((dw, db, dinput))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    /// Naive direct convolution used as an oracle.
+    fn naive_forward(
+        input: &Tensor,
+        weights: &Tensor,
+        bias: &Tensor,
+        geo: &Conv2dGeometry,
+    ) -> Tensor {
+        let n = input.dims()[0];
+        let mut out = Tensor::zeros(&[n, geo.out_channels, geo.out_h, geo.out_w]);
+        for img in 0..n {
+            for f in 0..geo.out_channels {
+                for oh in 0..geo.out_h {
+                    for ow in 0..geo.out_w {
+                        let mut acc = bias.data()[f];
+                        for c in 0..geo.in_channels {
+                            for ki in 0..geo.kernel {
+                                for kj in 0..geo.kernel {
+                                    let ih = (oh * geo.stride + ki) as isize
+                                        - geo.pad as isize;
+                                    let iw = (ow * geo.stride + kj) as isize
+                                        - geo.pad as isize;
+                                    if ih < 0
+                                        || iw < 0
+                                        || ih as usize >= geo.in_h
+                                        || iw as usize >= geo.in_w
+                                    {
+                                        continue;
+                                    }
+                                    let x = input
+                                        .get(&[img, c, ih as usize, iw as usize])
+                                        .unwrap();
+                                    let w = weights
+                                        .get(&[
+                                            f,
+                                            c * geo.kernel * geo.kernel
+                                                + ki * geo.kernel
+                                                + kj,
+                                        ])
+                                        .unwrap();
+                                    acc += x * w;
+                                }
+                            }
+                        }
+                        out.set(&[img, f, oh, ow], acc).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn geometry_matches_paper_table4() {
+        // LeNet-5 L1: 32x32x3 -> 16x16x12 with 5x5/2 and darknet pad 2.
+        let g = Conv2dGeometry::new(3, 32, 32, 12, 5, 2, 2).unwrap();
+        assert_eq!((g.out_h, g.out_w), (16, 16));
+        // LeNet-5 L2: 16x16x12 -> 8x8x12 with 5x5/2/2.
+        let g = Conv2dGeometry::new(12, 16, 16, 12, 5, 2, 2).unwrap();
+        assert_eq!((g.out_h, g.out_w), (8, 8));
+        // LeNet-5 L3/L4: 8x8x12 -> 8x8x12 with 5x5/1/2.
+        let g = Conv2dGeometry::new(12, 8, 8, 12, 5, 1, 2).unwrap();
+        assert_eq!((g.out_h, g.out_w), (8, 8));
+        // AlexNet L1 conv part: 32x32x3 -> 16x16x64 with 3x3/2/1.
+        let g = Conv2dGeometry::new(3, 32, 32, 64, 3, 2, 1).unwrap();
+        assert_eq!((g.out_h, g.out_w), (16, 16));
+    }
+
+    #[test]
+    fn geometry_rejects_nonsense() {
+        assert!(Conv2dGeometry::new(3, 8, 8, 4, 3, 0, 1).is_err());
+        assert!(Conv2dGeometry::new(3, 2, 2, 4, 5, 1, 0).is_err());
+        assert!(Conv2dGeometry::new(0, 8, 8, 4, 3, 1, 1).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // K=1, stride 1, no pad: the col matrix equals the image.
+        let geo = Conv2dGeometry::new(2, 3, 3, 1, 1, 1, 0).unwrap();
+        let img: Vec<f32> = (0..18).map(|x| x as f32).collect();
+        let mut col = vec![0.0; geo.col_len()];
+        im2col(&img, &geo, &mut col);
+        assert_eq!(col, img);
+    }
+
+    #[test]
+    fn forward_matches_naive_with_padding_and_stride() {
+        for &(c, h, w, f, k, s, p) in &[
+            (3usize, 8usize, 8usize, 4usize, 3usize, 1usize, 1usize),
+            (2, 9, 7, 3, 3, 2, 1),
+            (1, 6, 6, 2, 5, 1, 2),
+            (3, 32, 32, 12, 5, 2, 2),
+        ] {
+            let geo = Conv2dGeometry::new(c, h, w, f, k, s, p).unwrap();
+            let input = init::uniform(&[2, c, h, w], -1.0, 1.0, 40);
+            let weights = init::uniform(&[f, c * k * k], -1.0, 1.0, 41);
+            let bias = init::uniform(&[f], -1.0, 1.0, 42);
+            let fast = conv2d_forward(&input, &weights, &bias, &geo).unwrap();
+            let slow = naive_forward(&input, &weights, &bias, &geo);
+            assert!(
+                fast.approx_eq(&slow, 1e-3),
+                "mismatch for geometry {geo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for any x, y — the defining
+        // property of an adjoint pair, which is what backprop relies on.
+        let geo = Conv2dGeometry::new(2, 6, 5, 3, 3, 2, 1).unwrap();
+        let x = init::uniform(&[geo.in_len()], -1.0, 1.0, 50);
+        let y = init::uniform(&[geo.col_len()], -1.0, 1.0, 51);
+        let mut colx = vec![0.0; geo.col_len()];
+        im2col(x.data(), &geo, &mut colx);
+        let lhs: f32 = colx.iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let mut imy = vec![0.0; geo.in_len()];
+        col2im(y.data(), &geo, &mut imy);
+        let rhs: f32 = x.data().iter().zip(&imy).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} != {rhs}");
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        // Finite-difference check of dW, db and dInput through a scalar
+        // loss L = sum(Z).
+        let geo = Conv2dGeometry::new(2, 5, 5, 3, 3, 1, 1).unwrap();
+        let input = init::uniform(&[1, 2, 5, 5], -1.0, 1.0, 60);
+        let weights = init::uniform(&[3, 18], -1.0, 1.0, 61);
+        let bias = init::uniform(&[3], -1.0, 1.0, 62);
+        let delta = Tensor::ones(&[1, 3, geo.out_h, geo.out_w]);
+        let (dw, db, dinput) =
+            conv2d_backward(&input, &weights, &delta, &geo).unwrap();
+        let eps = 1e-3f32;
+        let loss = |inp: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+            conv2d_forward(inp, w, b, &geo)
+                .unwrap()
+                .data()
+                .iter()
+                .sum()
+        };
+        // dW check (a few random positions).
+        for &i in &[0usize, 7, 23, 53] {
+            let mut wp = weights.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = weights.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            assert!(
+                (num - dw.data()[i]).abs() < 0.05,
+                "dW[{i}]: numeric {num} vs analytic {}",
+                dw.data()[i]
+            );
+        }
+        // db check.
+        for f in 0..3 {
+            let mut bp = bias.clone();
+            bp.data_mut()[f] += eps;
+            let mut bm = bias.clone();
+            bm.data_mut()[f] -= eps;
+            let num = (loss(&input, &weights, &bp) - loss(&input, &weights, &bm))
+                / (2.0 * eps);
+            assert!((num - db.data()[f]).abs() < 0.05);
+        }
+        // dInput check.
+        for &i in &[0usize, 13, 31, 49] {
+            let mut ip = input.clone();
+            ip.data_mut()[i] += eps;
+            let mut im = input.clone();
+            im.data_mut()[i] -= eps;
+            let num = (loss(&ip, &weights, &bias) - loss(&im, &weights, &bias))
+                / (2.0 * eps);
+            assert!(
+                (num - dinput.data()[i]).abs() < 0.05,
+                "dInput[{i}]: numeric {num} vs analytic {}",
+                dinput.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn forward_shape_errors() {
+        let geo = Conv2dGeometry::new(3, 8, 8, 4, 3, 1, 1).unwrap();
+        let input = Tensor::zeros(&[1, 3, 8, 8]);
+        let bad_input = Tensor::zeros(&[1, 2, 8, 8]);
+        let weights = Tensor::zeros(&[4, 27]);
+        let bias = Tensor::zeros(&[4]);
+        assert!(conv2d_forward(&bad_input, &weights, &bias, &geo).is_err());
+        assert!(conv2d_forward(&input, &Tensor::zeros(&[4, 26]), &bias, &geo).is_err());
+        assert!(conv2d_forward(&input, &weights, &Tensor::zeros(&[5]), &geo).is_err());
+        assert!(conv2d_forward(&Tensor::zeros(&[3, 8, 8]), &weights, &bias, &geo).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Elementwise tensor algebra.
+//!
+//! These kernels cover the paper's Table 2 operations: the ordinary sums
+//! and the Hadamard product `∗` that appears in the backpropagation
+//! formulas `δ_l = (W_{l+1}·δ_{l+1}) ∗ f'_l(Z_l)`.
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_same(a: &Tensor, b: &Tensor, op: &'static str) -> Result<()> {
+    if !a.shape().same_as(b.shape()) {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+/// Elementwise sum `a + b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same(a, b, "add")?;
+    a.zip_with(b, |x, y| x + y)
+}
+
+/// Elementwise difference `a − b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same(a, b, "sub")?;
+    a.zip_with(b, |x, y| x - y)
+}
+
+/// Hadamard (elementwise) product `a ∗ b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn hadamard(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same(a, b, "hadamard")?;
+    a.zip_with(b, |x, y| x * y)
+}
+
+/// Scales every element by `s`, producing a new tensor.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x * s)
+}
+
+/// In-place `y ← y + alpha·x` (the BLAS `axpy` primitive; SGD's update rule
+/// `W ← W − λ·dW` is `axpy(-λ, dW, W)`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn axpy(alpha: f32, x: &Tensor, y: &mut Tensor) -> Result<()> {
+    check_same(x, y, "axpy")?;
+    for (yi, &xi) in y.data_mut().iter_mut().zip(x.data()) {
+        *yi += alpha * xi;
+    }
+    Ok(())
+}
+
+/// Linear interpolation `(1−t)·a + t·b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn lerp(a: &Tensor, b: &Tensor, t: f32) -> Result<Tensor> {
+    check_same(a, b, "lerp")?;
+    a.zip_with(b, |x, y| (1.0 - t) * x + t * y)
+}
+
+/// Clamps every element into `[lo, hi]`.
+pub fn clamp(a: &Tensor, lo: f32, hi: f32) -> Tensor {
+    a.map(|x| x.clamp(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len()]).unwrap()
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[0.5, -1.0, 2.0]);
+        let s = add(&a, &b).unwrap();
+        assert_eq!(sub(&s, &b).unwrap().data(), a.data());
+    }
+
+    #[test]
+    fn hadamard_known() {
+        let a = t(&[2.0, 3.0]);
+        let b = t(&[4.0, -1.0]);
+        assert_eq!(hadamard(&a, &b).unwrap().data(), &[8.0, -3.0]);
+    }
+
+    #[test]
+    fn scale_and_clamp() {
+        let a = t(&[1.0, -2.0]);
+        assert_eq!(scale(&a, 3.0).data(), &[3.0, -6.0]);
+        assert_eq!(clamp(&a, -1.0, 0.5).data(), &[0.5, -1.0]);
+    }
+
+    #[test]
+    fn axpy_is_sgd_step() {
+        let dw = t(&[10.0, 20.0]);
+        let mut w = t(&[1.0, 2.0]);
+        axpy(-0.1, &dw, &mut w).unwrap();
+        assert_eq!(w.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = t(&[0.0, 10.0]);
+        let b = t(&[4.0, 20.0]);
+        assert_eq!(lerp(&a, &b, 0.0).unwrap().data(), a.data());
+        assert_eq!(lerp(&a, &b, 1.0).unwrap().data(), b.data());
+        assert_eq!(lerp(&a, &b, 0.5).unwrap().data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn mismatched_shapes_error() {
+        let a = t(&[1.0]);
+        let b = t(&[1.0, 2.0]);
+        assert!(add(&a, &b).is_err());
+        assert!(sub(&a, &b).is_err());
+        assert!(hadamard(&a, &b).is_err());
+        assert!(lerp(&a, &b, 0.5).is_err());
+        let mut y = t(&[0.0, 0.0]);
+        assert!(axpy(1.0, &a, &mut y).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Matrix products.
+//!
+//! The forward/backward passes of dense layers and the im2col formulation of
+//! convolutions reduce everything to three product forms:
+//!
+//! * `C = A·B` — [`matmul`],
+//! * `C = A·Bᵀ` — [`matmul_nt`] (used for `dW = δ·Aᵀ` style products),
+//! * `C = Aᵀ·B` — [`matmul_tn`] (used for `δ_in = Wᵀ·δ_out`).
+//!
+//! All three use a cache-blocked i-k-j kernel; [`matmul`] additionally
+//! splits row bands across scoped threads (crossbeam) when the output is
+//! large enough to amortize the spawn cost. AlexNet's 4096×4096 dense
+//! layers are intractable per-cycle without this.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Outputs smaller than this (in elements) are computed single-threaded.
+const PARALLEL_THRESHOLD: usize = 64 * 64;
+
+/// Block edge for the cache-blocked kernel.
+const BLOCK: usize = 64;
+
+fn check2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.shape().ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.shape().ndim(),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Computes `C = A·B` for rank-2 tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrices and
+/// [`TensorError::ShapeMismatch`] when inner dimensions differ.
+///
+/// # Example
+///
+/// ```
+/// use gradsec_tensor::{Tensor, ops::matmul::matmul};
+///
+/// # fn main() -> Result<(), gradsec_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// let c = matmul(&a, &b)?;
+/// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check2d(a, "matmul")?;
+    let (kb, n) = check2d(b, "matmul")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    if m * n >= PARALLEL_THRESHOLD && m >= 4 {
+        matmul_parallel(a.data(), b.data(), out.data_mut(), m, ka, n);
+    } else {
+        matmul_block(a.data(), b.data(), out.data_mut(), m, ka, n);
+    }
+    Ok(out)
+}
+
+/// Computes `C = A·Bᵀ`.
+///
+/// # Errors
+///
+/// Same contract as [`matmul`]; the shared dimension is `A`'s columns and
+/// `B`'s columns.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check2d(a, "matmul_nt")?;
+    let (n, kb) = check2d(b, "matmul_nt")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_nt",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd, od) = (a.data(), b.data(), out.data_mut());
+    // C[i][j] = Σ_k A[i][k]·B[j][k]; contiguous in k for both operands.
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let brow = &bd[j * kb..(j + 1) * kb];
+            let mut acc = 0.0f32;
+            for k in 0..ka {
+                acc += arow[k] * brow[k];
+            }
+            od[i * n + j] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `C = Aᵀ·B`.
+///
+/// # Errors
+///
+/// Same contract as [`matmul`]; the shared dimension is the *rows* of both
+/// operands.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ka, m) = check2d(a, "matmul_tn")?;
+    let (kb, n) = check2d(b, "matmul_tn")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_tn",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd, od) = (a.data(), b.data(), out.data_mut());
+    // C[i][j] = Σ_k A[k][i]·B[k][j]: accumulate row-banded, k outermost so
+    // both reads stream contiguously.
+    for k in 0..ka {
+        let arow = &ad[k * m..(k + 1) * m];
+        let brow = &bd[k * n..(k + 1) * n];
+        for i in 0..m {
+            let aik = arow[i];
+            if aik == 0.0 {
+                continue;
+            }
+            let orow = &mut od[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += aik * brow[j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes the matrix–vector product `y = A·x`.
+///
+/// # Errors
+///
+/// Returns shape errors when `A` is not `m×k` with `x` of length `k`.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let (m, k) = check2d(a, "matvec")?;
+    if x.shape().ndim() != 1 || x.dims()[0] != k {
+        return Err(TensorError::ShapeMismatch {
+            op: "matvec",
+            lhs: a.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m]);
+    let (ad, xd, od) = (a.data(), x.data(), out.data_mut());
+    for i in 0..m {
+        let row = &ad[i * k..(i + 1) * k];
+        od[i] = row.iter().zip(xd).map(|(&a, &b)| a * b).sum();
+    }
+    Ok(out)
+}
+
+/// Cache-blocked single-threaded `C += A·B` kernel over raw slices.
+fn matmul_block(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for ib in (0..m).step_by(BLOCK) {
+        let imax = (ib + BLOCK).min(m);
+        for kb in (0..k).step_by(BLOCK) {
+            let kmax = (kb + BLOCK).min(k);
+            for i in ib..imax {
+                let crow = &mut c[i * n..(i + 1) * n];
+                for kk in kb..kmax {
+                    let aik = a[i * k + kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    for j in 0..n {
+                        crow[j] += aik * brow[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Splits the rows of `C` into bands and computes each band on its own
+/// scoped thread.
+fn matmul_parallel(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(m)
+        .max(1);
+    if threads == 1 {
+        matmul_block(a, b, c, m, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    let bands: Vec<(usize, &mut [f32])> = {
+        let mut bands = Vec::new();
+        let mut rest = c;
+        let mut row = 0;
+        while row < m {
+            let take = rows_per.min(m - row);
+            let (band, tail) = rest.split_at_mut(take * n);
+            bands.push((row, band));
+            rest = tail;
+            row += take;
+        }
+        bands
+    };
+    crossbeam::thread::scope(|s| {
+        for (row0, band) in bands {
+            let rows = band.len() / n;
+            let asub = &a[row0 * k..(row0 + rows) * k];
+            s.spawn(move |_| {
+                matmul_block(asub, b, band, rows, k, n);
+            });
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+                c.data_mut()[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = init::uniform(&[5, 5], -1.0, 1.0, 3);
+        let c = matmul(&a, &Tensor::eye(5)).unwrap();
+        assert!(c.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn blocked_matches_naive_rectangular() {
+        let a = init::uniform(&[37, 21], -1.0, 1.0, 1);
+        let b = init::uniform(&[21, 53], -1.0, 1.0, 2);
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.approx_eq(&naive(&a, &b), 1e-3));
+    }
+
+    #[test]
+    fn parallel_path_matches_naive() {
+        // 128x128 crosses PARALLEL_THRESHOLD.
+        let a = init::uniform(&[128, 96], -1.0, 1.0, 10);
+        let b = init::uniform(&[96, 128], -1.0, 1.0, 11);
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.approx_eq(&naive(&a, &b), 1e-2));
+    }
+
+    #[test]
+    fn nt_variant_equals_explicit_transpose() {
+        let a = init::uniform(&[9, 14], -1.0, 1.0, 20);
+        let b = init::uniform(&[7, 14], -1.0, 1.0, 21);
+        let direct = matmul_nt(&a, &b).unwrap();
+        let explicit = matmul(&a, &b.transpose2d().unwrap()).unwrap();
+        assert!(direct.approx_eq(&explicit, 1e-4));
+    }
+
+    #[test]
+    fn tn_variant_equals_explicit_transpose() {
+        let a = init::uniform(&[14, 9], -1.0, 1.0, 22);
+        let b = init::uniform(&[14, 7], -1.0, 1.0, 23);
+        let direct = matmul_tn(&a, &b).unwrap();
+        let explicit = matmul(&a.transpose2d().unwrap(), &b).unwrap();
+        assert!(direct.approx_eq(&explicit, 1e-4));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = init::uniform(&[6, 4], -1.0, 1.0, 30);
+        let x = init::uniform(&[4], -1.0, 1.0, 31);
+        let y = matvec(&a, &x).unwrap();
+        let xm = x.reshape(&[4, 1]).unwrap();
+        let ym = matmul(&a, &xm).unwrap();
+        assert!(y.approx_eq(&ym.reshape(&[6]).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
+        assert!(matmul_nt(&a, &Tensor::zeros(&[2, 4])).is_err());
+        assert!(matmul_tn(&a, &Tensor::zeros(&[3, 4])).is_err());
+        assert!(matvec(&a, &Tensor::zeros(&[2])).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! Tensor operation kernels.
+//!
+//! Kernels are grouped by family:
+//!
+//! * [`matmul`] — blocked and multi-threaded matrix products,
+//! * [`conv`] — im2col/col2im 2-D convolution (forward + both backwards),
+//! * [`pool`] — 2×2 max pooling with argmax bookkeeping,
+//! * [`elementwise`] — Hadamard products, axpy, scaling,
+//! * [`reduce`] — sums, means, argmax, row softmax.
+
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod pool;
+pub mod reduce;

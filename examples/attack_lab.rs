@@ -1,0 +1,58 @@
+//! Attack laboratory: run DRIA and MIA against protected and unprotected
+//! models and watch the protection work.
+//!
+//! ```text
+//! cargo run --release --example attack_lab
+//! ```
+
+use gradsec::attacks::dria::{run_dria, DriaConfig};
+use gradsec::attacks::mia::{run_mia, MiaConfig};
+use gradsec::data::{one_hot, Dataset, SyntheticCifar100};
+use gradsec::nn::zoo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- DRIA: reconstruct a training image from leaked gradients. ---
+    let ds = SyntheticCifar100::new(32, 42);
+    let sample = ds.sample(3);
+    let target = sample.image.reshape(&[1, 3, 32, 32])?;
+    let label = one_hot(&[sample.label], ds.num_classes());
+    // DLG needs a twice-differentiable model (sigmoid LeNet-5).
+    let mut model = zoo::lenet5_smooth(43)?;
+    let cfg = DriaConfig {
+        iterations: 400,
+        seed: 9,
+        ..DriaConfig::default()
+    };
+    println!("DRIA (gradient-matching reconstruction, 400 L-BFGS iterations):");
+    let open = run_dria(&mut model, &target, &label, &[], &cfg)?;
+    println!("  no protection : ImageLoss {:.3}", open.image_loss);
+    let shut = run_dria(&mut model, &target, &label, &[1], &cfg)?;
+    println!("  L2 in enclave : ImageLoss {:.3}", shut.image_loss);
+    println!(
+        "  -> protecting one early conv layer defeats the reconstruction ({}x worse)",
+        (shut.image_loss / open.image_loss).round()
+    );
+
+    // --- MIA: infer training-set membership from gradients. ---
+    println!("\nMIA (membership inference on an overfitted LeNet-5):");
+    let mia_ds = SyntheticCifar100::new(180, 7);
+    let mia_cfg = MiaConfig {
+        members: 60,
+        overfit_epochs: 40,
+        batch_size: 16,
+        learning_rate: 0.03,
+        attack_train_frac: 0.5,
+        raw_per_layer: 0,
+        seed: 7,
+    };
+    let mut victim = zoo::lenet5(44)?;
+    let open = run_mia(&mut victim, &mia_ds, &[], &mia_cfg)?;
+    println!(
+        "  no protection  : AUC {:.3} (victim train acc {:.2})",
+        open.auc, open.victim_train_accuracy
+    );
+    let mut victim = zoo::lenet5(44)?;
+    let shut = run_mia(&mut victim, &mia_ds, &[0, 1, 2, 3, 4], &mia_cfg)?;
+    println!("  all layers hidden: AUC {:.3} (random guess = 0.5)", shut.auc);
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Cross-crate attack integration: the leakage model, `D_grad` semantics
+//! and the attacks agree about what a protection policy hides.
+
+use gradsec::attacks::dgrad::GradientDataset;
+use gradsec::attacks::dria::{run_dria, DriaConfig};
+use gradsec::attacks::features::reduce_snapshot;
+use gradsec::attacks::metrics::auc;
+use gradsec::core::leakage::LeakageModel;
+use gradsec::core::ProtectionPolicy;
+use gradsec::data::{one_hot, Dataset, SyntheticCifar100};
+use gradsec::nn::zoo;
+
+#[test]
+fn leakage_model_and_dgrad_agree_on_deleted_columns() {
+    let ds = SyntheticCifar100::with_classes(8, 4, 1);
+    let mut model = zoo::lenet5_with(4, 2).unwrap();
+    let s = ds.sample(0);
+    let x = s.image.reshape(&[1, 3, 32, 32]).unwrap();
+    let y = one_hot(&[s.label], 4);
+    let (_, snap) = model.forward_backward(&x, &y).unwrap();
+    let policy = ProtectionPolicy::static_layers(&[1, 4]).unwrap();
+    let leakage = LeakageModel::new(policy, 5);
+    // Tensor-level view: protected layers zeroed.
+    let (view, deleted) = leakage.attacker_view(&snap, 0);
+    assert_eq!(deleted, vec![1, 4]);
+    assert!(view.layer(1).unwrap().dw.data().iter().all(|&v| v == 0.0));
+    assert!(view.layer(0).unwrap().dw.data().iter().any(|&v| v != 0.0));
+    // Column-level view: the same layers' feature spans become missing.
+    let (features, layout) = reduce_snapshot(&snap, 4);
+    let mut dgrad = GradientDataset::new(layout.clone());
+    dgrad.push(features, true, &deleted).unwrap();
+    let expected_missing: usize = deleted
+        .iter()
+        .filter_map(|&l| layout.span_of(l))
+        .map(|s| s.len)
+        .sum();
+    let total = layout.width();
+    assert!(
+        (dgrad.missing_fraction() - expected_missing as f32 / total as f32).abs() < 1e-6
+    );
+    // The leaked fraction of scalars matches the unprotected share.
+    let frac = leakage.leaked_fraction(&snap, 0);
+    assert!(frac > 0.0 && frac < 1.0);
+}
+
+#[test]
+fn dria_respects_the_leakage_model() {
+    // Hiding everything forces the matching objective to zero and leaves
+    // the dummy at noise; hiding nothing lets it reconstruct.
+    let ds = SyntheticCifar100::with_classes(8, 4, 2);
+    let s = ds.sample(1);
+    let target = s.image.reshape(&[1, 3, 32, 32]).unwrap();
+    let label = one_hot(&[s.label], 4);
+    let mut model = zoo::lenet5_smooth_with(4, 3).unwrap();
+    let cfg = DriaConfig {
+        iterations: 60,
+        seed: 5,
+        ..DriaConfig::default()
+    };
+    let all_hidden = run_dria(&mut model, &target, &label, &[0, 1, 2, 3, 4], &cfg).unwrap();
+    assert_eq!(all_hidden.final_objective, 0.0);
+    let open = run_dria(&mut model, &target, &label, &[], &cfg).unwrap();
+    assert!(
+        open.image_loss < all_hidden.image_loss,
+        "open {} !< hidden {}",
+        open.image_loss,
+        all_hidden.image_loss
+    );
+}
+
+#[test]
+fn auc_of_random_scores_is_near_half() {
+    // Statistical sanity across the metrics stack: random scores on
+    // balanced labels give AUC ~0.5.
+    let scores: Vec<f32> = (0..2000).map(|i| ((i * 37) % 1000) as f32 / 1000.0).collect();
+    let labels: Vec<bool> = (0..2000).map(|i| (i * 53) % 2 == 0).collect();
+    let a = auc(&scores, &labels).unwrap();
+    assert!((a - 0.5).abs() < 0.05, "auc {a}");
+}
+
+#[test]
+fn dynamic_policy_varies_dgrad_missingness_across_cycles() {
+    use gradsec::core::window::MovingWindow;
+    let ds = SyntheticCifar100::with_classes(8, 4, 4);
+    let mut model = zoo::lenet5_with(4, 5).unwrap();
+    let s = ds.sample(0);
+    let x = s.image.reshape(&[1, 3, 32, 32]).unwrap();
+    let y = one_hot(&[s.label], 4);
+    let (_, snap) = model.forward_backward(&x, &y).unwrap();
+    let (features, layout) = reduce_snapshot(&snap, 4);
+    let window = MovingWindow::uniform(2, 5, 9).unwrap();
+    let policy = ProtectionPolicy::dynamic(window);
+    let leakage = LeakageModel::new(policy, 5);
+    let mut dgrad = GradientDataset::new(layout);
+    let mut patterns = std::collections::HashSet::new();
+    for round in 0..20u64 {
+        let protected = leakage.protected(round);
+        patterns.insert(protected.clone());
+        dgrad.push(features.clone(), round % 2 == 0, &protected).unwrap();
+    }
+    assert!(patterns.len() > 1, "window must visit multiple positions");
+    assert!(dgrad.missing_fraction() > 0.0);
+    // Imputation fills every hole.
+    let dense = dgrad.impute();
+    assert!(dense.data().iter().all(|v| v.is_finite()));
+}
