@@ -74,9 +74,10 @@ impl AttackModel for LogisticRegression {
         }
         let mut vars = vec![0.0f32; d];
         for i in 0..n {
-            for j in 0..d {
-                let c = x.data()[i * d + j] - self.means[j];
-                vars[j] += c * c;
+            let row = &x.data()[i * d..(i + 1) * d];
+            for ((v, &xi), &m) in vars.iter_mut().zip(row).zip(&self.means) {
+                let c = xi - m;
+                *v += c * c;
             }
         }
         for (s, v) in self.stds.iter_mut().zip(&vars) {

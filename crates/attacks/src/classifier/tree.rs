@@ -123,8 +123,7 @@ impl DecisionTree {
                 let (lp, ln, rp, rn) = split_counts(x, labels, &rows, d, f, t);
                 if ln >= self.cfg.min_leaf && rn >= self.cfg.min_leaf {
                     let w = n as f32;
-                    let child =
-                        (ln as f32 / w) * gini(lp, ln) + (rn as f32 / w) * gini(rp, rn);
+                    let child = (ln as f32 / w) * gini(lp, ln) + (rn as f32 / w) * gini(rp, rn);
                     let gain = node_gini - child;
                     if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-7) {
                         best = Some((f, t, gain));

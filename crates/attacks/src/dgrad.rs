@@ -190,7 +190,7 @@ mod tests {
     }
 
     #[test]
-    fn impute_restores_column_means()  {
+    fn impute_restores_column_means() {
         let (layout, feats) = layout_and_features();
         let mut ds = GradientDataset::new(layout.clone());
         ds.push(feats.clone(), true, &[]).unwrap();
@@ -199,6 +199,7 @@ mod tests {
         // Deleted cells were filled with the column mean, which equals the
         // only surviving value.
         let span = layout.span_of(0).unwrap();
+        #[allow(clippy::needless_range_loop)]
         for j in span.start..span.start + span.len {
             assert_eq!(dense.get(&[1, j]).unwrap(), feats[j]);
         }

@@ -175,6 +175,7 @@ fn perturbed_weights(base: &ModelWeights, c: &GradientSnapshot, alpha: f32) -> M
 }
 
 /// Evaluates `(D(x), ∇_x D(x))` for the gradient-matching objective.
+#[allow(clippy::too_many_arguments)]
 fn objective(
     model: &mut Sequential,
     base_weights: &ModelWeights,

@@ -31,8 +31,8 @@
 
 pub mod classifier;
 pub mod dgrad;
-pub mod dria;
 pub mod dpia;
+pub mod dria;
 mod error;
 pub mod features;
 pub mod metrics;

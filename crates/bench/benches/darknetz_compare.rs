@@ -24,8 +24,7 @@ fn bench_compare(c: &mut Criterion) {
         group.bench_function(name, |b| {
             let mut model = zoo::lenet5_with(10, 2).unwrap();
             let mut trainer = SecureTrainer::new();
-            let batches: Vec<Vec<usize>> =
-                (0..2).map(|k| (k * 8..(k + 1) * 8).collect()).collect();
+            let batches: Vec<Vec<usize>> = (0..2).map(|k| (k * 8..(k + 1) * 8).collect()).collect();
             b.iter(|| {
                 black_box(
                     trainer

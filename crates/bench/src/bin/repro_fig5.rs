@@ -5,7 +5,10 @@ use gradsec_bench::{master_seed, Profile};
 
 fn main() {
     let profile = Profile::from_env();
-    println!("GradSec reproduction — Figure 5 (profile {profile:?}, seed {})", master_seed());
+    println!(
+        "GradSec reproduction — Figure 5 (profile {profile:?}, seed {})",
+        master_seed()
+    );
     println!("Paper shape: ImageLoss small unprotected; explodes when L1/L2 is sheltered.\n");
     let f = fig5::run(profile, master_seed());
     println!("{}", fig5::render(&f));

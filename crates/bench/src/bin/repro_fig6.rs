@@ -5,7 +5,10 @@ use gradsec_bench::{master_seed, Profile};
 
 fn main() {
     let profile = Profile::from_env();
-    println!("GradSec reproduction — Figure 6 (profile {profile:?}, seed {})", master_seed());
+    println!(
+        "GradSec reproduction — Figure 6 (profile {profile:?}, seed {})",
+        master_seed()
+    );
     println!("Paper shape: LeNet 0.95 -> 0.85 (L5) -> 0.80 (L5..L2);");
     println!("AlexNet 0.85 / conv 0.79 / dense 0.59 / L6 0.56.\n");
     let f = fig6::run(profile, master_seed());

@@ -5,7 +5,10 @@ use gradsec_bench::{master_seed, Profile};
 
 fn main() {
     let profile = Profile::from_env();
-    println!("GradSec reproduction — Table 1 (profile {profile:?}, seed {})", master_seed());
+    println!(
+        "GradSec reproduction — Table 1 (profile {profile:?}, seed {})",
+        master_seed()
+    );
     println!("Paper reference: DRIA ImageLoss < 1, MIA AUC = 0.95, DPIA AUC = 0.99;");
     println!("gains -8.3%/-30% (static vs DarkneTZ) and -56.7%/-8% (dynamic).\n");
     let t = table1::run(profile, master_seed());

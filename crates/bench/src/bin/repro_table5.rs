@@ -5,7 +5,10 @@ use gradsec_bench::{master_seed, Profile};
 
 fn main() {
     let profile = Profile::from_env();
-    println!("GradSec reproduction — Table 5 (profile {profile:?}, seed {})", master_seed());
+    println!(
+        "GradSec reproduction — Table 5 (profile {profile:?}, seed {})",
+        master_seed()
+    );
     println!("Paper: static 0.99/0.99/0.99/0.95/0.85; dynamic MW=2/3/4 -> 0.78/0.77/0.80.\n");
     let t = table5::run(profile, master_seed());
     println!("{}", table5::render(&t));

@@ -67,7 +67,11 @@ fn sweep(
 /// Runs the figure's measurements.
 pub fn run(profile: Profile, seed: u64) -> Fig5 {
     let ds = SyntheticCifar100::new(64, seed);
-    let (lenet_iters, alex_iters) = if profile.is_full() { (1200, 60) } else { (600, 25) };
+    let (lenet_iters, alex_iters) = if profile.is_full() {
+        (1200, 60)
+    } else {
+        (600, 25)
+    };
     // Panel (a): LeNet-5, two target images.
     let mut lenet = Vec::new();
     let lenet_xs: Vec<usize> = (0..=5).collect();
@@ -118,8 +122,14 @@ pub fn run(profile: Profile, seed: u64) -> Fig5 {
 pub fn render(f: &Fig5) -> String {
     let mut out = String::new();
     for (title, series) in [
-        ("(a) DRIA vs LeNet-5 — ImageLoss per protected layer", &f.lenet),
-        ("(b) DRIA vs AlexNet — ImageLoss per protected layer", &f.alexnet),
+        (
+            "(a) DRIA vs LeNet-5 — ImageLoss per protected layer",
+            &f.lenet,
+        ),
+        (
+            "(b) DRIA vs AlexNet — ImageLoss per protected layer",
+            &f.alexnet,
+        ),
     ] {
         out.push_str(title);
         out.push('\n');

@@ -50,9 +50,14 @@ fn panel(
     let (members, non_members) = member_split(dataset.len(), cfg.members, cfg.seed);
     let victim_acc =
         overfit_victim(&mut model, dataset, &members, cfg).expect("victim training succeeds");
-    let (layout, rows) =
-        gradient_rows(&mut model, dataset, &members, &non_members, cfg.raw_per_layer)
-            .expect("gradient probing succeeds");
+    let (layout, rows) = gradient_rows(
+        &mut model,
+        dataset,
+        &members,
+        &non_members,
+        cfg.raw_per_layer,
+    )
+    .expect("gradient probing succeeds");
     let out = configs
         .iter()
         .map(|(label, protected)| Row {
@@ -68,7 +73,11 @@ fn panel(
 /// Runs both panels.
 pub fn run(profile: Profile, seed: u64) -> Fig6 {
     // Panel (a): LeNet-5 on synthetic CIFAR-100.
-    let (members, epochs) = if profile.is_full() { (150, 60) } else { (80, 40) };
+    let (members, epochs) = if profile.is_full() {
+        (150, 60)
+    } else {
+        (80, 40)
+    };
     let lenet_ds = SyntheticCifar100::new(2 * members + 50, seed);
     // Summary-statistic features only (raw_per_layer = 0): raw strided
     // gradient values act as noise dimensions for the linear attack model
@@ -96,7 +105,11 @@ pub fn run(profile: Profile, seed: u64) -> Fig6 {
         &lenet_configs,
     );
     // Panel (b): AlexNet.
-    let (a_members, a_epochs) = if profile.is_full() { (48, 25) } else { (16, 15) };
+    let (a_members, a_epochs) = if profile.is_full() {
+        (48, 25)
+    } else {
+        (16, 15)
+    };
     let alex_ds = SyntheticCifar100::new(2 * a_members + 20, seed + 9);
     let alex_cfg = MiaConfig {
         members: a_members,
@@ -161,7 +174,7 @@ mod tests {
     // LeNet-5 variant checks the pipeline end to end.
     #[test]
     fn miniature_panel_produces_ordered_rows() {
-        let ds = SyntheticCifar100::with_classes(60, 4, 3);
+        let ds = SyntheticCifar100::with_classes(60, 4, 5);
         let cfg = MiaConfig {
             members: 20,
             overfit_epochs: 20,
@@ -173,7 +186,7 @@ mod tests {
         };
         let configs: [(&str, Vec<usize>); 2] = [("None", vec![]), ("all", vec![0, 1])];
         let (rows, acc) = panel(
-            zoo::tiny_mlp(3 * 32 * 32, 16, 4, 2).unwrap(),
+            zoo::tiny_mlp(3 * 32 * 32, 16, 4, 4).unwrap(),
             &ds,
             &cfg,
             &configs,

@@ -92,10 +92,10 @@ pub fn run() -> Fig8 {
     let window = MovingWindow::new(2, model.num_layers(), v_mw.clone(), 0).expect("valid");
     let mut weighted = Vec::new();
     let mut worst_mem = 0.0f64;
-    for pos in 0..window.positions() {
+    for (pos, &weight) in v_mw.iter().enumerate().take(window.positions()) {
         let layers = window.layers_at(pos);
         let (t, peak) = estimate_cycle(&model, &layers, BATCHES, BATCH_SIZE, &cost).expect("valid");
-        weighted.push((t, v_mw[pos]));
+        weighted.push((t, weight));
         worst_mem = worst_mem.max(mb(peak));
     }
     let dynamic = Comparison {

@@ -57,7 +57,11 @@ pub fn run(profile: Profile, seed: u64) -> Table1 {
     };
     let dria = run_dria(&mut lenet, &target, &label, &[], &dria_cfg).expect("dria runs");
     // MIA baseline on LeNet-5.
-    let (members, epochs) = if profile.is_full() { (150, 60) } else { (60, 30) };
+    let (members, epochs) = if profile.is_full() {
+        (150, 60)
+    } else {
+        (60, 30)
+    };
     let mia_ds = SyntheticCifar100::new(2 * members + 20, seed + 3);
     let mut victim = zoo::lenet5(seed + 4).expect("LeNet-5 builds");
     let mia_cfg = MiaConfig {

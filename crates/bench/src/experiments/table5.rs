@@ -185,7 +185,11 @@ pub fn observations<F>(
     rows: &[RawRow],
     rounds: u64,
     protect: F,
-) -> (Vec<DpiaObservation>, Vec<DpiaObservation>, Vec<DpiaObservation>)
+) -> (
+    Vec<DpiaObservation>,
+    Vec<DpiaObservation>,
+    Vec<DpiaObservation>,
+)
 where
     F: Fn(u64) -> Vec<usize>,
 {
@@ -281,7 +285,13 @@ pub fn render(t: &Table5) -> String {
     }
     out.push_str(&st.render());
     out.push_str("\nDynamic GradSec\n");
-    let mut dt = TextTable::new(vec!["window", "best V_MW", "val AUC", "test AUC", "candidates"]);
+    let mut dt = TextTable::new(vec![
+        "window",
+        "best V_MW",
+        "val AUC",
+        "test AUC",
+        "candidates",
+    ]);
     for r in &t.dynamic_rows {
         let v: Vec<String> = r.v_mw.iter().map(|p| format!("{p:.2}")).collect();
         dt.row(vec![

@@ -102,7 +102,7 @@ pub fn run() -> Table6 {
         let mut rows = Vec::new();
         let mut weighted: Vec<(TimeBreakdown, f64)> = Vec::new();
         let mut worst_mem = 0.0f64;
-        for pos in 0..window.positions() {
+        for (pos, &weight) in v_mw.iter().enumerate().take(window.positions()) {
             let layers = window.layers_at(pos);
             let label = layers
                 .iter()
@@ -110,7 +110,7 @@ pub fn run() -> Table6 {
                 .collect::<Vec<_>>()
                 .join("+");
             let row = make_row(&model, &label, &layers, &cost, Some(&base_t));
-            weighted.push((row.times, v_mw[pos]));
+            weighted.push((row.times, weight));
             worst_mem = worst_mem.max(row.tee_mb);
             rows.push(row);
         }

@@ -36,7 +36,10 @@ pub enum Profile {
 impl Profile {
     /// Reads the profile from the environment.
     pub fn from_env() -> Self {
-        if std::env::var("GRADSEC_FULL").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("GRADSEC_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Profile::Full
         } else {
             Profile::Quick

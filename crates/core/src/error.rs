@@ -76,9 +76,7 @@ mod tests {
         assert!(e.to_string().contains("model error"));
         let e: GradSecError = TeeError::BadHandle { handle: 1 }.into();
         assert!(std::error::Error::source(&e).is_some());
-        let e = GradSecError::NonContiguousSlice {
-            layers: vec![1, 4],
-        };
+        let e = GradSecError::NonContiguousSlice { layers: vec![1, 4] };
         assert!(e.to_string().contains("successive"));
     }
 

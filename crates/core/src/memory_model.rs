@@ -42,12 +42,7 @@ pub fn layers_tee_mb(model: &Sequential, layers: &[usize], batch: usize) -> f64 
 /// Trusted-computing-base comparison between two protection configs:
 /// returns the percentage *reduction* of `ours` relative to `theirs`
 /// (positive = ours is smaller — the paper's "gain in TCB size").
-pub fn tcb_gain_percent(
-    model: &Sequential,
-    ours: &[usize],
-    theirs: &[usize],
-    batch: usize,
-) -> f64 {
+pub fn tcb_gain_percent(model: &Sequential, ours: &[usize], theirs: &[usize], batch: usize) -> f64 {
     let a = layers_tee_bytes(model, ours, batch) as f64;
     let b = layers_tee_bytes(model, theirs, batch) as f64;
     if b == 0.0 {

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeSet;
 
+use gradsec_fl::scheduler::ProtectionScheduler;
 use serde::{Deserialize, Serialize};
 
 use crate::window::MovingWindow;
@@ -82,11 +83,9 @@ impl ProtectionPolicy {
     pub fn protected_for_round(&self, round: u64, n_layers: usize) -> Vec<usize> {
         match self {
             ProtectionPolicy::None => Vec::new(),
-            ProtectionPolicy::Static { layers } => layers
-                .iter()
-                .copied()
-                .filter(|&l| l < n_layers)
-                .collect(),
+            ProtectionPolicy::Static { layers } => {
+                layers.iter().copied().filter(|&l| l < n_layers).collect()
+            }
             ProtectionPolicy::Dynamic(w) => w.layers_for_round(round),
         }
     }
@@ -105,6 +104,19 @@ impl ProtectionPolicy {
             }
         }
         out
+    }
+}
+
+/// Policies drive the federation directly: hand a [`ProtectionPolicy`] to
+/// `FederationBuilder::scheduler` and every round's sheltered set follows
+/// the policy's (deterministic, per-round) draw.
+impl ProtectionScheduler for ProtectionPolicy {
+    fn layers_for_round(&self, round: u64) -> Vec<usize> {
+        match self {
+            ProtectionPolicy::None => Vec::new(),
+            ProtectionPolicy::Static { layers } => layers.clone(),
+            ProtectionPolicy::Dynamic(w) => w.layers_for_round(round),
+        }
     }
 }
 
@@ -173,6 +185,14 @@ impl DarknetzPolicy {
         ProtectionPolicy::Static {
             layers: self.layers(),
         }
+    }
+}
+
+/// The baseline schedules its contiguous hull every round, so DarkneTZ
+/// runs through the identical federation path as GradSec in comparisons.
+impl ProtectionScheduler for DarknetzPolicy {
+    fn layers_for_round(&self, _round: u64) -> Vec<usize> {
+        self.layers()
     }
 }
 
@@ -246,5 +266,26 @@ mod tests {
     #[test]
     fn none_protects_nothing() {
         assert!(ProtectionPolicy::None.protected_for_round(5, 5).is_empty());
+    }
+
+    #[test]
+    fn policies_schedule_the_federation() {
+        // ProtectionScheduler draws agree with protected_for_round.
+        let none = ProtectionPolicy::None;
+        assert!(ProtectionScheduler::layers_for_round(&none, 3).is_empty());
+        let stat = ProtectionPolicy::static_layers(&[4, 1]).unwrap();
+        assert_eq!(ProtectionScheduler::layers_for_round(&stat, 9), vec![1, 4]);
+        let dynamic = ProtectionPolicy::dynamic(MovingWindow::uniform(2, 5, 3).unwrap());
+        for round in 0..20 {
+            assert_eq!(
+                ProtectionScheduler::layers_for_round(&dynamic, round),
+                dynamic.protected_for_round(round, 5)
+            );
+        }
+        let hull = DarknetzPolicy::covering(&[1, 4]).unwrap();
+        assert_eq!(
+            ProtectionScheduler::layers_for_round(&hull, 0),
+            vec![1, 2, 3, 4]
+        );
     }
 }

@@ -249,6 +249,7 @@ impl gradsec_fl::trainer::LocalTrainer for SecureTrainer {
             samples: report.samples,
             time: report.times,
             tee_peak_bytes: report.tee_peak_bytes,
+            crossings: report.crossings,
         })
     }
 }
@@ -261,7 +262,9 @@ mod tests {
     use gradsec_tee::TeeError;
 
     fn batches(n: usize, size: usize) -> Vec<Vec<usize>> {
-        (0..n).map(|b| (b * size..(b + 1) * size).collect()).collect()
+        (0..n)
+            .map(|b| (b * size..(b + 1) * size).collect())
+            .collect()
     }
 
     #[test]
@@ -282,7 +285,11 @@ mod tests {
         let m = zoo::lenet5(1).unwrap();
         let cost = CostModel::raspberry_pi3();
         let (t, peak) = estimate_cycle(&m, &[], 10, 32, &cost).unwrap();
-        assert!((t.user_s - 2.191).abs() < 0.02, "baseline user {}", t.user_s);
+        assert!(
+            (t.user_s - 2.191).abs() < 0.02,
+            "baseline user {}",
+            t.user_s
+        );
         assert_eq!(t.kernel_s, 0.0);
         assert_eq!(t.alloc_s, 0.0);
         assert_eq!(peak, 0);

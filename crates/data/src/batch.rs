@@ -80,7 +80,7 @@ mod tests {
     #[test]
     fn covers_every_index_once() {
         let b = Batcher::new(23, 5, 1);
-        let mut seen = vec![false; 23];
+        let mut seen = [false; 23];
         for batch in b.epoch(0) {
             for i in batch {
                 assert!(!seen[i], "index {i} repeated");

@@ -106,10 +106,7 @@ mod tests {
     #[test]
     fn one_hot_basic() {
         let y = one_hot(&[0, 2, 1], 3);
-        assert_eq!(
-            y.data(),
-            &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0]
-        );
+        assert_eq!(y.data(), &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
     }
 
     #[test]

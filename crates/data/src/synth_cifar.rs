@@ -130,8 +130,7 @@ impl Dataset for SyntheticCifar100 {
                         * ((p.fy * y as f32 / HW as f32) * tau + phase).cos();
                     let bx = x as f32 - (p.blob_x + dx);
                     let by = y as f32 - (p.blob_y + dy);
-                    let blob =
-                        (-(bx * bx + by * by) / (2.0 * p.blob_sigma * p.blob_sigma)).exp();
+                    let blob = (-(bx * bx + by * by) / (2.0 * p.blob_sigma * p.blob_sigma)).exp();
                     let base = p.color[c]
                         + p.grating_weight * grating
                         + 0.35 * blob * (1.0 - 0.3 * c as f32);

@@ -58,14 +58,22 @@ mod tests {
     #[test]
     fn equal_weights_average() {
         let g = fedavg(&[upload(0, 1.0, 10), upload(1, 3.0, 10)]).unwrap();
-        assert!(g.layer(0).unwrap().w.approx_eq(&Tensor::full(&[2], 2.0), 1e-6));
+        assert!(g
+            .layer(0)
+            .unwrap()
+            .w
+            .approx_eq(&Tensor::full(&[2], 2.0), 1e-6));
     }
 
     #[test]
     fn sample_weighting() {
         // 1.0 with 30 samples, 5.0 with 10 samples -> (30·1 + 10·5)/40 = 2.
         let g = fedavg(&[upload(0, 1.0, 30), upload(1, 5.0, 10)]).unwrap();
-        assert!(g.layer(0).unwrap().w.approx_eq(&Tensor::full(&[2], 2.0), 1e-6));
+        assert!(g
+            .layer(0)
+            .unwrap()
+            .w
+            .approx_eq(&Tensor::full(&[2], 2.0), 1e-6));
     }
 
     #[test]

@@ -230,9 +230,7 @@ mod tests {
         let ch = Challenge::new([1u8; 16]);
         let resp = c.attest(&ch);
         let quote = resp.quote.expect("tee device produces a quote");
-        let expected = Measurement(gradsec_tee::crypto::sha256::sha256(
-            b"gradsec-ta-code-v1",
-        ));
+        let expected = Measurement(gradsec_tee::crypto::sha256::sha256(b"gradsec-ta-code-v1"));
         verify_quote(b"device-key-7", &quote, expected, &ch).unwrap();
     }
 
@@ -247,9 +245,7 @@ mod tests {
         let c = client(DeviceProfile::compromised(7));
         let ch = Challenge::new([1u8; 16]);
         let quote = c.attest(&ch).quote.unwrap();
-        let expected = Measurement(gradsec_tee::crypto::sha256::sha256(
-            b"gradsec-ta-code-v1",
-        ));
+        let expected = Measurement(gradsec_tee::crypto::sha256::sha256(b"gradsec-ta-code-v1"));
         assert!(verify_quote(b"device-key-7", &quote, expected, &ch).is_err());
     }
 

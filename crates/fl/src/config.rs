@@ -46,7 +46,7 @@ impl TrainingPlan {
                 reason: "batches_per_cycle and batch_size must be positive".to_owned(),
             });
         }
-        if !(self.learning_rate > 0.0) {
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
             return Err(FlError::BadConfig {
                 reason: format!("learning rate must be positive, got {}", self.learning_rate),
             });

@@ -1,0 +1,162 @@
+//! The federation execution engine: fans one round's client cycles out
+//! across a worker pool.
+//!
+//! Every selected client's local training is independent — each trains a
+//! private model replica on a private shard with a per-client seeded
+//! batcher (`plan.seed ^ client_id ^ round`), so cycles can run on any
+//! worker in any order without changing a single bit of the result. The
+//! engine exploits exactly that:
+//!
+//! * clients are dealt round-robin onto `workers` scoped threads
+//!   (the crossbeam idiom the tensor kernels already use),
+//! * each result lands in a slot keyed by the client's position in the
+//!   round's selection, so aggregation order never depends on timing,
+//! * TEE accounting is recorded into a [`SharedLedger`] as workers
+//!   finish and merged into an id-sorted [`RoundLedger`], so the
+//!   world-switch/crypto bill stays correct under concurrency.
+//!
+//! With identical seeds, a 1-worker and an N-worker engine produce
+//! bit-identical round reports and final weights (see
+//! `tests/integration_engine.rs` at the workspace root).
+
+use gradsec_tee::cost::{ClientCycleCost, RoundLedger, SharedLedger};
+
+use crate::client::FlClient;
+use crate::message::{ModelDownload, UpdateUpload};
+use crate::Result;
+
+/// A round-execution strategy: how many workers train clients
+/// concurrently within one FL cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionEngine {
+    workers: usize,
+}
+
+impl ExecutionEngine {
+    /// One client at a time on the calling thread — the reference
+    /// behaviour every parallel configuration must reproduce exactly.
+    pub fn sequential() -> Self {
+        ExecutionEngine { workers: 1 }
+    }
+
+    /// A pool of `workers` threads; `0` means one per available core.
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        ExecutionEngine { workers }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs the cycles of the clients listed in `picked` (indices into
+    /// `clients`) against `download`, returning per-client outcomes in
+    /// `picked` order plus the round's merged TEE ledger.
+    pub(crate) fn execute_cycles(
+        &self,
+        clients: &mut [FlClient],
+        picked: &[usize],
+        download: &ModelDownload,
+    ) -> (Vec<Result<UpdateUpload>>, RoundLedger) {
+        let ledger = SharedLedger::new();
+        let mut slots: Vec<Option<Result<UpdateUpload>>> =
+            (0..picked.len()).map(|_| None).collect();
+        if self.workers <= 1 || picked.len() <= 1 {
+            for (slot, &ci) in picked.iter().enumerate() {
+                slots[slot] = Some(run_and_record(&mut clients[ci], download, &ledger));
+            }
+        } else {
+            // Deal the selected clients round-robin into one shard per
+            // worker. The deal is a pure function of (picked, workers),
+            // so the partition — and therefore any numeric consequence of
+            // it — is reproducible.
+            let workers = self.workers.min(picked.len());
+            let mut shards: Vec<Vec<(usize, &mut FlClient)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (k, (slot, client)) in clients
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, c)| picked.iter().position(|&p| p == i).map(|s| (s, c)))
+                .enumerate()
+            {
+                shards[k % workers].push((slot, client));
+            }
+            let outcomes: Vec<Vec<(usize, Result<UpdateUpload>)>> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|mut shard| {
+                        let ledger = &ledger;
+                        s.spawn(move |_| {
+                            shard
+                                .iter_mut()
+                                .map(|(slot, client)| {
+                                    (*slot, run_and_record(client, download, ledger))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("engine worker panicked"))
+                    .collect()
+            })
+            .expect("engine scope panicked");
+            for (slot, outcome) in outcomes.into_iter().flatten() {
+                slots[slot] = Some(outcome);
+            }
+        }
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every picked client executed"))
+            .collect();
+        (results, ledger.into_round_ledger())
+    }
+}
+
+impl Default for ExecutionEngine {
+    fn default() -> Self {
+        ExecutionEngine::sequential()
+    }
+}
+
+/// Runs one client cycle and, on success, records its TEE accounting.
+fn run_and_record(
+    client: &mut FlClient,
+    download: &ModelDownload,
+    ledger: &SharedLedger,
+) -> Result<UpdateUpload> {
+    let result = client.run_cycle(download);
+    if result.is_ok() {
+        if let Some(stats) = client.last_stats() {
+            ledger.record(ClientCycleCost {
+                client_id: client.id(),
+                time: stats.time,
+                crossings: stats.crossings,
+                tee_peak_bytes: stats.tee_peak_bytes,
+            });
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_workers_means_all_cores() {
+        let e = ExecutionEngine::new(0);
+        assert!(e.workers() >= 1);
+        assert_eq!(ExecutionEngine::new(3).workers(), 3);
+        assert_eq!(ExecutionEngine::sequential().workers(), 1);
+        assert_eq!(ExecutionEngine::default(), ExecutionEngine::sequential());
+    }
+}

@@ -52,15 +52,19 @@
 pub mod aggregate;
 pub mod client;
 pub mod config;
+pub mod engine;
 mod error;
 pub mod history;
 pub mod message;
 pub mod runner;
+pub mod scheduler;
 pub mod selection;
 pub mod server;
 pub mod trainer;
 
+pub use engine::ExecutionEngine;
 pub use error::FlError;
+pub use scheduler::ProtectionScheduler;
 
 /// Crate-wide result alias using [`FlError`].
 pub type Result<T> = std::result::Result<T, FlError>;

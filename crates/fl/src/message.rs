@@ -412,12 +412,7 @@ mod tests {
         let req = AttestationRequest { challenge: ch };
         let back: AttestationRequest = decode(&encode(&req)).unwrap();
         assert_eq!(req, back);
-        let q = sign_quote(
-            b"key",
-            Uuid::from_name("ta"),
-            Measurement([9u8; 32]),
-            &ch,
-        );
+        let q = sign_quote(b"key", Uuid::from_name("ta"), Measurement([9u8; 32]), &ch);
         let resp = AttestationResponse { quote: Some(q) };
         let back: AttestationResponse = decode(&encode(&resp)).unwrap();
         assert_eq!(resp, back);

@@ -5,27 +5,26 @@ use std::sync::Arc;
 use gradsec_data::{split, Dataset};
 use gradsec_nn::Sequential;
 use gradsec_tee::attestation::Measurement;
+use gradsec_tee::cost::RoundLedger;
 use gradsec_tee::crypto::sha256::sha256;
 
 use crate::client::{DeviceProfile, FlClient};
 use crate::config::TrainingPlan;
+use crate::engine::ExecutionEngine;
 use crate::message::UpdateUpload;
+use crate::scheduler::{NoProtection, ProtectionScheduler};
 use crate::server::FlServer;
 use crate::trainer::{LocalTrainer, PlainSgdTrainer};
 use crate::{FlError, Result};
 
-/// Builds a fresh model replica for each client.
+/// Builds the prototype model whose replicas every client trains.
 pub type ModelFactory = Box<dyn Fn() -> Sequential + Send + Sync>;
 
 /// Builds a local trainer for a client id.
 pub type TrainerFactory = Box<dyn Fn(u64) -> Box<dyn LocalTrainer> + Send + Sync>;
 
-/// Chooses the protected layer set for a round — the hook through which
-/// GradSec's static/dynamic policies drive the federation.
-pub type ProtectionSchedule = Box<dyn FnMut(u64) -> Vec<usize> + Send>;
-
 /// Per-round outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundReport {
     /// Round index (0-based).
     pub round: u64,
@@ -35,10 +34,13 @@ pub struct RoundReport {
     pub mean_loss: f32,
     /// The protected layers used this round.
     pub protected_layers: Vec<usize>,
+    /// Per-client TEE accounting merged over the round (id-sorted, so
+    /// identical whichever worker finished first).
+    pub ledger: RoundLedger,
 }
 
 /// Whole-run outcome.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FederationReport {
     /// Rounds completed.
     pub rounds_completed: u64,
@@ -53,8 +55,8 @@ pub struct FederationBuilder {
     trainer_factory: TrainerFactory,
     dataset: Option<Arc<dyn Dataset>>,
     devices: Vec<DeviceProfile>,
-    schedule: ProtectionSchedule,
-    parallel: bool,
+    scheduler: Arc<dyn ProtectionScheduler>,
+    engine: ExecutionEngine,
     measurement: Measurement,
 }
 
@@ -66,8 +68,8 @@ impl FederationBuilder {
             trainer_factory: Box::new(|_| Box::new(PlainSgdTrainer)),
             dataset: None,
             devices: Vec::new(),
-            schedule: Box::new(|_| Vec::new()),
-            parallel: false,
+            scheduler: Arc::new(NoProtection),
+            engine: ExecutionEngine::sequential(),
             measurement: Measurement(sha256(b"gradsec-ta-code-v1")),
         }
     }
@@ -107,18 +109,22 @@ impl FederationBuilder {
         self
     }
 
-    /// Sets the per-round protection schedule.
-    pub fn schedule<F>(mut self, f: F) -> Self
+    /// Sets the protection scheduler driving every round's sheltered
+    /// layer set. Policies from `gradsec-core` implement
+    /// [`ProtectionScheduler`] directly; plain `Fn(u64) -> Vec<usize>`
+    /// closures work too.
+    pub fn scheduler<S>(mut self, s: S) -> Self
     where
-        F: FnMut(u64) -> Vec<usize> + Send + 'static,
+        S: ProtectionScheduler + 'static,
     {
-        self.schedule = Box::new(f);
+        self.scheduler = Arc::new(s);
         self
     }
 
-    /// Runs selected clients on scoped threads each round.
-    pub fn parallel(mut self, yes: bool) -> Self {
-        self.parallel = yes;
+    /// Sets the round-execution engine (worker pool size); defaults to
+    /// sequential execution.
+    pub fn engine(mut self, engine: ExecutionEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -148,6 +154,10 @@ impl FederationBuilder {
         }
         self.plan.validate()?;
         let shards = split::shard(dataset.len(), self.devices.len(), self.plan.seed);
+        // One factory invocation builds the prototype; every client gets a
+        // replica (identical weights, fresh caches) — the same mechanism
+        // the engine's per-worker replicas rely on.
+        let prototype = model_factory();
         let clients: Vec<FlClient> = self
             .devices
             .into_iter()
@@ -159,18 +169,17 @@ impl FederationBuilder {
                     device,
                     dataset.clone(),
                     shard,
-                    model_factory(),
+                    prototype.replicate(),
                     (self.trainer_factory)(i as u64),
                 )
             })
             .collect();
-        let initial = model_factory();
-        let server = FlServer::new(self.plan, initial.weights(), self.measurement)?;
+        let server = FlServer::new(self.plan, prototype.weights(), self.measurement)?;
         Ok(Federation {
             server,
             clients,
-            schedule: self.schedule,
-            parallel: self.parallel,
+            scheduler: self.scheduler,
+            engine: self.engine,
         })
     }
 }
@@ -179,8 +188,8 @@ impl FederationBuilder {
 pub struct Federation {
     server: FlServer,
     clients: Vec<FlClient>,
-    schedule: ProtectionSchedule,
-    parallel: bool,
+    scheduler: Arc<dyn ProtectionScheduler>,
+    engine: ExecutionEngine,
 }
 
 impl std::fmt::Debug for Federation {
@@ -213,47 +222,48 @@ impl Federation {
         &mut self.clients
     }
 
-    /// Runs one FL cycle: select → download → local train → aggregate.
+    /// The configured protection scheduler.
+    pub fn scheduler(&self) -> &Arc<dyn ProtectionScheduler> {
+        &self.scheduler
+    }
+
+    /// The configured execution engine.
+    pub fn engine(&self) -> ExecutionEngine {
+        self.engine
+    }
+
+    /// Runs one FL cycle with the builder-configured engine.
     ///
     /// # Errors
     ///
     /// Propagates selection, training and aggregation failures.
     pub fn run_round(&mut self) -> Result<RoundReport> {
+        let engine = self.engine;
+        self.run_round_with(&engine)
+    }
+
+    /// Runs one FL cycle — select → download → local train (fanned out by
+    /// `engine`) → aggregate — and merges the clients' TEE accounting
+    /// into the round ledger.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selection, training and aggregation failures. When
+    /// several clients fail in one round, the error of the earliest
+    /// client in selection order is returned.
+    pub fn run_round_with(&mut self, engine: &ExecutionEngine) -> Result<RoundReport> {
         let round = self.server.round();
         let picked = self.server.select(&self.clients)?;
-        let protected = (self.schedule)(round);
+        // Clamp the scheduler's draw to the global model's depth — a
+        // policy configured for a deeper network shelters what exists
+        // rather than failing the round (the semantics the old
+        // closure hook had via `protected_for_round(round, n_layers)`).
+        let n_layers = self.server.global().num_layers();
+        let mut protected = self.scheduler.layers_for_round(round);
+        protected.retain(|&l| l < n_layers);
         let download = self.server.download(protected.clone());
-        let updates: Vec<UpdateUpload> = if self.parallel {
-            // Scoped threads: hand each selected client (a disjoint &mut)
-            // to its own worker.
-            let mut refs: Vec<(usize, &mut FlClient)> = self
-                .clients
-                .iter_mut()
-                .enumerate()
-                .filter(|(i, _)| picked.contains(i))
-                .collect();
-            let results = crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = refs
-                    .iter_mut()
-                    .map(|(_, c)| {
-                        let dl = &download;
-                        s.spawn(move |_| c.run_cycle(dl))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("client worker panicked"))
-                    .collect::<Vec<_>>()
-            })
-            .expect("federation scope panicked");
-            results.into_iter().collect::<Result<Vec<_>>>()?
-        } else {
-            let mut ups = Vec::with_capacity(picked.len());
-            for &i in &picked {
-                ups.push(self.clients[i].run_cycle(&download)?);
-            }
-            ups
-        };
+        let (results, ledger) = engine.execute_cycles(&mut self.clients, &picked, &download);
+        let updates: Vec<UpdateUpload> = results.into_iter().collect::<Result<Vec<_>>>()?;
         let mean_loss =
             updates.iter().map(|u| u.train_loss).sum::<f32>() / updates.len().max(1) as f32;
         self.server.aggregate(&updates)?;
@@ -262,18 +272,29 @@ impl Federation {
             participants: picked,
             mean_loss,
             protected_layers: protected,
+            ledger,
         })
     }
 
-    /// Runs the full plan.
+    /// Runs the full plan with the builder-configured engine.
     ///
     /// # Errors
     ///
     /// Propagates round failures.
     pub fn run(&mut self) -> Result<FederationReport> {
+        let engine = self.engine;
+        self.run_with(&engine)
+    }
+
+    /// Runs the full plan through `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round failures.
+    pub fn run_with(&mut self, engine: &ExecutionEngine) -> Result<FederationReport> {
         let mut report = FederationReport::default();
         for _ in 0..self.server.plan().rounds {
-            let r = self.run_round()?;
+            let r = self.run_round_with(engine)?;
             report.rounds.push(r);
             report.rounds_completed += 1;
         }
@@ -319,7 +340,7 @@ mod tests {
         let mut fed = Federation::builder(plan())
             .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
             .clients(4, dataset())
-            .parallel(true)
+            .engine(ExecutionEngine::new(4))
             .build()
             .unwrap();
         let report = fed.run().unwrap();
@@ -330,11 +351,48 @@ mod tests {
     }
 
     #[test]
-    fn schedule_reaches_downloads() {
+    fn parallel_engine_is_bit_identical_to_sequential() {
+        let build = || {
+            Federation::builder(plan())
+                .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+                .clients(4, dataset())
+                .build()
+                .unwrap()
+        };
+        let mut seq = build();
+        let seq_report = seq.run_with(&ExecutionEngine::sequential()).unwrap();
+        for workers in [2usize, 4] {
+            let mut par = build();
+            let par_report = par.run_with(&ExecutionEngine::new(workers)).unwrap();
+            assert_eq!(seq_report, par_report, "{workers}-worker report diverged");
+            assert_eq!(
+                seq.server().global(),
+                par.server().global(),
+                "{workers}-worker weights diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_scheduled_layers_are_clamped() {
+        // A scheduler configured for a deeper model shelters what
+        // exists instead of failing the round.
         let mut fed = Federation::builder(plan())
             .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
             .clients(2, dataset())
-            .schedule(|round| vec![round as usize % 2])
+            .scheduler(|_: u64| vec![1, 6])
+            .build()
+            .unwrap();
+        let r = fed.run_round().unwrap();
+        assert_eq!(r.protected_layers, vec![1]);
+    }
+
+    #[test]
+    fn scheduler_reaches_downloads() {
+        let mut fed = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .clients(2, dataset())
+            .scheduler(|round: u64| vec![round as usize % 2])
             .build()
             .unwrap();
         let r0 = fed.run_round().unwrap();

@@ -41,12 +41,7 @@ pub fn screen_clients(
             match c.attest(&challenge).quote {
                 None => ScreeningOutcome::NoTee,
                 Some(quote) => {
-                    match verify_quote(
-                        &c.device().attestation_key,
-                        &quote,
-                        expected,
-                        &challenge,
-                    ) {
+                    match verify_quote(&c.device().attestation_key, &quote, expected, &challenge) {
                         Ok(()) => ScreeningOutcome::Eligible,
                         Err(_) => ScreeningOutcome::FailedAttestation,
                     }
@@ -58,11 +53,7 @@ pub fn screen_clients(
 
 /// Samples up to `k` eligible client indices uniformly without
 /// replacement.
-pub fn sample_eligible(
-    outcomes: &[ScreeningOutcome],
-    k: usize,
-    rng: &mut StdRng,
-) -> Vec<usize> {
+pub fn sample_eligible(outcomes: &[ScreeningOutcome], k: usize, rng: &mut StdRng) -> Vec<usize> {
     let mut eligible: Vec<usize> = outcomes
         .iter()
         .enumerate()
@@ -78,12 +69,12 @@ pub fn sample_eligible(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use crate::client::DeviceProfile;
     use crate::trainer::PlainSgdTrainer;
     use gradsec_data::SyntheticCifar100;
     use gradsec_nn::zoo;
     use gradsec_tee::crypto::sha256::sha256;
+    use rand::SeedableRng;
     use std::sync::Arc;
 
     fn make_client(id: u64, device: DeviceProfile) -> FlClient {

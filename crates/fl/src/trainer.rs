@@ -26,6 +26,9 @@ pub struct CycleStats {
     pub time: TimeBreakdown,
     /// Peak TEE memory in bytes (0 for the plain trainer).
     pub tee_peak_bytes: usize,
+    /// Secure-monitor crossings taken during the cycle (0 for the plain
+    /// trainer) — feeds the round ledger's per-client accounting.
+    pub crossings: u64,
 }
 
 /// A strategy that trains a model for one FL cycle on a client.
@@ -81,6 +84,7 @@ impl LocalTrainer for PlainSgdTrainer {
             samples,
             time: TimeBreakdown::default(),
             tee_peak_bytes: 0,
+            crossings: 0,
         })
     }
 }
@@ -97,14 +101,10 @@ mod tests {
         let mut model = zoo::tiny_mlp(3 * 32 * 32, 16, 2, 1).unwrap();
         let batches: Vec<Vec<usize>> = (0..8).map(|b| (b * 8..(b + 1) * 8).collect()).collect();
         let mut t = PlainSgdTrainer;
-        let first = t
-            .train_cycle(&mut model, &ds, &batches, 0.05, &[])
-            .unwrap();
+        let first = t.train_cycle(&mut model, &ds, &batches, 0.05, &[]).unwrap();
         let mut last = first;
         for _ in 0..10 {
-            last = t
-                .train_cycle(&mut model, &ds, &batches, 0.05, &[])
-                .unwrap();
+            last = t.train_cycle(&mut model, &ds, &batches, 0.05, &[]).unwrap();
         }
         assert!(last.mean_loss < first.mean_loss, "{last:?} vs {first:?}");
         assert_eq!(last.batches, 8);

@@ -49,7 +49,10 @@ impl fmt::Display for NnError {
             }
             NnError::EmptyModel => write!(f, "model has no layers"),
             NnError::BadInput { expected, actual } => {
-                write!(f, "bad input: expected per-sample {expected:?}, got {actual:?}")
+                write!(
+                    f,
+                    "bad input: expected per-sample {expected:?}, got {actual:?}"
+                )
             }
             NnError::IncompatibleWeights { reason } => {
                 write!(f, "incompatible weights: {reason}")

@@ -29,7 +29,7 @@ use crate::{NnError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     geo: Conv2dGeometry,
     pool: Option<PoolGeometry>,
@@ -206,6 +206,10 @@ impl Layer for Conv2d {
         self.cached_preact = None;
         self.cached_argmax = None;
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -268,17 +272,15 @@ mod tests {
     fn gradient_check_full_layer() {
         // End-to-end finite differences through conv + tanh (+ pool).
         for maxpool in [false, true] {
-            let mut l =
-                Conv2d::new(1, 4, 4, 2, 3, 1, 1, Activation::Tanh, maxpool, 11).unwrap();
+            let mut l = Conv2d::new(1, 4, 4, 2, 3, 1, 1, Activation::Tanh, maxpool, 11).unwrap();
             let x = init::uniform(&[1, 1, 4, 4], -1.0, 1.0, 12);
             let out = l.forward(&x).unwrap();
             let delta = Tensor::ones(out.dims());
             let dinput = l.backward(&delta).unwrap();
             let dw = l.grads().unwrap().0.clone();
             let eps = 1e-3f32;
-            let loss = |l: &mut Conv2d, x: &Tensor| -> f32 {
-                l.forward(x).unwrap().data().iter().sum()
-            };
+            let loss =
+                |l: &mut Conv2d, x: &Tensor| -> f32 { l.forward(x).unwrap().data().iter().sum() };
             for &i in &[0usize, 5, 11, 15] {
                 let mut xp = x.clone();
                 xp.data_mut()[i] += eps;

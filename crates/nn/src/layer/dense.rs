@@ -30,7 +30,7 @@ use crate::{NnError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dense {
     inputs: usize,
     outputs: usize,
@@ -74,7 +74,7 @@ impl Dense {
 
     fn flatten_input(&self, input: &Tensor) -> Result<Tensor> {
         let n_elems = input.numel();
-        if n_elems % self.inputs != 0 {
+        if !n_elems.is_multiple_of(self.inputs) {
             return Err(NnError::BadInput {
                 expected: vec![self.inputs],
                 actual: input.dims().to_vec(),
@@ -197,6 +197,10 @@ impl Layer for Dense {
         self.cached_preact = None;
         self.cached_input_dims = None;
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -255,8 +259,7 @@ mod tests {
         let dw = l.grads().unwrap().0.clone();
         let db = l.grads().unwrap().1.clone();
         let eps = 1e-3f32;
-        let loss =
-            |l: &mut Dense, x: &Tensor| -> f32 { l.forward(x).unwrap().data().iter().sum() };
+        let loss = |l: &mut Dense, x: &Tensor| -> f32 { l.forward(x).unwrap().data().iter().sum() };
         for i in 0..x.numel() {
             let mut xp = x.clone();
             xp.data_mut()[i] += eps;

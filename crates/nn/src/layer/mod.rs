@@ -137,6 +137,11 @@ pub trait Layer: Send {
 
     /// Drops the forward caches (frees activation memory between cycles).
     fn clear_cache(&mut self);
+
+    /// Deep-copies the layer into a fresh box — the mechanism behind
+    /// [`crate::Sequential::replicate`], which hands every FL client /
+    /// engine worker its own replica of a prototype model.
+    fn clone_box(&self) -> Box<dyn Layer>;
 }
 
 #[cfg(test)]

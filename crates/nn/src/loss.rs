@@ -34,11 +34,13 @@ impl Loss {
     /// Returns a tensor shape error when the operands disagree.
     pub fn evaluate(&self, logits: &Tensor, targets: &Tensor) -> Result<(f32, Tensor)> {
         if logits.dims() != targets.dims() {
-            return Err(NnError::Tensor(gradsec_tensor::TensorError::ShapeMismatch {
-                op: "loss",
-                lhs: logits.dims().to_vec(),
-                rhs: targets.dims().to_vec(),
-            }));
+            return Err(NnError::Tensor(
+                gradsec_tensor::TensorError::ShapeMismatch {
+                    op: "loss",
+                    lhs: logits.dims().to_vec(),
+                    rhs: targets.dims().to_vec(),
+                },
+            ));
         }
         if logits.shape().ndim() != 2 {
             return Err(NnError::Tensor(gradsec_tensor::TensorError::RankMismatch {

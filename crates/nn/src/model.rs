@@ -381,6 +381,20 @@ impl Sequential {
         }
     }
 
+    /// Deep-copies the model: identical weights and architecture, with
+    /// caches and gradients cleared. This is how the federation hands
+    /// every client (and every engine worker) its own replica of one
+    /// prototype without re-running weight initialisation per copy.
+    pub fn replicate(&self) -> Sequential {
+        let mut copy = Sequential {
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+            loss: self.loss,
+        };
+        copy.zero_grads();
+        copy.clear_caches();
+        copy
+    }
+
     /// Classification accuracy of the model on `(input, one-hot targets)`.
     ///
     /// # Errors
@@ -397,6 +411,51 @@ fn count_correct(logits: &Tensor, targets: &Tensor) -> Result<usize> {
     let pred = argmax_rows(logits)?;
     let truth = argmax_rows(targets)?;
     Ok(pred.iter().zip(&truth).filter(|(p, t)| p == t).count())
+}
+
+#[cfg(test)]
+mod replicate_tests {
+    use crate::zoo;
+    use gradsec_tensor::init;
+
+    #[test]
+    fn replica_matches_prototype_and_diverges_independently() {
+        let proto = zoo::tiny_mlp(16, 8, 2, 3).unwrap();
+        let mut a = proto.replicate();
+        let b = proto.replicate();
+        assert_eq!(a.weights(), proto.weights());
+        assert_eq!(b.weights(), proto.weights());
+        // Train one replica; the other and the prototype stay untouched.
+        let x = init::uniform(&[4, 16], -1.0, 1.0, 1);
+        let y = {
+            let mut t = gradsec_tensor::Tensor::zeros(&[4, 2]);
+            for i in 0..4 {
+                t.set(&[i, i % 2], 1.0).unwrap();
+            }
+            t
+        };
+        let mut opt = crate::optim::Sgd::new(0.1);
+        a.train_batch(&x, &y, &mut opt).unwrap();
+        assert_ne!(a.weights(), proto.weights());
+        assert_eq!(b.weights(), proto.weights());
+        // Replicating a trained model copies the trained weights.
+        let c = a.replicate();
+        assert_eq!(c.weights(), a.weights());
+    }
+
+    #[test]
+    fn replica_of_conv_model_trains() {
+        let proto = zoo::lenet5_with(2, 7).unwrap();
+        let mut r = proto.replicate();
+        let x = init::uniform(&[2, 3, 32, 32], 0.0, 1.0, 2);
+        let mut y = gradsec_tensor::Tensor::zeros(&[2, 2]);
+        y.set(&[0, 0], 1.0).unwrap();
+        y.set(&[1, 1], 1.0).unwrap();
+        let mut opt = crate::optim::Sgd::new(0.05);
+        let stats = r.train_batch(&x, &y, &mut opt).unwrap();
+        assert!(stats.loss.is_finite());
+        assert_ne!(r.weights(), proto.weights());
+    }
 }
 
 #[cfg(test)]
@@ -417,16 +476,8 @@ mod tests {
     }
 
     fn xor_data() -> (Tensor, Tensor) {
-        let x = Tensor::from_vec(
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-            &[4, 2],
-        )
-        .unwrap();
-        let y = Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0],
-            &[4, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]).unwrap();
+        let y = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0], &[4, 2]).unwrap();
         (x, y)
     }
 

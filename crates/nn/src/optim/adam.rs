@@ -62,13 +62,12 @@ impl Optimizer for Adam {
         s.t += 1;
         let b1t = 1.0 - self.beta1.powi(s.t as i32);
         let b2t = 1.0 - self.beta2.powi(s.t as i32);
-        for (((m, v), p), &g) in s
-            .m
-            .data_mut()
-            .iter_mut()
-            .zip(s.v.data_mut())
-            .zip(param.data_mut())
-            .zip(grad.data())
+        for (((m, v), p), &g) in
+            s.m.data_mut()
+                .iter_mut()
+                .zip(s.v.data_mut())
+                .zip(param.data_mut())
+                .zip(grad.data())
         {
             *m = self.beta1 * *m + (1.0 - self.beta1) * g;
             *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;

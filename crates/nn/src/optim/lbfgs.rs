@@ -156,16 +156,12 @@ where
         let mut new_fx = fx;
         let mut new_grad = grad.clone();
         for _ in 0..cfg.max_line_search {
-            for ((nx, &xi), &qi) in new_x
-                .data_mut()
-                .iter_mut()
-                .zip(x.data())
-                .zip(q.iter())
-            {
+            for ((nx, &xi), &qi) in new_x.data_mut().iter_mut().zip(x.data()).zip(q.iter()) {
                 *nx = xi - step * qi;
             }
             let (val, g) = f(&new_x);
-            if !(val <= fx + cfg.armijo_c * step * descent) {
+            let armijo_ok = val <= fx + cfg.armijo_c * step * descent;
+            if !armijo_ok {
                 // Too long: insufficient decrease.
                 hi = step;
                 step = 0.5 * (lo + hi);

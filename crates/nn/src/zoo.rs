@@ -303,7 +303,12 @@ pub fn lenet5_smooth(seed: u64) -> Result<Sequential> {
 /// Propagates layer construction errors (zero dims).
 pub fn tiny_mlp(inputs: usize, hidden: usize, outputs: usize, seed: u64) -> Result<Sequential> {
     let mut m = Sequential::new(Loss::CategoricalCrossEntropy);
-    m.push(Box::new(Dense::new(inputs, hidden, Activation::Tanh, seed)?));
+    m.push(Box::new(Dense::new(
+        inputs,
+        hidden,
+        Activation::Tanh,
+        seed,
+    )?));
     m.push(Box::new(Dense::new(
         hidden,
         outputs,

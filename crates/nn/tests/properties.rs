@@ -21,7 +21,7 @@ proptest! {
         let delta = Tensor::ones(out.dims());
         let dinput = l.backward(&delta).unwrap();
         let eps = 1e-3f32;
-        let mut loss = |l: &mut Dense, x: &Tensor| -> f32 {
+        let loss = |l: &mut Dense, x: &Tensor| -> f32 {
             l.forward(x).unwrap().data().iter().sum()
         };
         for i in 0..x.numel().min(6) {

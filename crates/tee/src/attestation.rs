@@ -136,7 +136,9 @@ mod tests {
         let (ta, m, ch) = setup();
         let q = sign_quote(b"attacker-key", ta, m, &ch);
         let err = verify_quote(b"device-key", &q, m, &ch).unwrap_err();
-        assert!(matches!(err, TeeError::IntegrityViolation { context } if context.contains("signature")));
+        assert!(
+            matches!(err, TeeError::IntegrityViolation { context } if context.contains("signature"))
+        );
     }
 
     #[test]
@@ -146,7 +148,9 @@ mod tests {
         let fresh = Challenge::new([2u8; 16]);
         let q = sign_quote(b"device-key", ta, m, &old);
         let err = verify_quote(b"device-key", &q, m, &fresh).unwrap_err();
-        assert!(matches!(err, TeeError::IntegrityViolation { context } if context.contains("nonce")));
+        assert!(
+            matches!(err, TeeError::IntegrityViolation { context } if context.contains("nonce"))
+        );
     }
 
     #[test]
@@ -157,12 +161,16 @@ mod tests {
         // catches it.
         let q = sign_quote(b"device-key", ta, evil, &ch);
         let err = verify_quote(b"device-key", &q, m, &ch).unwrap_err();
-        assert!(matches!(err, TeeError::IntegrityViolation { context } if context.contains("measurement")));
+        assert!(
+            matches!(err, TeeError::IntegrityViolation { context } if context.contains("measurement"))
+        );
         // Forging the measurement field after signing breaks the signature.
         let mut forged = sign_quote(b"device-key", ta, evil, &ch);
         forged.measurement = m;
         let err = verify_quote(b"device-key", &forged, m, &ch).unwrap_err();
-        assert!(matches!(err, TeeError::IntegrityViolation { context } if context.contains("signature")));
+        assert!(
+            matches!(err, TeeError::IntegrityViolation { context } if context.contains("signature"))
+        );
     }
 
     #[test]

@@ -124,6 +124,136 @@ impl TimeBreakdown {
     }
 }
 
+/// One client's accounted cost for a single FL cycle, as recorded into a
+/// [`RoundLedger`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClientCycleCost {
+    /// The client the entry belongs to.
+    pub client_id: u64,
+    /// Simulated user/kernel/allocation seconds of the cycle.
+    pub time: TimeBreakdown,
+    /// Secure-monitor crossings taken during the cycle.
+    pub crossings: u64,
+    /// Peak TEE memory of the cycle in bytes.
+    pub tee_peak_bytes: usize,
+}
+
+/// Per-round TEE accounting: one entry per participating client, kept
+/// sorted by client id so the merged view is deterministic regardless of
+/// the order workers finished in.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundLedger {
+    entries: Vec<ClientCycleCost>,
+}
+
+impl RoundLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        RoundLedger::default()
+    }
+
+    /// Records one client's cycle cost, keeping entries ordered by client
+    /// id. Re-recording a client id replaces its entry (a client trains at
+    /// most once per round).
+    pub fn record(&mut self, entry: ClientCycleCost) {
+        match self
+            .entries
+            .binary_search_by_key(&entry.client_id, |e| e.client_id)
+        {
+            Ok(i) => self.entries[i] = entry,
+            Err(i) => self.entries.insert(i, entry),
+        }
+    }
+
+    /// Per-client entries, ordered by client id.
+    pub fn entries(&self) -> &[ClientCycleCost] {
+        &self.entries
+    }
+
+    /// Number of recorded clients.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of all clients' time breakdowns — the round's simulated
+    /// device-time bill.
+    pub fn total_time(&self) -> TimeBreakdown {
+        let mut out = TimeBreakdown::default();
+        for e in &self.entries {
+            out.user_s += e.time.user_s;
+            out.kernel_s += e.time.kernel_s;
+            out.alloc_s += e.time.alloc_s;
+        }
+        out
+    }
+
+    /// The round's wall-clock lower bound under perfect client
+    /// parallelism: the slowest participating client.
+    pub fn critical_path_s(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.time.total_s())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total crossings across all clients.
+    pub fn total_crossings(&self) -> u64 {
+        self.entries.iter().map(|e| e.crossings).sum()
+    }
+
+    /// The largest single-client TEE footprint of the round.
+    pub fn max_tee_peak_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.tee_peak_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Folds another ledger into this one.
+    pub fn merge(&mut self, other: &RoundLedger) {
+        for e in &other.entries {
+            self.record(*e);
+        }
+    }
+}
+
+/// A [`RoundLedger`] collector that concurrent engine workers can record
+/// into while a round is in flight. Interior locking keeps recording
+/// thread-safe; the id-sorted ledger makes the merged result independent
+/// of worker completion order.
+#[derive(Debug, Default)]
+pub struct SharedLedger {
+    inner: std::sync::Mutex<RoundLedger>,
+}
+
+impl SharedLedger {
+    /// An empty shared ledger.
+    pub fn new() -> Self {
+        SharedLedger::default()
+    }
+
+    /// Thread-safe recording of one client's cycle cost.
+    pub fn record(&self, entry: ClientCycleCost) {
+        self.inner.lock().expect("ledger poisoned").record(entry);
+    }
+
+    /// Extracts the merged per-round ledger.
+    pub fn into_round_ledger(self) -> RoundLedger {
+        self.inner.into_inner().expect("ledger poisoned")
+    }
+
+    /// Snapshot of the ledger so far.
+    pub fn snapshot(&self) -> RoundLedger {
+        self.inner.lock().expect("ledger poisoned").clone()
+    }
+}
+
 /// Accumulates simulated time for one training cycle.
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
@@ -265,7 +395,10 @@ mod tests {
         // Degenerate weights.
         let zero = TimeBreakdown::weighted_average(&[(a, 0.0)]);
         assert_eq!(zero, TimeBreakdown::default());
-        assert_eq!(TimeBreakdown::weighted_average(&[]), TimeBreakdown::default());
+        assert_eq!(
+            TimeBreakdown::weighted_average(&[]),
+            TimeBreakdown::default()
+        );
     }
 
     #[test]
@@ -277,6 +410,90 @@ mod tests {
         clock.charge_crossings(100, &m);
         clock.charge_layer_alloc(100_000, &m);
         assert_eq!(clock.breakdown().total_s(), 0.0);
+    }
+
+    #[test]
+    fn ledger_orders_and_aggregates_clients() {
+        let mut ledger = RoundLedger::new();
+        let t = |u: f64| TimeBreakdown {
+            user_s: u,
+            kernel_s: u / 10.0,
+            alloc_s: 0.0,
+        };
+        // Record out of order — entries come back sorted by client id.
+        for (id, u, x, peak) in [
+            (7u64, 3.0, 4u64, 100usize),
+            (2, 1.0, 2, 300),
+            (5, 2.0, 6, 200),
+        ] {
+            ledger.record(ClientCycleCost {
+                client_id: id,
+                time: t(u),
+                crossings: x,
+                tee_peak_bytes: peak,
+            });
+        }
+        let ids: Vec<u64> = ledger.entries().iter().map(|e| e.client_id).collect();
+        assert_eq!(ids, vec![2, 5, 7]);
+        assert!((ledger.total_time().user_s - 6.0).abs() < 1e-9);
+        assert_eq!(ledger.total_crossings(), 12);
+        assert_eq!(ledger.max_tee_peak_bytes(), 300);
+        assert!((ledger.critical_path_s() - 3.3).abs() < 1e-9);
+        // Re-recording replaces, never duplicates.
+        ledger.record(ClientCycleCost {
+            client_id: 5,
+            time: t(9.0),
+            crossings: 1,
+            tee_peak_bytes: 1,
+        });
+        assert_eq!(ledger.len(), 3);
+        assert_eq!(ledger.total_crossings(), 7);
+    }
+
+    #[test]
+    fn shared_ledger_is_deterministic_under_concurrency() {
+        let shared = std::sync::Arc::new(SharedLedger::new());
+        std::thread::scope(|s| {
+            for id in 0..8u64 {
+                let shared = shared.clone();
+                s.spawn(move || {
+                    shared.record(ClientCycleCost {
+                        client_id: id,
+                        time: TimeBreakdown {
+                            user_s: id as f64,
+                            kernel_s: 0.0,
+                            alloc_s: 0.0,
+                        },
+                        crossings: id,
+                        tee_peak_bytes: id as usize,
+                    });
+                });
+            }
+        });
+        let ledger = std::sync::Arc::try_unwrap(shared)
+            .expect("all workers joined")
+            .into_round_ledger();
+        let ids: Vec<u64> = ledger.entries().iter().map(|e| e.client_id).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+        assert_eq!(ledger.total_crossings(), 28);
+    }
+
+    #[test]
+    fn ledger_merge_folds_entries() {
+        let entry = |id: u64| ClientCycleCost {
+            client_id: id,
+            time: TimeBreakdown::default(),
+            crossings: 1,
+            tee_peak_bytes: 0,
+        };
+        let mut a = RoundLedger::new();
+        a.record(entry(1));
+        let mut b = RoundLedger::new();
+        b.record(entry(3));
+        b.record(entry(1));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.total_crossings(), 2);
     }
 
     #[test]

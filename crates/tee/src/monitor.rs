@@ -119,6 +119,15 @@ impl SecureMonitor {
         self.to_secure = 0;
         self.to_normal = 0;
     }
+
+    /// Folds another monitor's crossing counters into this one — used by
+    /// the parallel round engine to merge per-client monitors into the
+    /// round's accounting. The world state is not touched: merging is a
+    /// bookkeeping operation, not a world transition.
+    pub fn merge_counters(&mut self, other: &SecureMonitor) {
+        self.to_secure += other.to_secure;
+        self.to_normal += other.to_normal;
+    }
 }
 
 impl Default for SecureMonitor {
@@ -185,6 +194,19 @@ mod tests {
         });
         assert!(r.is_err());
         assert_eq!(m.world(), World::Normal);
+    }
+
+    #[test]
+    fn merge_counters_sums_without_world_change() {
+        let mut a = SecureMonitor::new();
+        a.smc_enter().unwrap();
+        a.smc_exit().unwrap();
+        let mut b = SecureMonitor::new();
+        b.smc_enter().unwrap();
+        a.merge_counters(&b);
+        assert_eq!(a.entries(), 2);
+        assert_eq!(a.exits(), 1);
+        assert_eq!(a.world(), World::Normal, "merge must not switch worlds");
     }
 
     #[test]

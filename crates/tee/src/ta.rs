@@ -12,9 +12,7 @@ use crate::monitor::SecureMonitor;
 use crate::{Result, TeeError};
 
 /// A 128-bit TA identifier, as in GlobalPlatform TEE specs.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Uuid(pub [u8; 16]);
 
 impl Uuid {
@@ -65,8 +63,7 @@ pub trait TrustedApp: Send {
     /// # Errors
     ///
     /// TA-specific failures surface as [`TeeError::TaError`].
-    fn invoke(&mut self, command: u32, input: &[u8], memory: &mut SecureMemory)
-        -> Result<Vec<u8>>;
+    fn invoke(&mut self, command: u32, input: &[u8], memory: &mut SecureMemory) -> Result<Vec<u8>>;
 }
 
 /// The simulated trusted OS: owns the secure monitor, the secure memory
@@ -292,7 +289,7 @@ mod tests {
         let mut os = TrustedOs::with_budget(1024);
         os.register_ta(Box::new(EchoTa::new()));
         let s = os.open_session(Uuid::from_name("echo-ta")).unwrap();
-        let out = os.invoke(s, 1, &vec![0u8; 100]).unwrap();
+        let out = os.invoke(s, 1, &[0u8; 100]).unwrap();
         assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 100);
         // Oversized alloc inside the TA surfaces the enclave OOM.
         assert!(matches!(

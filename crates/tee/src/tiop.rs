@@ -188,10 +188,7 @@ mod tests {
         let (mut s, mut c) = pair();
         let f = s.seal(b"m0");
         c.open(&f).unwrap();
-        assert!(matches!(
-            c.open(&f),
-            Err(TeeError::ChannelViolation { .. })
-        ));
+        assert!(matches!(c.open(&f), Err(TeeError::ChannelViolation { .. })));
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl fmt::Display for TensorError {
                 op,
                 expected,
                 actual,
-            } => write!(f, "rank mismatch in {op}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "rank mismatch in {op}: expected {expected}, got {actual}"
+            ),
             TensorError::IndexOutOfBounds { index, shape } => {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }

@@ -105,7 +105,12 @@ mod tests {
         let t = normal(&[20000], 2.0, 3.0, 99);
         let n = t.numel() as f32;
         let mean: f32 = t.data().iter().sum::<f32>() / n;
-        let var: f32 = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n;
         assert!((mean - 2.0).abs() < 0.1, "mean was {mean}");
         assert!((var - 9.0).abs() < 0.5, "var was {var}");
     }

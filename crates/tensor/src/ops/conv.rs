@@ -11,8 +11,37 @@
 //! Three passes are provided: [`conv2d_forward`], and a combined
 //! [`conv2d_backward`] returning `(dW, db, dInput)` per the paper's
 //! equation (4): `dW_l = δ_l ⊗ A_{l−1}`.
+//!
+//! Both passes split the batch dimension across scoped threads once the
+//! per-batch im2col volume crosses [`PARALLEL_THRESHOLD`] — the scoped
+//! banding pattern of `ops::matmul`. Each image's computation is
+//! independent, so the forward pass is bit-identical to the sequential
+//! loop under any banding. The backward pass reduces per-band `dW`/`db`
+//! partials in band order, so — unlike `matmul`, whose disjoint output
+//! rows make any band count safe — the band count must **not** depend
+//! on the machine: bands are a fixed [`IMAGES_PER_BAND`] images wide,
+//! making the reduction grouping a pure function of the batch size.
+//! (This also bounds the threads a nested caller — e.g. a federation
+//! engine worker — can fan out per pass.)
 
 use crate::{Result, Tensor, TensorError};
+
+/// Batches whose total im2col volume (elements) is below this run
+/// single-threaded; spawning workers costs more than it saves.
+const PARALLEL_THRESHOLD: usize = 64 * 64;
+
+/// Fixed band width in images. Machine-independent so seeded training
+/// results are reproducible across hosts with different core counts.
+const IMAGES_PER_BAND: usize = 4;
+
+/// Number of image bands for a batch of `n` images with per-image im2col
+/// volume `col_len`.
+fn conv_bands(n: usize, col_len: usize) -> usize {
+    if n < 2 || n * col_len < PARALLEL_THRESHOLD {
+        return 1;
+    }
+    n.div_ceil(IMAGES_PER_BAND)
+}
 
 /// Validated convolution geometry shared by the forward and backward passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,8 +185,7 @@ pub fn col2im(col: &[f32], geo: &Conv2dGeometry, input_grad: &mut [f32]) {
     let k = geo.kernel;
     let cols = geo.out_h * geo.out_w;
     for c in 0..geo.in_channels {
-        let chan =
-            &mut input_grad[c * geo.in_h * geo.in_w..(c + 1) * geo.in_h * geo.in_w];
+        let chan = &mut input_grad[c * geo.in_h * geo.in_w..(c + 1) * geo.in_h * geo.in_w];
         for ki in 0..k {
             for kj in 0..k {
                 let row = (c * k * k + ki * k + kj) * cols;
@@ -235,17 +263,49 @@ pub fn conv2d_forward(
 ) -> Result<Tensor> {
     let n = check_batch_input(input, geo)?;
     check_weights(weights, bias, geo)?;
+    let mut out = Tensor::zeros(&[n, geo.out_channels, geo.out_h, geo.out_w]);
+    let bands = conv_bands(n, geo.col_len());
+    if bands == 1 {
+        forward_band(
+            input.data(),
+            weights.data(),
+            bias.data(),
+            out.data_mut(),
+            geo,
+        );
+    } else {
+        // Split the batch into contiguous image bands, one scoped thread
+        // each. Every image is computed exactly as in the sequential
+        // loop, so the result is bit-identical under any banding.
+        let per = n.div_ceil(bands);
+        let (wd, bd, id) = (weights.data(), bias.data(), input.data());
+        crossbeam::thread::scope(|s| {
+            let mut rest = out.data_mut();
+            let mut row = 0usize;
+            while row < n {
+                let take = per.min(n - row);
+                let (band, tail) = rest.split_at_mut(take * geo.out_len());
+                let in_band = &id[row * geo.in_len()..(row + take) * geo.in_len()];
+                s.spawn(move |_| forward_band(in_band, wd, bd, band, geo));
+                rest = tail;
+                row += take;
+            }
+        })
+        .expect("conv2d forward worker panicked");
+    }
+    Ok(out)
+}
+
+/// Sequential forward kernel over one contiguous band of images.
+fn forward_band(input: &[f32], wd: &[f32], bd: &[f32], out: &mut [f32], geo: &Conv2dGeometry) {
     let k2 = geo.in_channels * geo.kernel * geo.kernel;
     let cols = geo.out_h * geo.out_w;
-    let mut out = Tensor::zeros(&[n, geo.out_channels, geo.out_h, geo.out_w]);
+    let n = input.len() / geo.in_len();
     let mut col = vec![0.0f32; geo.col_len()];
-    let wd = weights.data();
-    let bd = bias.data();
     for img in 0..n {
-        let inp = &input.data()[img * geo.in_len()..(img + 1) * geo.in_len()];
+        let inp = &input[img * geo.in_len()..(img + 1) * geo.in_len()];
         im2col(inp, geo, &mut col);
-        let out_img =
-            &mut out.data_mut()[img * geo.out_len()..(img + 1) * geo.out_len()];
+        let out_img = &mut out[img * geo.out_len()..(img + 1) * geo.out_len()];
         // out_img (F, cols) = W (F, k2) × col (k2, cols)
         for f in 0..geo.out_channels {
             let wrow = &wd[f * k2..(f + 1) * k2];
@@ -262,7 +322,6 @@ pub fn conv2d_forward(
             }
         }
     }
-    Ok(out)
 }
 
 /// Convolution backward pass.
@@ -301,39 +360,108 @@ pub fn conv2d_backward(
             rhs: vec![geo.out_channels, k2],
         });
     }
-    let cols = geo.out_h * geo.out_w;
     let mut dw = Tensor::zeros(&[geo.out_channels, k2]);
     let mut db = Tensor::zeros(&[geo.out_channels]);
     let mut dinput = Tensor::zeros(input.dims());
+    let bands = conv_bands(n, geo.col_len());
+    if bands == 1 {
+        backward_band(
+            input.data(),
+            weights.data(),
+            delta_out.data(),
+            dw.data_mut(),
+            db.data_mut(),
+            dinput.data_mut(),
+            geo,
+        );
+    } else {
+        // Per-band workers own disjoint dInput slices and private dW/db
+        // partials; partials are reduced in band order afterwards, so the
+        // result depends only on the band count, never on thread timing.
+        let per = n.div_ceil(bands);
+        let (wd, id, dd) = (weights.data(), input.data(), delta_out.data());
+        let partials: Vec<(Vec<f32>, Vec<f32>)> = crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            let mut rest = dinput.data_mut();
+            let mut row = 0usize;
+            while row < n {
+                let take = per.min(n - row);
+                let (di_band, tail) = rest.split_at_mut(take * geo.in_len());
+                let in_band = &id[row * geo.in_len()..(row + take) * geo.in_len()];
+                let d_band = &dd[row * geo.out_len()..(row + take) * geo.out_len()];
+                handles.push(s.spawn(move |_| {
+                    let mut dw_part = vec![0.0f32; geo.weight_len()];
+                    let mut db_part = vec![0.0f32; geo.out_channels];
+                    backward_band(
+                        in_band,
+                        wd,
+                        d_band,
+                        &mut dw_part,
+                        &mut db_part,
+                        di_band,
+                        geo,
+                    );
+                    (dw_part, db_part)
+                }));
+                rest = tail;
+                row += take;
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("conv2d backward worker panicked"))
+                .collect()
+        })
+        .expect("conv2d backward scope panicked");
+        let (dwd, dbd) = (dw.data_mut(), db.data_mut());
+        for (dw_part, db_part) in &partials {
+            for (x, y) in dwd.iter_mut().zip(dw_part) {
+                *x += y;
+            }
+            for (x, y) in dbd.iter_mut().zip(db_part) {
+                *x += y;
+            }
+        }
+    }
+    Ok((dw, db, dinput))
+}
+
+/// Sequential backward kernel over one contiguous band of images,
+/// accumulating into the provided `dw`/`db` buffers and writing the
+/// band's `dinput` slice.
+fn backward_band(
+    input: &[f32],
+    wd: &[f32],
+    delta_out: &[f32],
+    dwd: &mut [f32],
+    dbd: &mut [f32],
+    dinput: &mut [f32],
+    geo: &Conv2dGeometry,
+) {
+    let k2 = geo.in_channels * geo.kernel * geo.kernel;
+    let cols = geo.out_h * geo.out_w;
+    let n = input.len() / geo.in_len();
     let mut col = vec![0.0f32; geo.col_len()];
     let mut dcol = vec![0.0f32; geo.col_len()];
-    let wd = weights.data();
     for img in 0..n {
-        let inp = &input.data()[img * geo.in_len()..(img + 1) * geo.in_len()];
-        let dout = &delta_out.data()[img * geo.out_len()..(img + 1) * geo.out_len()];
+        let inp = &input[img * geo.in_len()..(img + 1) * geo.in_len()];
+        let dout = &delta_out[img * geo.out_len()..(img + 1) * geo.out_len()];
         im2col(inp, geo, &mut col);
         // dW += δ (F, cols) × colᵀ (cols, k2)
-        {
-            let dwd = dw.data_mut();
-            for f in 0..geo.out_channels {
-                let drow = &dout[f * cols..(f + 1) * cols];
-                let dwrow = &mut dwd[f * k2..(f + 1) * k2];
-                for kk in 0..k2 {
-                    let crow = &col[kk * cols..(kk + 1) * cols];
-                    let mut acc = 0.0f32;
-                    for j in 0..cols {
-                        acc += drow[j] * crow[j];
-                    }
-                    dwrow[kk] += acc;
+        for f in 0..geo.out_channels {
+            let drow = &dout[f * cols..(f + 1) * cols];
+            let dwrow = &mut dwd[f * k2..(f + 1) * k2];
+            for kk in 0..k2 {
+                let crow = &col[kk * cols..(kk + 1) * cols];
+                let mut acc = 0.0f32;
+                for j in 0..cols {
+                    acc += drow[j] * crow[j];
                 }
+                dwrow[kk] += acc;
             }
         }
         // db += Σ spatial δ
-        {
-            let dbd = db.data_mut();
-            for f in 0..geo.out_channels {
-                dbd[f] += dout[f * cols..(f + 1) * cols].iter().sum::<f32>();
-            }
+        for f in 0..geo.out_channels {
+            dbd[f] += dout[f * cols..(f + 1) * cols].iter().sum::<f32>();
         }
         // dcol = Wᵀ (k2, F) × δ (F, cols); then scatter to image space.
         dcol.fill(0.0);
@@ -351,11 +479,9 @@ pub fn conv2d_backward(
                 }
             }
         }
-        let dinp =
-            &mut dinput.data_mut()[img * geo.in_len()..(img + 1) * geo.in_len()];
+        let dinp = &mut dinput[img * geo.in_len()..(img + 1) * geo.in_len()];
         col2im(&dcol, geo, dinp);
     }
-    Ok((dw, db, dinput))
 }
 
 #[cfg(test)]
@@ -380,10 +506,8 @@ mod tests {
                         for c in 0..geo.in_channels {
                             for ki in 0..geo.kernel {
                                 for kj in 0..geo.kernel {
-                                    let ih = (oh * geo.stride + ki) as isize
-                                        - geo.pad as isize;
-                                    let iw = (ow * geo.stride + kj) as isize
-                                        - geo.pad as isize;
+                                    let ih = (oh * geo.stride + ki) as isize - geo.pad as isize;
+                                    let iw = (ow * geo.stride + kj) as isize - geo.pad as isize;
                                     if ih < 0
                                         || iw < 0
                                         || ih as usize >= geo.in_h
@@ -391,15 +515,11 @@ mod tests {
                                     {
                                         continue;
                                     }
-                                    let x = input
-                                        .get(&[img, c, ih as usize, iw as usize])
-                                        .unwrap();
+                                    let x = input.get(&[img, c, ih as usize, iw as usize]).unwrap();
                                     let w = weights
                                         .get(&[
                                             f,
-                                            c * geo.kernel * geo.kernel
-                                                + ki * geo.kernel
-                                                + kj,
+                                            c * geo.kernel * geo.kernel + ki * geo.kernel + kj,
                                         ])
                                         .unwrap();
                                     acc += x * w;
@@ -461,10 +581,7 @@ mod tests {
             let bias = init::uniform(&[f], -1.0, 1.0, 42);
             let fast = conv2d_forward(&input, &weights, &bias, &geo).unwrap();
             let slow = naive_forward(&input, &weights, &bias, &geo);
-            assert!(
-                fast.approx_eq(&slow, 1e-3),
-                "mismatch for geometry {geo:?}"
-            );
+            assert!(fast.approx_eq(&slow, 1e-3), "mismatch for geometry {geo:?}");
         }
     }
 
@@ -493,15 +610,10 @@ mod tests {
         let weights = init::uniform(&[3, 18], -1.0, 1.0, 61);
         let bias = init::uniform(&[3], -1.0, 1.0, 62);
         let delta = Tensor::ones(&[1, 3, geo.out_h, geo.out_w]);
-        let (dw, db, dinput) =
-            conv2d_backward(&input, &weights, &delta, &geo).unwrap();
+        let (dw, db, dinput) = conv2d_backward(&input, &weights, &delta, &geo).unwrap();
         let eps = 1e-3f32;
         let loss = |inp: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
-            conv2d_forward(inp, w, b, &geo)
-                .unwrap()
-                .data()
-                .iter()
-                .sum()
+            conv2d_forward(inp, w, b, &geo).unwrap().data().iter().sum()
         };
         // dW check (a few random positions).
         for &i in &[0usize, 7, 23, 53] {
@@ -522,8 +634,7 @@ mod tests {
             bp.data_mut()[f] += eps;
             let mut bm = bias.clone();
             bm.data_mut()[f] -= eps;
-            let num = (loss(&input, &weights, &bp) - loss(&input, &weights, &bm))
-                / (2.0 * eps);
+            let num = (loss(&input, &weights, &bp) - loss(&input, &weights, &bm)) / (2.0 * eps);
             assert!((num - db.data()[f]).abs() < 0.05);
         }
         // dInput check.
@@ -532,13 +643,92 @@ mod tests {
             ip.data_mut()[i] += eps;
             let mut im = input.clone();
             im.data_mut()[i] -= eps;
-            let num = (loss(&ip, &weights, &bias) - loss(&im, &weights, &bias))
-                / (2.0 * eps);
+            let num = (loss(&ip, &weights, &bias) - loss(&im, &weights, &bias)) / (2.0 * eps);
             assert!(
                 (num - dinput.data()[i]).abs() < 0.05,
                 "dInput[{i}]: numeric {num} vs analytic {}",
                 dinput.data()[i]
             );
+        }
+    }
+
+    #[test]
+    fn banded_forward_is_bit_identical_to_full_batch() {
+        // Simulate the parallel band split by hand (the machine's core
+        // count must not decide whether this property is exercised).
+        let geo = Conv2dGeometry::new(3, 16, 16, 6, 3, 1, 1).unwrap();
+        let n = 8;
+        let input = init::uniform(&[n, 3, 16, 16], -1.0, 1.0, 70);
+        let weights = init::uniform(&[6, 27], -0.5, 0.5, 71);
+        let bias = init::uniform(&[6], -0.5, 0.5, 72);
+        let full = conv2d_forward(&input, &weights, &bias, &geo).unwrap();
+        for split in [1usize, 3, 5] {
+            let mut banded = vec![0.0f32; n * geo.out_len()];
+            let (lo, hi) = banded.split_at_mut(split * geo.out_len());
+            forward_band(
+                &input.data()[..split * geo.in_len()],
+                weights.data(),
+                bias.data(),
+                lo,
+                &geo,
+            );
+            forward_band(
+                &input.data()[split * geo.in_len()..],
+                weights.data(),
+                bias.data(),
+                hi,
+                &geo,
+            );
+            assert_eq!(full.data(), &banded[..], "split at {split} diverged");
+        }
+    }
+
+    #[test]
+    fn banded_backward_partials_reduce_to_full_batch() {
+        let geo = Conv2dGeometry::new(2, 10, 10, 4, 3, 1, 1).unwrap();
+        let n = 6;
+        let input = init::uniform(&[n, 2, 10, 10], -1.0, 1.0, 80);
+        let weights = init::uniform(&[4, 18], -0.5, 0.5, 81);
+        let delta = init::uniform(&[n, 4, geo.out_h, geo.out_w], -1.0, 1.0, 82);
+        let (dw, db, dinput) = conv2d_backward(&input, &weights, &delta, &geo).unwrap();
+        // Two hand-built bands: dInput slices are disjoint (bit-identical);
+        // dW/db partials reduced in band order agree to f32 rounding.
+        let split = 2usize;
+        let mut dw_a = vec![0.0f32; geo.weight_len()];
+        let mut db_a = vec![0.0f32; 4];
+        let mut di = vec![0.0f32; n * geo.in_len()];
+        let (di_lo, di_hi) = di.split_at_mut(split * geo.in_len());
+        backward_band(
+            &input.data()[..split * geo.in_len()],
+            weights.data(),
+            &delta.data()[..split * geo.out_len()],
+            &mut dw_a,
+            &mut db_a,
+            di_lo,
+            &geo,
+        );
+        let mut dw_b = vec![0.0f32; geo.weight_len()];
+        let mut db_b = vec![0.0f32; 4];
+        backward_band(
+            &input.data()[split * geo.in_len()..],
+            weights.data(),
+            &delta.data()[split * geo.out_len()..],
+            &mut dw_b,
+            &mut db_b,
+            di_hi,
+            &geo,
+        );
+        assert_eq!(dinput.data(), &di[..]);
+        for i in 0..dw_a.len() {
+            let reduced = dw_a[i] + dw_b[i];
+            assert!(
+                (reduced - dw.data()[i]).abs() <= 1e-4 * (1.0 + dw.data()[i].abs()),
+                "dW[{i}] {reduced} vs {}",
+                dw.data()[i]
+            );
+        }
+        for f in 0..4 {
+            assert!((db_a[f] + db_b[f] - db.data()[f]).abs() < 1e-4);
         }
     }
 

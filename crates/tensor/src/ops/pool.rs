@@ -138,11 +138,7 @@ pub fn maxpool_forward(input: &Tensor, geo: &PoolGeometry) -> Result<(Tensor, Ve
 ///
 /// Returns shape errors when `delta_out` disagrees with `geo` or the argmax
 /// buffer has the wrong length.
-pub fn maxpool_backward(
-    delta_out: &Tensor,
-    argmax: &[u32],
-    geo: &PoolGeometry,
-) -> Result<Tensor> {
+pub fn maxpool_backward(delta_out: &Tensor, argmax: &[u32], geo: &PoolGeometry) -> Result<Tensor> {
     let d = delta_out.dims();
     if d.len() != 4 || d[1] != geo.channels || d[2] != geo.out_h || d[3] != geo.out_w {
         return Err(TensorError::ShapeMismatch {
@@ -210,11 +206,7 @@ mod tests {
 
     #[test]
     fn backward_routes_to_winners_only() {
-        let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 9.0],
-            &[1, 1, 2, 2],
-        )
-        .unwrap();
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0], &[1, 1, 2, 2]).unwrap();
         let geo = PoolGeometry::mp2(1, 2, 2).unwrap();
         let (_, argmax) = maxpool_forward(&input, &geo).unwrap();
         let delta = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap();
@@ -229,9 +221,8 @@ mod tests {
         let (_, argmax) = maxpool_forward(&input, &geo).unwrap();
         let delta = Tensor::ones(&[1, 2, 2, 2]);
         let dinput = maxpool_backward(&delta, &argmax, &geo).unwrap();
-        let loss = |inp: &Tensor| -> f32 {
-            maxpool_forward(inp, &geo).unwrap().0.data().iter().sum()
-        };
+        let loss =
+            |inp: &Tensor| -> f32 { maxpool_forward(inp, &geo).unwrap().0.data().iter().sum() };
         let eps = 1e-3;
         for i in 0..input.numel() {
             let mut ip = input.clone();

@@ -115,8 +115,9 @@ pub fn column_means(t: &Tensor) -> Result<Vec<f32>> {
         return Ok(means);
     }
     for i in 0..r {
-        for j in 0..c {
-            means[j] += t.data()[i * c + j];
+        let row = &t.data()[i * c..(i + 1) * c];
+        for (m, &x) in means.iter_mut().zip(row) {
+            *m += x;
         }
     }
     for m in &mut means {
@@ -184,6 +185,9 @@ mod tests {
     fn column_means_known() {
         let t = Tensor::from_vec(vec![1.0, 10.0, 3.0, 20.0], &[2, 2]).unwrap();
         assert_eq!(column_means(&t).unwrap(), vec![2.0, 15.0]);
-        assert_eq!(column_means(&Tensor::zeros(&[0, 2])).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(
+            column_means(&Tensor::zeros(&[0, 2])).unwrap(),
+            vec![0.0, 0.0]
+        );
     }
 }

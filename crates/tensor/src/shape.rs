@@ -77,19 +77,13 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if the index rank differs
     /// from the shape rank or any coordinate exceeds its dimension.
     pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
-        if index.len() != self.dims.len()
-            || index.iter().zip(&self.dims).any(|(i, d)| i >= d)
-        {
+        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(i, d)| i >= d) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.dims.clone(),
             });
         }
-        Ok(index
-            .iter()
-            .zip(self.strides())
-            .map(|(i, s)| i * s)
-            .sum())
+        Ok(index.iter().zip(self.strides()).map(|(i, s)| i * s).sum())
     }
 
     /// Returns `true` when both shapes have identical dimensions.

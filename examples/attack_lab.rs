@@ -53,6 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut victim = zoo::lenet5(44)?;
     let shut = run_mia(&mut victim, &mia_ds, &[0, 1, 2, 3, 4], &mia_cfg)?;
-    println!("  all layers hidden: AUC {:.3} (random guess = 0.5)", shut.auc);
+    println!(
+        "  all layers hidden: AUC {:.3} (random guess = 0.5)",
+        shut.auc
+    );
     Ok(())
 }

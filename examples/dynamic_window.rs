@@ -32,9 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = zoo::lenet5(1)?;
     let cost = CostModel::raspberry_pi3();
     let mut weighted = Vec::new();
-    for pos in 0..window.positions() {
+    for (pos, &weight) in v_mw.iter().enumerate().take(window.positions()) {
         let (t, _) = estimate_cycle(&model, &window.layers_at(pos), 10, 32, &cost)?;
-        weighted.push((t, v_mw[pos]));
+        weighted.push((t, weight));
     }
     let avg = TimeBreakdown::weighted_average(&weighted);
     let (all, _) = estimate_cycle(&model, &[0, 1, 2, 3, 4], 10, 32, &cost)?;

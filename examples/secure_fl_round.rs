@@ -14,6 +14,7 @@ use gradsec::data::SyntheticCifar100;
 use gradsec::fl::client::DeviceProfile;
 use gradsec::fl::config::TrainingPlan;
 use gradsec::fl::runner::Federation;
+use gradsec::fl::ExecutionEngine;
 use gradsec::nn::zoo;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .model(|| zoo::lenet5_with(8, 21).expect("LeNet-5 builds"))
         .devices(devices, data)
         .trainer(|_| Box::new(SecureTrainer::new()))
-        .schedule(move |round| policy.protected_for_round(round, 5))
-        .parallel(true)
+        .scheduler(policy)
+        .engine(ExecutionEngine::new(4))
         .build()?;
 
     println!("Running {} federated rounds…", fed.server().plan().rounds);
@@ -56,17 +57,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.mean_loss
         );
     }
-    println!(
-        "\nNote: clients 2 (no TEE) and 3 (failed attestation) never participate —"
-    );
+    println!("\nNote: clients 2 (no TEE) and 3 (failed attestation) never participate —");
     println!("the selection gate of the paper's Figure 2-(1).");
-    let stats = fed.clients()[0].last_stats().expect("client 0 participated");
+    let stats = fed.clients()[0]
+        .last_stats()
+        .expect("client 0 participated");
     println!(
-        "\nClient 0 last cycle: {:.3}s simulated ({} + {} + {}), TEE peak {:.3} MB",
+        "\nClient 0 last cycle: {:.3}s simulated ({:.3}s user + {:.3}s kernel + {:.3}s alloc), TEE peak {:.3} MB",
         stats.time.total_s(),
-        format!("{:.3}s user", stats.time.user_s),
-        format!("{:.3}s kernel", stats.time.kernel_s),
-        format!("{:.3}s alloc", stats.time.alloc_s),
+        stats.time.user_s,
+        stats.time.kernel_s,
+        stats.time.alloc_s,
         stats.tee_peak_bytes as f64 / (1024.0 * 1024.0),
     );
     Ok(())

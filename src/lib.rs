@@ -16,8 +16,8 @@
 //! * [`core`] — GradSec itself: protection policies, leakage model,
 //!   moving-window scheduler and the secure trainer.
 //!
-//! See `README.md` for a quickstart, `DESIGN.md` for the architecture and
-//! `EXPERIMENTS.md` for the paper-vs-measured results.
+//! See `README.md` for a quickstart and the architecture notes on the
+//! protection scheduler, the parallel round engine and the round ledger.
 
 pub use gradsec_attacks as attacks;
 pub use gradsec_core as core;

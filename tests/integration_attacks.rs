@@ -35,9 +35,7 @@ fn leakage_model_and_dgrad_agree_on_deleted_columns() {
         .map(|s| s.len)
         .sum();
     let total = layout.width();
-    assert!(
-        (dgrad.missing_fraction() - expected_missing as f32 / total as f32).abs() < 1e-6
-    );
+    assert!((dgrad.missing_fraction() - expected_missing as f32 / total as f32).abs() < 1e-6);
     // The leaked fraction of scalars matches the unprotected share.
     let frac = leakage.leaked_fraction(&snap, 0);
     assert!(frac > 0.0 && frac < 1.0);
@@ -72,7 +70,9 @@ fn dria_respects_the_leakage_model() {
 fn auc_of_random_scores_is_near_half() {
     // Statistical sanity across the metrics stack: random scores on
     // balanced labels give AUC ~0.5.
-    let scores: Vec<f32> = (0..2000).map(|i| ((i * 37) % 1000) as f32 / 1000.0).collect();
+    let scores: Vec<f32> = (0..2000)
+        .map(|i| ((i * 37) % 1000) as f32 / 1000.0)
+        .collect();
     let labels: Vec<bool> = (0..2000).map(|i| (i * 53) % 2 == 0).collect();
     let a = auc(&scores, &labels).unwrap();
     assert!((a - 0.5).abs() < 0.05, "auc {a}");
@@ -96,7 +96,9 @@ fn dynamic_policy_varies_dgrad_missingness_across_cycles() {
     for round in 0..20u64 {
         let protected = leakage.protected(round);
         patterns.insert(protected.clone());
-        dgrad.push(features.clone(), round % 2 == 0, &protected).unwrap();
+        dgrad
+            .push(features.clone(), round % 2 == 0, &protected)
+            .unwrap();
     }
     assert!(patterns.len() > 1, "window must visit multiple positions");
     assert!(dgrad.missing_fraction() > 0.0);

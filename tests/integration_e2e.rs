@@ -31,7 +31,7 @@ fn static_protected_federation_trains_and_reports() {
         .model(|| zoo::lenet5_with(3, 9).expect("builds"))
         .clients(3, data.clone())
         .trainer(|_| Box::new(SecureTrainer::new()))
-        .schedule(move |round| policy.protected_for_round(round, 5))
+        .scheduler(policy)
         .build()
         .unwrap();
     let report = fed.run().unwrap();
@@ -62,7 +62,7 @@ fn dynamic_federation_moves_the_window() {
         .model(|| zoo::lenet5_with(3, 9).expect("builds"))
         .clients(2, data)
         .trainer(|_| Box::new(SecureTrainer::new()))
-        .schedule(move |round| policy.protected_for_round(round, 5))
+        .scheduler(policy)
         .build()
         .unwrap();
     let report = fed.run().unwrap();
@@ -115,7 +115,7 @@ fn federated_model_learns_under_protection() {
     .model(|| zoo::lenet5_with(2, 13).expect("builds"))
     .clients(3, data.clone())
     .trainer(|_| Box::new(SecureTrainer::new()))
-    .schedule(move |round| policy.protected_for_round(round, 5))
+    .scheduler(policy)
     .build()
     .unwrap();
     fed.run().unwrap();
@@ -144,6 +144,6 @@ fn history_supports_flaw1_gradient_recovery() {
         .aggregated_gradients(0, 0.05)
         .unwrap()
         .expect("round 0 covered");
-    assert!(g.len() > 0);
+    assert!(!g.is_empty());
     assert!(g.to_flat().iter().any(|&x| x != 0.0));
 }

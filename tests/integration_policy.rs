@@ -33,19 +33,25 @@ fn table1_gains_hold_end_to_end() {
     let (dz, _) = estimate_cycle(&model, &hull, 10, 32, &cost).unwrap();
     // Static: paper −8.3% time, −30% TCB.
     let time_gain = (1.0 - gs.total_s() / dz.total_s()) * 100.0;
-    assert!((2.0..20.0).contains(&time_gain), "static time gain {time_gain:.1}%");
+    assert!(
+        (2.0..20.0).contains(&time_gain),
+        "static time gain {time_gain:.1}%"
+    );
     let tcb_gain = tcb_gain_percent(&model, &[1, 4], &hull, 32);
-    assert!((20.0..40.0).contains(&tcb_gain), "static TCB gain {tcb_gain:.1}%");
+    assert!(
+        (20.0..40.0).contains(&tcb_gain),
+        "static TCB gain {tcb_gain:.1}%"
+    );
     // Dynamic: paper −56.7% time, −8% TCB.
     let v_mw = [0.2, 0.1, 0.6, 0.1];
     let window = MovingWindow::new(2, 5, v_mw.to_vec(), 0).unwrap();
     let mut weighted = Vec::new();
     let mut worst: Vec<usize> = vec![];
     let mut worst_mb = 0.0;
-    for pos in 0..window.positions() {
+    for (pos, &weight) in v_mw.iter().enumerate().take(window.positions()) {
         let layers = window.layers_at(pos);
         let (t, _) = estimate_cycle(&model, &layers, 10, 32, &cost).unwrap();
-        weighted.push((t, v_mw[pos]));
+        weighted.push((t, weight));
         let mb = layers_tee_mb(&model, &layers, 32);
         if mb > worst_mb {
             worst_mb = mb;

@@ -5,8 +5,8 @@
 use gradsec::core::trainer::SecureTrainer;
 use gradsec::core::GradSecError;
 use gradsec::data::SyntheticCifar100;
-use gradsec::fl::message::{encode, decode, ModelDownload};
 use gradsec::fl::config::TrainingPlan;
+use gradsec::fl::message::{decode, encode, ModelDownload};
 use gradsec::nn::zoo;
 use gradsec::tee::storage::SecureStorage;
 use gradsec::tee::ta::Uuid;

@@ -1,0 +1,223 @@
+//! Minimal API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Implements the call surface the workspace's benches use —
+//! `bench_function`, `benchmark_group`/`sample_size`/`finish`, `iter`,
+//! `iter_batched`, the `criterion_group!`/`criterion_main!` macros — with
+//! a simple median-of-samples wall-clock measurement instead of
+//! criterion's full statistical machinery. Results print one line per
+//! benchmark and are collected in [`Criterion::results`] so harnesses can
+//! export machine-readable summaries (see the `engine_scaling` bench).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost (accepted for API
+/// compatibility; every batch size measures one routine call per sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully qualified benchmark id (`group/name` or bare `name`).
+    pub id: String,
+    /// Median wall-clock time per iteration.
+    pub median: Duration,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    sample_size: usize,
+}
+
+/// Measurement context handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    times: Vec<Duration>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, then `samples` timed calls.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.times.is_empty() {
+            return Duration::ZERO;
+        }
+        self.times.sort_unstable();
+        self.times[self.times.len() / 2]
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (criterion's default is 100;
+    /// this harness defaults lower to keep `cargo bench` minutes-scale).
+    const DEFAULT_SAMPLES: usize = 10;
+
+    fn run_one(&mut self, id: String, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            times: Vec::with_capacity(samples),
+            samples,
+        };
+        f(&mut b);
+        let median = b.median();
+        println!("bench {id:<50} median {median:?} ({} samples)", b.samples);
+        self.results.push(BenchResult {
+            id,
+            median,
+            samples,
+        });
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let samples = if self.sample_size == 0 {
+            Self::DEFAULT_SAMPLES
+        } else {
+            self.sample_size
+        };
+        self.run_one(id.to_owned(), samples, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: Self::DEFAULT_SAMPLES,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let samples = self.sample_size;
+        self.criterion.run_one(full, samples, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        (1..=n).product()
+    }
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default();
+        c.bench_function("fib_20", |b| b.iter(|| fib(black_box(20))));
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "fib_20");
+        assert_eq!(c.results()[0].samples, 10);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_respect_sample_size() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_function("one", |b| b.iter(|| fib(black_box(5))));
+            g.bench_function("two", |b| {
+                b.iter_batched(|| 5u64, |n| fib(black_box(n)), BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        let ids: Vec<&str> = c.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["grp/one", "grp/two"]);
+        assert!(c.results().iter().all(|r| r.samples == 3));
+    }
+}

@@ -1,0 +1,107 @@
+//! Minimal API-compatible subset of `crossbeam`'s scoped threads.
+//!
+//! Since Rust 1.63, `std::thread::scope` provides the same guarantees
+//! crossbeam's scope pioneered; this vendored crate adapts the std API to
+//! crossbeam's call shape (`scope(|s| …)` returning `Result`, spawn
+//! closures taking a `&Scope` argument) so the workspace's hot kernels
+//! keep the familiar idiom without the external dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    /// The result of joining a scoped thread (`Err` carries a panic
+    /// payload).
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle through which workers are spawned.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the worker and returns its result (or its panic
+        /// payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The closure receives the
+        /// scope back (crossbeam's signature), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&me)),
+            }
+        }
+    }
+
+    /// Creates a scope: every thread spawned inside is joined before the
+    /// call returns. Unjoined worker panics propagate (std semantics)
+    /// rather than being collected into the `Err` arm, which is the only
+    /// behavioural difference from crossbeam — callers in this workspace
+    /// treat any worker panic as fatal either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn disjoint_mut_borrows_across_workers() {
+        let mut buf = vec![0u32; 8];
+        thread::scope(|s| {
+            for (i, chunk) in buf.chunks_mut(4).enumerate() {
+                s.spawn(move |_| chunk.fill(i as u32 + 1));
+            }
+        })
+        .unwrap();
+        assert_eq!(&buf[..4], &[1, 1, 1, 1]);
+        assert_eq!(&buf[4..], &[2, 2, 2, 2]);
+    }
+}

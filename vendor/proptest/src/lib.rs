@@ -1,0 +1,350 @@
+//! Minimal API-compatible subset of the `proptest` framework.
+//!
+//! Supports the surface the workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//! header), [`Strategy`] for numeric ranges / tuples / simple regex string
+//! literals, [`any`] over primitives and byte arrays, and the
+//! `collection::{vec, btree_set}` combinators. Unlike upstream proptest
+//! there is **no shrinking**: a failing case reports its inputs via the
+//! standard assertion message and the run is deterministic per test name,
+//! so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// String strategy from a regex literal. Only the subset the workspace
+/// uses is understood: a single character class with an explicit repeat
+/// count, e.g. `"[a-z]{1,12}"`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (lo_ch, hi_ch, min, max) = parse_class_repeat(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy {self:?} (vendored proptest understands only \"[a-b]{{m,n}}\")"));
+        let len = rng.random_range(min..max + 1);
+        (0..len)
+            .map(|_| rng.random_range(lo_ch as u32..hi_ch as u32 + 1))
+            .map(|c| char::from_u32(c).expect("class chars are ASCII"))
+            .collect()
+    }
+}
+
+/// Parses `[x-y]{m,n}` into `(x, y, m, n)`.
+fn parse_class_repeat(pat: &str) -> Option<(char, char, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars = class.chars();
+    let lo = chars.next()?;
+    if chars.next()? != '-' {
+        return None;
+    }
+    let hi = chars.next()?;
+    if chars.next().is_some() || hi < lo {
+        return None;
+    }
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (m, n) = body.split_once(',')?;
+    Some((lo, hi, m.trim().parse().ok()?, n.trim().parse().ok()?))
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arb_prim {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+arb_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mut out = [0u8; N];
+        rng.fill(&mut out[..]);
+        out
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// A strategy producing a fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<T>` with a size drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.random_range(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with a target size drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A set of at most `size` elements drawn from `element` (duplicates
+    /// collapse, so the set may be smaller — matching set semantics).
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.random_range(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Seeds the per-test RNG deterministically from the test's name.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a property-level condition (plain `assert!` without
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts property-level equality.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts property-level inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue` inside the case loop generated by [`proptest!`].
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `body` over random strategy draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10, 10usize..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in -1.0f32..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_assume((a, b) in pair(), c in 0usize..5) {
+            prop_assume!(c > 0);
+            prop_assert!(a < b);
+            prop_assert_ne!(c, 0);
+        }
+
+        #[test]
+        fn collections_and_regex(
+            v in crate::collection::vec(any::<u8>(), 0..16),
+            s in crate::collection::btree_set(0usize..8, 0..6),
+            name in "[a-z]{1,12}",
+        ) {
+            prop_assert!(v.len() < 16);
+            prop_assert!(s.len() < 6);
+            prop_assert!(!name.is_empty() && name.len() <= 12);
+            prop_assert!(name.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn arrays_arbitrary(key in any::<[u8; 32]>(), flag in any::<bool>()) {
+            prop_assert_eq!(key.len(), 32);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::rng_for("x");
+        let mut b = crate::rng_for("x");
+        use rand::Rng;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

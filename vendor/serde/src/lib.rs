@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` as a marker on
+//! its message and config types, but performs all actual serialisation
+//! through the hand-rolled binary codec in `gradsec-fl::message` (no code
+//! path calls a serde serializer). Since the build container cannot reach
+//! crates.io, this vendored proc-macro crate accepts the derives and
+//! expands to nothing, keeping the annotations — and the option to swap in
+//! real serde later — without the dependency.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
