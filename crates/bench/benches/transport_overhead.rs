@@ -1,0 +1,189 @@
+//! Transport overhead of one federated round: in-process dispatch vs the
+//! channel-backed pair vs loopback TCP.
+//!
+//! Each group builds one 4-client LeNet-5 federation per transport and
+//! times successive FL rounds (screen → download → train → upload →
+//! aggregate); fleet setup and teardown stay outside the measurement.
+//! The protocol bytes are identical on every transport, so the delta is
+//! pure transport cost: envelope copies, thread wake-ups and socket
+//! syscalls. A machine-readable summary
+//! (median seconds per transport plus the overhead over the in-process
+//! round) is written to `target/transport_overhead.json`.
+//!
+//! Expect loopback TCP within a few percent of in-process for LeNet-5
+//! shapes — the round is dominated by training compute, which is the
+//! point of the design: the transport seam is cheap enough to leave on.
+//!
+//! A second group isolates the exchange itself (no training): a
+//! `ModelDownload` for the LeNet-5 global weights sent to a client that
+//! echoes an error (cheapest legal reply), which bounds the per-message
+//! framing + pipe cost alone.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, Criterion};
+
+use gradsec_data::SyntheticCifar100;
+use gradsec_fl::config::{TrainingPlan, TransportKind};
+use gradsec_fl::message::{encode, Envelope, MessageKind, ModelDownload};
+use gradsec_fl::runner::Federation;
+use gradsec_fl::transport::inprocess::channel_pair;
+use gradsec_fl::transport::{tcp, ClientEndpoint, ServerEndpoint};
+use gradsec_nn::zoo;
+
+fn federation(transport: TransportKind) -> Federation {
+    let data = Arc::new(SyntheticCifar100::with_classes(64, 2, 5));
+    Federation::builder(TrainingPlan {
+        rounds: 1,
+        clients_per_round: 4,
+        batches_per_cycle: 1,
+        batch_size: 4,
+        learning_rate: 0.05,
+        seed: 7,
+    })
+    .model(|| zoo::lenet5_with(2, 3).expect("LeNet-5 builds"))
+    .clients(4, data)
+    .transport(transport)
+    .build()
+    .expect("federation builds")
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_round");
+    group.sample_size(5);
+    for (name, transport) in [
+        ("inprocess", TransportKind::InProcess),
+        ("tcp", TransportKind::Tcp),
+    ] {
+        // One federation per transport, reused across samples (each
+        // sample times one additional round), so TCP-only setup/teardown
+        // — thread spawns, goodbyes, joins — stays out of the
+        // measurement and the exported overhead is pure per-round cost.
+        let mut fed = federation(transport);
+        group.bench_function(name, |b| b.iter(|| fed.run_round().expect("round runs")));
+        fed.shutdown().expect("clean teardown");
+    }
+    group.finish();
+}
+
+fn lenet_download() -> Envelope {
+    let model = zoo::lenet5_with(2, 3).expect("LeNet-5 builds");
+    Envelope::pack(
+        MessageKind::ModelDownload,
+        &ModelDownload {
+            round: 0,
+            weights: model.weights(),
+            plan: TrainingPlan::default(),
+            protected_layers: vec![1, 4],
+        },
+    )
+}
+
+/// An echo peer for the exchange-only group: replies to every request
+/// with a fixed error envelope (the cheapest legal reply), so the
+/// measurement isolates framing + pipe cost from training.
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_exchange_lenet5_download");
+    group.sample_size(10);
+    let download = lenet_download();
+    let payload_bytes = encode(&download).len();
+    eprintln!("exchange payload: {payload_bytes} bytes");
+
+    group.bench_function("channel", |b| {
+        let (mut server, mut client) = channel_pair();
+        let echo = std::thread::spawn(move || {
+            while let Ok(req) = client.recv() {
+                if req.kind == MessageKind::Goodbye {
+                    break;
+                }
+                if client.send(Envelope::error("echo")).is_err() {
+                    break;
+                }
+            }
+        });
+        b.iter(|| server.exchange(download.clone()).expect("echoed"));
+        let _ = server.notify(Envelope::control(MessageKind::Goodbye));
+        let _ = echo.join();
+    });
+
+    group.bench_function("tcp", |b| {
+        let listener = tcp::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let echo = std::thread::spawn(move || {
+            let mut client = tcp::connect(addr).expect("connect");
+            while let Ok(req) = client.recv() {
+                if req.kind == MessageKind::Goodbye {
+                    break;
+                }
+                if client.send(Envelope::error("echo")).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut server = listener.accept().expect("accept");
+        b.iter(|| server.exchange(download.clone()).expect("echoed"));
+        let _ = server.notify(Envelope::control(MessageKind::Goodbye));
+        let _ = echo.join();
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_exchange);
+
+/// Renders the JSON summary: median seconds per transport plus overhead
+/// of each transport over the in-process round.
+fn summary_json(c: &Criterion) -> String {
+    let baseline = c
+        .results()
+        .iter()
+        .find(|r| r.id == "transport_round/inprocess")
+        .map(|r| r.median.as_secs_f64());
+    let rows: Vec<String> = c
+        .results()
+        .iter()
+        .map(|r| {
+            let (group, name) = r.id.split_once('/').unwrap_or((r.id.as_str(), "?"));
+            let secs = r.median.as_secs_f64();
+            let overhead = if group == "transport_round" {
+                baseline
+                    .filter(|&b| b > 0.0)
+                    .map(|b| (secs / b - 1.0) * 100.0)
+            } else {
+                None
+            };
+            format!(
+                "    {{\"group\": \"{}\", \"transport\": \"{}\", \"median_s\": {:.9}, \"overhead_vs_inprocess_pct\": {}}}",
+                group,
+                name,
+                secs,
+                overhead
+                    .map(|o| format!("{o:.2}"))
+                    .unwrap_or_else(|| "null".to_owned()),
+            )
+        })
+        .collect();
+    format!("{{\n  \"benchmarks\": [\n{}\n  ]\n}}\n", rows.join(",\n"))
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+    let json = summary_json(&c);
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        });
+    let path = target.join("transport_overhead.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    println!("{json}");
+}

@@ -1,0 +1,75 @@
+//! Runs a small protected federation and exports every round's report —
+//! participants, mean loss, protected layers and the TEE ledger — as JSON
+//! (`target/rounds.json` plus stdout), demonstrating the per-round export
+//! path repro pipelines consume.
+//!
+//! Environment:
+//!
+//! * `GRADSEC_TRANSPORT=tcp` — drive the rounds over loopback TCP instead
+//!   of the in-process transport (the JSON is bit-identical either way).
+//! * `GRADSEC_ROUNDS=n` — override the round count (default 5).
+
+use std::sync::Arc;
+
+use gradsec_core::trainer::SecureTrainer;
+use gradsec_core::ProtectionPolicy;
+use gradsec_data::SyntheticCifar100;
+use gradsec_fl::config::{TrainingPlan, TransportKind};
+use gradsec_fl::runner::Federation;
+use gradsec_nn::zoo;
+
+fn main() {
+    let transport = match std::env::var("GRADSEC_TRANSPORT").as_deref() {
+        Ok("tcp") => TransportKind::Tcp,
+        _ => TransportKind::InProcess,
+    };
+    let rounds = std::env::var("GRADSEC_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let data = Arc::new(SyntheticCifar100::with_classes(96, 2, 5));
+    let policy = ProtectionPolicy::static_layers(&[1, 4]).expect("valid layer set");
+    let mut fed = Federation::builder(TrainingPlan {
+        rounds,
+        clients_per_round: 3,
+        batches_per_cycle: 2,
+        batch_size: 8,
+        learning_rate: 0.05,
+        seed: 7,
+    })
+    .model(|| zoo::lenet5_with(2, 13).expect("LeNet-5 builds"))
+    .clients(4, data)
+    .trainer(|_| Box::new(SecureTrainer::new()))
+    .scheduler(policy)
+    .transport(transport)
+    .build()
+    .expect("federation builds");
+    eprintln!(
+        "Running {rounds} protected rounds over the {} transport…",
+        match transport {
+            TransportKind::InProcess => "in-process",
+            TransportKind::Tcp => "loopback-TCP",
+        }
+    );
+    let report = fed.run().expect("federation runs");
+    fed.shutdown().expect("clean teardown");
+    let json = report.to_json();
+    // Cargo runs bins with the package dir as cwd; anchor the output in
+    // the workspace target dir regardless.
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        });
+    let path = target.join("rounds.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    println!("{json}");
+}

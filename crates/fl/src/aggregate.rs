@@ -52,6 +52,7 @@ mod tests {
             }]),
             num_samples: samples,
             train_loss: 0.0,
+            cost: Default::default(),
         }
     }
 

@@ -23,6 +23,12 @@ pub struct DeviceProfile {
     pub tee_budget: usize,
     /// Device attestation key (provisioned at manufacture; shared with the
     /// verifier in this symmetric simulation).
+    ///
+    /// The FL server verifies quotes against its provisioning registry —
+    /// [`DeviceProfile::provisioned_key`] of the id the client reports in
+    /// its transport handshake — so a device whose key differs from
+    /// `provisioned_key(id)` fails screening, exactly as an unprovisioned
+    /// device would in the field.
     pub attestation_key: Vec<u8>,
     /// The GradSec TA installed on this device, if any.
     pub ta: Option<InstalledTa>,
@@ -38,12 +44,20 @@ pub struct InstalledTa {
 }
 
 impl DeviceProfile {
+    /// The attestation key provisioned for a device at manufacture. In
+    /// this symmetric simulation the verifier (FL server) derives the same
+    /// key from the device id — the registry a remote client is checked
+    /// against after its transport handshake.
+    pub fn provisioned_key(device_id: u64) -> Vec<u8> {
+        format!("device-key-{device_id}").into_bytes()
+    }
+
     /// A well-provisioned TrustZone device running the genuine GradSec TA.
     pub fn trustzone(device_id: u64) -> Self {
         DeviceProfile {
             has_tee: true,
             tee_budget: 4 * 1024 * 1024,
-            attestation_key: format!("device-key-{device_id}").into_bytes(),
+            attestation_key: Self::provisioned_key(device_id),
             ta: Some(InstalledTa {
                 uuid: Uuid::from_name("gradsec-ta"),
                 code: b"gradsec-ta-code-v1".to_vec(),
@@ -56,7 +70,7 @@ impl DeviceProfile {
         DeviceProfile {
             has_tee: false,
             tee_budget: 0,
-            attestation_key: format!("device-key-{device_id}").into_bytes(),
+            attestation_key: Self::provisioned_key(device_id),
             ta: None,
         }
     }
@@ -67,7 +81,7 @@ impl DeviceProfile {
         DeviceProfile {
             has_tee: true,
             tee_budget: 4 * 1024 * 1024,
-            attestation_key: format!("device-key-{device_id}").into_bytes(),
+            attestation_key: Self::provisioned_key(device_id),
             ta: Some(InstalledTa {
                 uuid: Uuid::from_name("gradsec-ta"),
                 code: b"gradsec-ta-code-BACKDOORED".to_vec(),
@@ -198,6 +212,7 @@ impl FlClient {
             weights: self.model.weights(),
             num_samples: stats.samples.max(1),
             train_loss: stats.mean_loss,
+            cost: stats.cost(self.id),
         })
     }
 }

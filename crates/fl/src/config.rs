@@ -55,6 +55,22 @@ impl TrainingPlan {
     }
 }
 
+/// Which transport a built federation wires its clients onto.
+///
+/// Both transports speak the identical envelope protocol, so a run is
+/// bit-identical whichever is chosen (asserted by
+/// `tests/integration_transport.rs` at the workspace root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// Zero-copy in-process dispatch (the default): client cycles run on
+    /// the execution engine's worker threads.
+    #[default]
+    InProcess,
+    /// Loopback TCP: one socket and one service thread per client, the
+    /// round exchange crossing real sockets.
+    Tcp,
+}
+
 impl Default for TrainingPlan {
     /// The paper's evaluation defaults: batch 32, 10 batches per cycle.
     fn default() -> Self {

@@ -1,31 +1,37 @@
-//! The federation execution engine: fans one round's client cycles out
+//! The federation execution engine: fans one round's client exchanges out
 //! across a worker pool.
 //!
 //! Every selected client's local training is independent — each trains a
 //! private model replica on a private shard with a per-client seeded
-//! batcher (`plan.seed ^ client_id ^ round`), so cycles can run on any
-//! worker in any order without changing a single bit of the result. The
-//! engine exploits exactly that:
+//! batcher (`plan.seed ^ client_id ^ round`), so exchanges can run on any
+//! worker in any order without changing a single bit of the result. Since
+//! the transport redesign the engine drives [`RemoteClient`] endpoints
+//! rather than touching client structs directly:
 //!
-//! * clients are dealt round-robin onto `workers` scoped threads
-//!   (the crossbeam idiom the tensor kernels already use),
-//! * each result lands in a slot keyed by the client's position in the
-//!   round's selection, so aggregation order never depends on timing,
-//! * TEE accounting is recorded into a [`SharedLedger`] as workers
-//!   finish and merged into an id-sorted [`RoundLedger`], so the
-//!   world-switch/crypto bill stays correct under concurrency.
+//! * endpoints are dealt round-robin onto `workers` scoped threads
+//!   (the crossbeam idiom the tensor kernels already use), each worker
+//!   owning its shard of endpoints for the round,
+//! * each [`UpdateUpload`] lands in a slot keyed by the client's position
+//!   in the round's selection, so aggregation order never depends on
+//!   timing,
+//! * the TEE accounting that arrives *on the wire* with every upload is
+//!   recorded into a [`SharedLedger`] as workers finish and merged into an
+//!   id-sorted [`RoundLedger`], so the world-switch/crypto bill stays
+//!   correct under concurrency — and complete even when clients live in
+//!   other processes.
 //!
-//! With identical seeds, a 1-worker and an N-worker engine produce
-//! bit-identical round reports and final weights (see
-//! `tests/integration_engine.rs` at the workspace root).
+//! With identical seeds, a 1-worker and an N-worker engine — over the
+//! in-process or the TCP transport — produce bit-identical round reports
+//! and final weights (see `tests/integration_engine.rs` and
+//! `tests/integration_transport.rs` at the workspace root).
 
-use gradsec_tee::cost::{ClientCycleCost, RoundLedger, SharedLedger};
+use gradsec_tee::cost::{RoundLedger, SharedLedger};
 
-use crate::client::FlClient;
 use crate::message::{ModelDownload, UpdateUpload};
+use crate::transport::RemoteClient;
 use crate::Result;
 
-/// A round-execution strategy: how many workers train clients
+/// A round-execution strategy: how many workers drive client exchanges
 /// concurrently within one FL cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutionEngine {
@@ -56,12 +62,12 @@ impl ExecutionEngine {
         self.workers
     }
 
-    /// Runs the cycles of the clients listed in `picked` (indices into
+    /// Drives the cycles of the clients listed in `picked` (indices into
     /// `clients`) against `download`, returning per-client outcomes in
     /// `picked` order plus the round's merged TEE ledger.
     pub(crate) fn execute_cycles(
         &self,
-        clients: &mut [FlClient],
+        clients: &mut [RemoteClient],
         picked: &[usize],
         download: &ModelDownload,
     ) -> (Vec<Result<UpdateUpload>>, RoundLedger) {
@@ -70,7 +76,7 @@ impl ExecutionEngine {
             (0..picked.len()).map(|_| None).collect();
         if self.workers <= 1 || picked.len() <= 1 {
             for (slot, &ci) in picked.iter().enumerate() {
-                slots[slot] = Some(run_and_record(&mut clients[ci], download, &ledger));
+                slots[slot] = Some(exchange_and_record(&mut clients[ci], download, &ledger));
             }
         } else {
             // Deal the selected clients round-robin into one shard per
@@ -78,7 +84,7 @@ impl ExecutionEngine {
             // so the partition — and therefore any numeric consequence of
             // it — is reproducible.
             let workers = self.workers.min(picked.len());
-            let mut shards: Vec<Vec<(usize, &mut FlClient)>> =
+            let mut shards: Vec<Vec<(usize, &mut RemoteClient)>> =
                 (0..workers).map(|_| Vec::new()).collect();
             for (k, (slot, client)) in clients
                 .iter_mut()
@@ -97,7 +103,7 @@ impl ExecutionEngine {
                             shard
                                 .iter_mut()
                                 .map(|(slot, client)| {
-                                    (*slot, run_and_record(client, download, ledger))
+                                    (*slot, exchange_and_record(client, download, ledger))
                                 })
                                 .collect::<Vec<_>>()
                         })
@@ -127,22 +133,16 @@ impl Default for ExecutionEngine {
     }
 }
 
-/// Runs one client cycle and, on success, records its TEE accounting.
-fn run_and_record(
-    client: &mut FlClient,
+/// Drives one client exchange and, on success, records the TEE accounting
+/// the upload carried across the transport.
+fn exchange_and_record(
+    client: &mut RemoteClient,
     download: &ModelDownload,
     ledger: &SharedLedger,
 ) -> Result<UpdateUpload> {
-    let result = client.run_cycle(download);
-    if result.is_ok() {
-        if let Some(stats) = client.last_stats() {
-            ledger.record(ClientCycleCost {
-                client_id: client.id(),
-                time: stats.time,
-                crossings: stats.crossings,
-                tee_peak_bytes: stats.tee_peak_bytes,
-            });
-        }
+    let result = client.train(download);
+    if let Ok(upload) = &result {
+        ledger.record(upload.cost);
     }
     result
 }

@@ -9,7 +9,8 @@
 //!    verifies a remote-attestation quote before admitting them to a cycle
 //!    ([`selection`]).
 //! 2. **Transmission** — the global model and training plan are shipped to
-//!    the selected clients ([`message`]).
+//!    the selected clients ([`message`]) over a pluggable [`transport`]
+//!    (in-process by default; TCP for multi-process deployments).
 //! 3. **Secure local training** — each client trains locally through a
 //!    pluggable [`LocalTrainer`](trainer::LocalTrainer); the plain SGD
 //!    trainer lives here, the enclave-partitioned GradSec trainer in
@@ -61,10 +62,13 @@ pub mod scheduler;
 pub mod selection;
 pub mod server;
 pub mod trainer;
+pub mod transport;
 
+pub use config::TransportKind;
 pub use engine::ExecutionEngine;
 pub use error::FlError;
 pub use scheduler::ProtectionScheduler;
+pub use transport::{ClientEndpoint, RemoteClient, ServerEndpoint};
 
 /// Crate-wide result alias using [`FlError`].
 pub type Result<T> = std::result::Result<T, FlError>;

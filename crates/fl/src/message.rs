@@ -1,20 +1,51 @@
 //! Wire messages between the FL server and clients.
 //!
-//! The transport in this reproduction is in-process, but every payload has
-//! a concrete binary framing (a hand-rolled little-endian codec over the
-//! `bytes` crate) so the protocol could move onto a socket unchanged — and
-//! so the trusted I/O path (`gradsec-tee::tiop`) has real bytes to seal.
+//! Every payload has a concrete binary framing (a hand-rolled
+//! little-endian codec over the `bytes` crate). Since the transport
+//! redesign, these bytes genuinely cross process/socket boundaries: each
+//! message travels inside a typed, versioned [`Envelope`] whose header
+//! doubles as the length-prefixed TCP frame, and the trusted I/O path
+//! (`gradsec-tee::tiop`) can seal exactly the same bytes.
+//!
+//! Protocol-version negotiation is a [`Hello`]/[`HelloAck`] exchange at
+//! session start: the server advertises its supported range, the client
+//! picks the highest mutually supported version (or refuses with an
+//! [`ErrorReply`]).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
 use gradsec_nn::model::{LayerWeights, ModelWeights};
 use gradsec_tee::attestation::{Challenge, Measurement, Quote};
+use gradsec_tee::cost::{ClientCycleCost, TimeBreakdown};
 use gradsec_tee::ta::Uuid;
+use gradsec_tee::tiop::Frame;
 use gradsec_tensor::Tensor;
 
 use crate::config::TrainingPlan;
 use crate::{FlError, Result};
+
+/// The newest protocol version this build speaks.
+///
+/// Version 1 was the pre-envelope framing (raw message bytes, in-process
+/// only); version 2 introduced the [`Envelope`] header and the TEE cost
+/// accounting carried on [`UpdateUpload`]. Version 1 is no longer spoken.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The oldest protocol version this build still accepts.
+pub const MIN_SUPPORTED_VERSION: u16 = 2;
+
+/// Picks the highest version supported by both this build and a peer
+/// advertising `[peer_min, peer_max]`, or `None` when the ranges are
+/// disjoint.
+pub fn negotiate_version(peer_min: u16, peer_max: u16) -> Option<u16> {
+    let chosen = PROTOCOL_VERSION.min(peer_max);
+    if chosen >= MIN_SUPPORTED_VERSION.max(peer_min) {
+        Some(chosen)
+    } else {
+        None
+    }
+}
 
 /// Server → client: attestation challenge during selection (Figure 2-➊).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,6 +88,46 @@ pub struct UpdateUpload {
     pub num_samples: usize,
     /// Mean training loss over the cycle.
     pub train_loss: f32,
+    /// The cycle's TEE accounting. Carried on the wire (protocol v2) so
+    /// the server's round ledger stays complete when the client lives in
+    /// another process or on another machine.
+    pub cost: ClientCycleCost,
+}
+
+/// Session setup, server → client: the server's supported version range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hello {
+    /// Oldest protocol version the server accepts.
+    pub min_version: u16,
+    /// Newest protocol version the server speaks.
+    pub max_version: u16,
+}
+
+impl Hello {
+    /// The Hello this build sends.
+    pub fn current() -> Self {
+        Hello {
+            min_version: MIN_SUPPORTED_VERSION,
+            max_version: PROTOCOL_VERSION,
+        }
+    }
+}
+
+/// Session setup, client → server: the negotiated version plus the
+/// client's identity (which keys the server's attestation registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HelloAck {
+    /// The version the client chose from the server's advertised range.
+    pub version: u16,
+    /// The connecting client's id.
+    pub client_id: u64,
+}
+
+/// Either direction: a failure report that replaces the expected reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Human-readable reason.
+    pub reason: String,
 }
 
 /// A type with a binary wire encoding.
@@ -110,13 +181,200 @@ const MAX_FIELD: usize = 256 * 1024 * 1024;
 
 fn decode_len(buf: &mut Bytes, what: &str) -> Result<usize> {
     need(buf, 8, what)?;
-    let n = buf.get_u64_le() as usize;
-    if n > MAX_FIELD {
+    // Bound the raw u64 *before* casting: on 32-bit targets a
+    // `as usize` cast truncates, which would let a hostile 2^32+k
+    // prefix slip past the guard as k.
+    let n = buf.get_u64_le();
+    if n > MAX_FIELD as u64 {
         return Err(FlError::BadConfig {
             reason: format!("{what} length {n} exceeds protocol maximum"),
         });
     }
-    Ok(n)
+    Ok(n as usize)
+}
+
+/// The kind tag of an [`Envelope`], one per message the protocol speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum MessageKind {
+    /// [`Hello`] — version offer (server → client).
+    Hello = 0,
+    /// [`HelloAck`] — version choice + identity (client → server).
+    HelloAck = 1,
+    /// [`AttestationRequest`] (Figure 2-➊).
+    AttestationRequest = 2,
+    /// [`AttestationResponse`].
+    AttestationResponse = 3,
+    /// [`ModelDownload`] (Figure 2-➋).
+    ModelDownload = 4,
+    /// [`UpdateUpload`] (Figure 2-➍).
+    UpdateUpload = 5,
+    /// Session teardown; carries no payload and expects no reply.
+    Goodbye = 6,
+    /// [`ErrorReply`] — the peer could not produce the expected reply.
+    Error = 7,
+    /// A [`gradsec_tee::tiop::Frame`] sealing a whole inner envelope
+    /// (the trusted I/O path; see `transport::sealed`).
+    Sealed = 8,
+}
+
+impl MessageKind {
+    pub(crate) fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => MessageKind::Hello,
+            1 => MessageKind::HelloAck,
+            2 => MessageKind::AttestationRequest,
+            3 => MessageKind::AttestationResponse,
+            4 => MessageKind::ModelDownload,
+            5 => MessageKind::UpdateUpload,
+            6 => MessageKind::Goodbye,
+            7 => MessageKind::Error,
+            8 => MessageKind::Sealed,
+            other => {
+                return Err(FlError::Protocol {
+                    reason: format!("unknown message kind {other}"),
+                })
+            }
+        })
+    }
+}
+
+/// Magic bytes opening every envelope header ("GS", little-endian).
+pub const ENVELOPE_MAGIC: u16 = 0x5347;
+
+/// Fixed envelope header length: magic (2) + version (2) + kind (1) +
+/// payload length (8).
+pub const ENVELOPE_HEADER_LEN: usize = 13;
+
+/// Guard against adversarial envelope lengths: no round of this protocol
+/// legitimately ships more than 1 GiB in one message.
+pub const MAX_ENVELOPE_PAYLOAD: usize = 1024 * 1024 * 1024;
+
+/// Extra bytes a sealed carrier may legitimately add on top of a
+/// maximum-size inner envelope: the inner envelope's own header plus the
+/// frame's sequence number, two length prefixes and HMAC tag (56 bytes),
+/// rounded up. Envelope decoding admits this slack so the sealed
+/// transport never caps a message the plain transports carry fine.
+pub const SEAL_OVERHEAD: usize = ENVELOPE_HEADER_LEN + 115;
+
+/// The typed, versioned wrapper every message travels in.
+///
+/// Its binary layout — magic, version, kind, payload length, payload —
+/// doubles as the length-prefixed TCP frame: a socket reader pulls the
+/// fixed [`ENVELOPE_HEADER_LEN`] bytes, learns the payload length, then
+/// pulls exactly that many more.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Protocol version the sender speaks (negotiated after Hello).
+    pub version: u16,
+    /// What the payload decodes as.
+    pub kind: MessageKind,
+    /// The encoded message bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Wraps a message in an envelope at the current protocol version.
+    pub fn pack<T: Wire>(kind: MessageKind, msg: &T) -> Envelope {
+        Envelope {
+            version: PROTOCOL_VERSION,
+            kind,
+            payload: encode(msg),
+        }
+    }
+
+    /// A payload-less envelope (Goodbye).
+    pub fn control(kind: MessageKind) -> Envelope {
+        Envelope {
+            version: PROTOCOL_VERSION,
+            kind,
+            payload: Vec::new(),
+        }
+    }
+
+    /// An error-reply envelope.
+    pub fn error(reason: impl Into<String>) -> Envelope {
+        Envelope::pack(
+            MessageKind::Error,
+            &ErrorReply {
+                reason: reason.into(),
+            },
+        )
+    }
+
+    /// Decodes the payload as `T`, after checking the kind tag.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::ClientFailure`]-free by design: a kind mismatch or an
+    /// [`ErrorReply`] in place of the expected kind becomes
+    /// [`FlError::Protocol`]; payload corruption surfaces the codec error.
+    pub fn open<T: Wire>(&self, expect: MessageKind) -> Result<T> {
+        if self.kind == MessageKind::Error && expect != MessageKind::Error {
+            return Err(FlError::Protocol {
+                reason: format!("peer reported: {}", self.error_reason()),
+            });
+        }
+        if self.kind != expect {
+            return Err(FlError::Protocol {
+                reason: format!("expected {expect:?}, got {:?}", self.kind),
+            });
+        }
+        decode(&self.payload)
+    }
+
+    /// Best-effort extraction of an [`ErrorReply`] reason (for envelopes
+    /// whose kind is [`MessageKind::Error`]).
+    pub fn error_reason(&self) -> String {
+        decode::<ErrorReply>(&self.payload)
+            .map(|e| e.reason)
+            .unwrap_or_else(|_| "malformed error reply".to_owned())
+    }
+
+    /// Whether the sender's version is one this build can speak.
+    pub fn version_supported(&self) -> bool {
+        (MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION).contains(&self.version)
+    }
+}
+
+impl Wire for Envelope {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(ENVELOPE_MAGIC);
+        buf.put_u16_le(self.version);
+        buf.put_u8(self.kind as u8);
+        buf.put_u64_le(self.payload.len() as u64);
+        buf.put_slice(&self.payload);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, ENVELOPE_HEADER_LEN, "envelope header")?;
+        let magic = buf.get_u16_le();
+        if magic != ENVELOPE_MAGIC {
+            return Err(FlError::Protocol {
+                reason: format!("bad envelope magic {magic:#06x}"),
+            });
+        }
+        let version = buf.get_u16_le();
+        let kind = MessageKind::from_u8(buf.get_u8())?;
+        // Bound the raw u64 before the usize cast (32-bit truncation
+        // would defeat the guard); sealed carriers get the documented
+        // slack on top of the plain maximum.
+        let len = buf.get_u64_le();
+        if len > (MAX_ENVELOPE_PAYLOAD + SEAL_OVERHEAD) as u64 {
+            return Err(FlError::Protocol {
+                reason: format!("envelope payload length {len} exceeds protocol maximum"),
+            });
+        }
+        let len = len as usize;
+        need(buf, len, "envelope payload")?;
+        let mut payload = vec![0u8; len];
+        buf.copy_to_slice(&mut payload);
+        Ok(Envelope {
+            version,
+            kind,
+            payload,
+        })
+    }
 }
 
 impl Wire for Tensor {
@@ -335,6 +593,7 @@ impl Wire for UpdateUpload {
         self.weights.encode_into(buf);
         buf.put_u64_le(self.num_samples as u64);
         buf.put_f32_le(self.train_loss);
+        self.cost.encode_into(buf);
     }
 
     fn decode_from(buf: &mut Bytes) -> Result<Self> {
@@ -345,12 +604,145 @@ impl Wire for UpdateUpload {
         need(buf, 12, "upload footer")?;
         let num_samples = buf.get_u64_le() as usize;
         let train_loss = buf.get_f32_le();
+        let cost = ClientCycleCost::decode_from(buf)?;
         Ok(UpdateUpload {
             client_id,
             round,
             weights,
             num_samples,
             train_loss,
+            cost,
+        })
+    }
+}
+
+impl Wire for Hello {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(self.min_version);
+        buf.put_u16_le(self.max_version);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 4, "hello")?;
+        Ok(Hello {
+            min_version: buf.get_u16_le(),
+            max_version: buf.get_u16_le(),
+        })
+    }
+}
+
+impl Wire for HelloAck {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(self.version);
+        buf.put_u64_le(self.client_id);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 10, "hello ack")?;
+        Ok(HelloAck {
+            version: buf.get_u16_le(),
+            client_id: buf.get_u64_le(),
+        })
+    }
+}
+
+impl Wire for ErrorReply {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        let bytes = self.reason.as_bytes();
+        buf.put_u64_le(bytes.len() as u64);
+        buf.put_slice(bytes);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        let n = decode_len(buf, "error reason")?;
+        need(buf, n, "error reason bytes")?;
+        let mut bytes = vec![0u8; n];
+        buf.copy_to_slice(&mut bytes);
+        let reason = String::from_utf8(bytes).map_err(|_| FlError::Protocol {
+            reason: "error reason is not valid UTF-8".to_owned(),
+        })?;
+        Ok(ErrorReply { reason })
+    }
+}
+
+impl Wire for TimeBreakdown {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(self.user_s);
+        buf.put_f64_le(self.kernel_s);
+        buf.put_f64_le(self.alloc_s);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 24, "time breakdown")?;
+        Ok(TimeBreakdown {
+            user_s: buf.get_f64_le(),
+            kernel_s: buf.get_f64_le(),
+            alloc_s: buf.get_f64_le(),
+        })
+    }
+}
+
+impl Wire for ClientCycleCost {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.client_id);
+        self.time.encode_into(buf);
+        buf.put_u64_le(self.crossings);
+        buf.put_u64_le(self.tee_peak_bytes as u64);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 8, "cost client id")?;
+        let client_id = buf.get_u64_le();
+        let time = TimeBreakdown::decode_from(buf)?;
+        need(buf, 16, "cost footer")?;
+        let crossings = buf.get_u64_le();
+        let tee_peak_bytes = buf.get_u64_le() as usize;
+        Ok(ClientCycleCost {
+            client_id,
+            time,
+            crossings,
+            tee_peak_bytes,
+        })
+    }
+}
+
+impl Wire for Frame {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.seq);
+        buf.put_u64_le(self.ciphertext.len() as u64);
+        buf.put_slice(&self.ciphertext);
+        buf.put_u64_le(self.mac.len() as u64);
+        buf.put_slice(&self.mac);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 8, "frame sequence")?;
+        let seq = buf.get_u64_le();
+        // A frame's ciphertext seals a whole envelope, so its bound is
+        // the envelope maximum (plus seal slack) — not the per-field
+        // maximum ordinary message fields use. Otherwise the sealed
+        // transport would silently cap messages the plain transports
+        // carry fine. Raw-u64 comparison for the same 32-bit-truncation
+        // reason as decode_len.
+        need(buf, 8, "frame ciphertext")?;
+        let n = buf.get_u64_le();
+        if n > (MAX_ENVELOPE_PAYLOAD + SEAL_OVERHEAD) as u64 {
+            return Err(FlError::Protocol {
+                reason: format!("frame ciphertext length {n} exceeds protocol maximum"),
+            });
+        }
+        let n = n as usize;
+        need(buf, n, "frame ciphertext bytes")?;
+        let mut ciphertext = vec![0u8; n];
+        buf.copy_to_slice(&mut ciphertext);
+        let m = decode_len(buf, "frame mac")?;
+        need(buf, m, "frame mac bytes")?;
+        let mut mac = vec![0u8; m];
+        buf.copy_to_slice(&mut mac);
+        Ok(Frame {
+            seq,
+            ciphertext,
+            mac,
         })
     }
 }
@@ -358,6 +750,19 @@ impl Wire for UpdateUpload {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_cost(client_id: u64) -> ClientCycleCost {
+        ClientCycleCost {
+            client_id,
+            time: TimeBreakdown {
+                user_s: 2.191,
+                kernel_s: 0.021,
+                alloc_s: 4.68,
+            },
+            crossings: 40,
+            tee_peak_bytes: 219_576,
+        }
+    }
 
     fn weights() -> ModelWeights {
         ModelWeights::new(vec![LayerWeights {
@@ -386,6 +791,7 @@ mod tests {
             weights: weights(),
             num_samples: 320,
             train_loss: 2.5,
+            cost: sample_cost(9),
         };
         let back: UpdateUpload = decode(&encode(&msg)).unwrap();
         assert_eq!(msg, back);
@@ -430,6 +836,7 @@ mod tests {
             weights: weights(),
             num_samples: 10,
             train_loss: 0.5,
+            cost: sample_cost(1),
         };
         let mut bytes = encode(&msg);
         bytes.truncate(bytes.len() - 3);

@@ -1,6 +1,18 @@
 //! Federation orchestration: wiring server and clients through rounds.
+//!
+//! The round exchange is driven exclusively through
+//! [`transport`](crate::transport) endpoints: the builder assembles the
+//! client fleet, wires each client onto the configured
+//! [`TransportKind`] (zero-copy in-process dispatch by default, loopback
+//! TCP with one service thread per client otherwise), handshakes every
+//! endpoint, and hands the resulting [`RemoteClient`]s to the server and
+//! engine. The same protocol bytes flow either way, so reports are
+//! bit-identical across transports.
 
 use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use serde::{Deserialize, Serialize};
 
 use gradsec_data::{split, Dataset};
 use gradsec_nn::Sequential;
@@ -9,12 +21,14 @@ use gradsec_tee::cost::RoundLedger;
 use gradsec_tee::crypto::sha256::sha256;
 
 use crate::client::{DeviceProfile, FlClient};
-use crate::config::TrainingPlan;
+use crate::config::{TrainingPlan, TransportKind};
 use crate::engine::ExecutionEngine;
 use crate::message::UpdateUpload;
 use crate::scheduler::{NoProtection, ProtectionScheduler};
 use crate::server::FlServer;
 use crate::trainer::{LocalTrainer, PlainSgdTrainer};
+use crate::transport::inprocess::LocalEndpoint;
+use crate::transport::{tcp, ClientSession, RemoteClient};
 use crate::{FlError, Result};
 
 /// Builds the prototype model whose replicas every client trains.
@@ -23,8 +37,13 @@ pub type ModelFactory = Box<dyn Fn() -> Sequential + Send + Sync>;
 /// Builds a local trainer for a client id.
 pub type TrainerFactory = Box<dyn Fn(u64) -> Box<dyn LocalTrainer> + Send + Sync>;
 
+fn json_usize_list(xs: &[usize]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
 /// Per-round outcome.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundReport {
     /// Round index (0-based).
     pub round: u64,
@@ -39,13 +58,41 @@ pub struct RoundReport {
     pub ledger: RoundLedger,
 }
 
+impl RoundReport {
+    /// Renders the report as a JSON object (hand-rolled: the vendored
+    /// serde is a derive marker only), so repro binaries can export
+    /// per-round results.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"round":{},"participants":{},"mean_loss":{},"protected_layers":{},"ledger":{}}}"#,
+            self.round,
+            json_usize_list(&self.participants),
+            gradsec_tee::cost::json_number(f64::from(self.mean_loss)),
+            json_usize_list(&self.protected_layers),
+            self.ledger.to_json(),
+        )
+    }
+}
+
 /// Whole-run outcome.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FederationReport {
     /// Rounds completed.
     pub rounds_completed: u64,
     /// Per-round reports.
     pub rounds: Vec<RoundReport>,
+}
+
+impl FederationReport {
+    /// Renders the whole run as a JSON object.
+    pub fn to_json(&self) -> String {
+        let rounds: Vec<String> = self.rounds.iter().map(RoundReport::to_json).collect();
+        format!(
+            r#"{{"rounds_completed":{},"rounds":[{}]}}"#,
+            self.rounds_completed,
+            rounds.join(",")
+        )
+    }
 }
 
 /// Builder for a [`Federation`].
@@ -58,6 +105,7 @@ pub struct FederationBuilder {
     scheduler: Arc<dyn ProtectionScheduler>,
     engine: ExecutionEngine,
     measurement: Measurement,
+    transport: TransportKind,
 }
 
 impl FederationBuilder {
@@ -71,6 +119,7 @@ impl FederationBuilder {
             scheduler: Arc::new(NoProtection),
             engine: ExecutionEngine::sequential(),
             measurement: Measurement(sha256(b"gradsec-ta-code-v1")),
+            transport: TransportKind::InProcess,
         }
     }
 
@@ -134,12 +183,22 @@ impl FederationBuilder {
         self
     }
 
-    /// Assembles the federation.
+    /// Selects the transport the fleet is wired onto (in-process by
+    /// default; [`TransportKind::Tcp`] runs every client behind a
+    /// loopback socket with its own service thread).
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Assembles the federation: builds the fleet, wires it onto the
+    /// configured transport and handshakes every endpoint.
     ///
     /// # Errors
     ///
     /// Returns [`FlError::BadConfig`] when the model factory or dataset is
-    /// missing, or the plan is invalid.
+    /// missing, or the plan is invalid; transport/handshake failures
+    /// propagate as [`FlError::Transport`]/[`FlError::Protocol`].
     pub fn build(self) -> Result<Federation> {
         let model_factory = self.model_factory.ok_or_else(|| FlError::BadConfig {
             reason: "model factory not set".to_owned(),
@@ -158,7 +217,7 @@ impl FederationBuilder {
         // replica (identical weights, fresh caches) — the same mechanism
         // the engine's per-worker replicas rely on.
         let prototype = model_factory();
-        let clients: Vec<FlClient> = self
+        let fleet: Vec<FlClient> = self
             .devices
             .into_iter()
             .zip(shards)
@@ -175,21 +234,92 @@ impl FederationBuilder {
             })
             .collect();
         let server = FlServer::new(self.plan, prototype.weights(), self.measurement)?;
+        let (clients, sessions) = wire_fleet(fleet, self.transport)?;
         Ok(Federation {
             server,
             clients,
             scheduler: self.scheduler,
             engine: self.engine,
+            sessions,
         })
     }
 }
 
-/// A complete in-process federation: one server plus its client fleet.
+/// Client service threads spawned by socket-backed transports; each
+/// returns its `FlClient` when the session ends.
+type SessionHandles = Vec<JoinHandle<Result<FlClient>>>;
+
+/// Wires a built fleet onto `transport`, returning the handshaken
+/// endpoints (id-ordered) plus any client service threads spawned.
+fn wire_fleet(
+    fleet: Vec<FlClient>,
+    transport: TransportKind,
+) -> Result<(Vec<RemoteClient>, SessionHandles)> {
+    match transport {
+        TransportKind::InProcess => {
+            let remotes = fleet
+                .into_iter()
+                .map(|c| RemoteClient::connect(Box::new(LocalEndpoint::new(c))))
+                .collect::<Result<Vec<_>>>()?;
+            Ok((remotes, Vec::new()))
+        }
+        TransportKind::Tcp => {
+            let listener = tcp::bind(("127.0.0.1", 0))?;
+            let addr = listener.local_addr()?;
+            let n = fleet.len();
+            let mut sessions: SessionHandles = fleet
+                .into_iter()
+                .map(|client| {
+                    std::thread::spawn(move || {
+                        let endpoint = tcp::connect(addr)?;
+                        ClientSession::new(client, endpoint).serve()
+                    })
+                })
+                .collect();
+            // Poll for the n connections rather than blocking in accept:
+            // a session thread that failed to connect would otherwise
+            // leave build() waiting forever for a connection that will
+            // never arrive.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            let mut remotes = Vec::with_capacity(n);
+            while remotes.len() < n {
+                match listener.try_accept()? {
+                    Some(endpoint) => remotes.push(RemoteClient::connect(Box::new(endpoint))?),
+                    None => {
+                        if let Some(dead) = sessions.iter().position(JoinHandle::is_finished) {
+                            let outcome = sessions.remove(dead).join();
+                            let reason = match outcome {
+                                Ok(Ok(_)) => continue, // clean early exit; keep accepting
+                                Ok(Err(e)) => return Err(e),
+                                Err(_) => "client session thread panicked".to_owned(),
+                            };
+                            return Err(FlError::Protocol { reason });
+                        }
+                        if std::time::Instant::now() > deadline {
+                            return Err(FlError::disconnected(
+                                "waiting for client connections during federation build",
+                            ));
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+            }
+            // Connections are accepted in arrival order; the handshake
+            // told us who is who, so restore fleet order by id.
+            remotes.sort_by_key(RemoteClient::id);
+            Ok((remotes, sessions))
+        }
+    }
+}
+
+/// A complete federation: one server plus its client fleet, reachable
+/// only through transport endpoints.
 pub struct Federation {
     server: FlServer,
-    clients: Vec<FlClient>,
+    clients: Vec<RemoteClient>,
     scheduler: Arc<dyn ProtectionScheduler>,
     engine: ExecutionEngine,
+    sessions: SessionHandles,
 }
 
 impl std::fmt::Debug for Federation {
@@ -212,13 +342,13 @@ impl Federation {
         &self.server
     }
 
-    /// The clients.
-    pub fn clients(&self) -> &[FlClient] {
+    /// The clients' endpoint handles.
+    pub fn clients(&self) -> &[RemoteClient] {
         &self.clients
     }
 
-    /// Mutable client access (tests inject failures through this).
-    pub fn clients_mut(&mut self) -> &mut [FlClient] {
+    /// Mutable endpoint access (tests drive exchanges through this).
+    pub fn clients_mut(&mut self) -> &mut [RemoteClient] {
         &mut self.clients
     }
 
@@ -243,8 +373,8 @@ impl Federation {
     }
 
     /// Runs one FL cycle — select → download → local train (fanned out by
-    /// `engine`) → aggregate — and merges the clients' TEE accounting
-    /// into the round ledger.
+    /// `engine` over the endpoints) → aggregate — and merges the TEE
+    /// accounting carried on the uploads into the round ledger.
     ///
     /// # Errors
     ///
@@ -253,7 +383,7 @@ impl Federation {
     /// client in selection order is returned.
     pub fn run_round_with(&mut self, engine: &ExecutionEngine) -> Result<RoundReport> {
         let round = self.server.round();
-        let picked = self.server.select(&self.clients)?;
+        let picked = self.server.select(&mut self.clients)?;
         // Clamp the scheduler's draw to the global model's depth — a
         // policy configured for a deeper network shelters what exists
         // rather than failing the round (the semantics the old
@@ -300,6 +430,50 @@ impl Federation {
         }
         Ok(report)
     }
+
+    /// Tears the fleet down: says goodbye over every endpoint and joins
+    /// any client service threads. Called automatically on drop (best
+    /// effort); call explicitly to observe teardown errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first goodbye/join failure encountered.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.teardown()
+    }
+
+    fn teardown(&mut self) -> Result<()> {
+        let mut first_err = None;
+        for client in &mut self.clients {
+            if let Err(e) = client.goodbye() {
+                first_err.get_or_insert(e);
+            }
+        }
+        self.clients.clear();
+        for session in self.sessions.drain(..) {
+            match session.join() {
+                Ok(Ok(_client)) => {}
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(_) => {
+                    first_err.get_or_insert(FlError::Protocol {
+                        reason: "client session thread panicked".to_owned(),
+                    });
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Federation {
+    fn drop(&mut self) {
+        let _ = self.teardown();
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +507,7 @@ mod tests {
         let report = fed.run().unwrap();
         assert_eq!(report.rounds_completed, 3);
         assert_eq!(fed.server().history().len(), 4); // initial + 3
+        fed.shutdown().unwrap();
     }
 
     #[test]
@@ -428,6 +603,26 @@ mod tests {
             .model(|| zoo::tiny_mlp(4, 4, 2, 1).unwrap())
             .build();
         assert!(no_clients.is_err());
+    }
+
+    #[test]
+    fn round_report_exports_json() {
+        let mut fed = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .clients(2, dataset())
+            .build()
+            .unwrap();
+        let r = fed.run_round().unwrap();
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains(r#""round":0"#));
+        assert!(json.contains(r#""participants":[0,1]"#));
+        assert!(json.contains(r#""ledger":{"#));
+        let report = FederationReport {
+            rounds_completed: 1,
+            rounds: vec![r],
+        };
+        assert!(report.to_json().contains(r#""rounds_completed":1"#));
     }
 
     #[test]

@@ -4,6 +4,13 @@
 //! > discarding those without a TEE. [...] The FL server can ensure the
 //! > trustworthiness of the FL client code leveraging novel remote
 //! > attestation support."
+//!
+//! Since the transport redesign, screening is an *endpoint* exchange: the
+//! challenge travels to each client as an encoded
+//! [`AttestationRequest`](crate::message::AttestationRequest) envelope
+//! and the quote comes back the same way, so selection works identically
+//! whether the client is a struct in this process or a device across a
+//! socket.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -11,7 +18,7 @@ use rand::RngExt;
 
 use gradsec_tee::attestation::{verify_quote, Challenge, Measurement};
 
-use crate::client::FlClient;
+use crate::transport::RemoteClient;
 
 /// Outcome of screening one client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,25 +30,37 @@ pub enum ScreeningOutcome {
     /// Quote present but failed verification (bad key, stale nonce, or
     /// non-whitelisted TA measurement).
     FailedAttestation,
+    /// The attestation exchange itself failed (transport error or a
+    /// client-side failure report) — the device cannot participate this
+    /// round.
+    Unreachable,
 }
 
 /// Screens every client with a fresh challenge and returns the verdicts,
 /// index-aligned with `clients`.
+///
+/// One nonce is drawn per client in slice order, so the server's RNG
+/// stream — and therefore the round's sampling — is identical across
+/// transports.
 pub fn screen_clients(
-    clients: &[FlClient],
+    clients: &mut [RemoteClient],
     expected: Measurement,
     rng: &mut StdRng,
 ) -> Vec<ScreeningOutcome> {
     clients
-        .iter()
+        .iter_mut()
         .map(|c| {
             let mut nonce = [0u8; 16];
             rng.fill(&mut nonce[..]);
             let challenge = Challenge::new(nonce);
-            match c.attest(&challenge).quote {
+            let response = match c.attest(&challenge) {
+                Ok(r) => r,
+                Err(_) => return ScreeningOutcome::Unreachable,
+            };
+            match response.quote {
                 None => ScreeningOutcome::NoTee,
                 Some(quote) => {
-                    match verify_quote(&c.device().attestation_key, &quote, expected, &challenge) {
+                    match verify_quote(c.attestation_key(), &quote, expected, &challenge) {
                         Ok(()) => ScreeningOutcome::Eligible,
                         Err(_) => ScreeningOutcome::FailedAttestation,
                     }
@@ -69,24 +88,26 @@ pub fn sample_eligible(outcomes: &[ScreeningOutcome], k: usize, rng: &mut StdRng
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::DeviceProfile;
+    use crate::client::{DeviceProfile, FlClient};
     use crate::trainer::PlainSgdTrainer;
+    use crate::transport::inprocess::LocalEndpoint;
     use gradsec_data::SyntheticCifar100;
     use gradsec_nn::zoo;
     use gradsec_tee::crypto::sha256::sha256;
     use rand::SeedableRng;
     use std::sync::Arc;
 
-    fn make_client(id: u64, device: DeviceProfile) -> FlClient {
+    fn make_client(id: u64, device: DeviceProfile) -> RemoteClient {
         let ds = Arc::new(SyntheticCifar100::with_classes(8, 2, 1));
-        FlClient::new(
+        let client = FlClient::new(
             id,
             device,
             ds,
             (0..8).collect(),
             zoo::tiny_mlp(3 * 32 * 32, 4, 2, id).unwrap(),
             Box::new(PlainSgdTrainer),
-        )
+        );
+        RemoteClient::connect(Box::new(LocalEndpoint::new(client))).unwrap()
     }
 
     fn whitelist() -> Measurement {
@@ -95,14 +116,14 @@ mod tests {
 
     #[test]
     fn screening_partitions_device_kinds() {
-        let clients = vec![
+        let mut clients = vec![
             make_client(0, DeviceProfile::trustzone(0)),
             make_client(1, DeviceProfile::legacy(1)),
             make_client(2, DeviceProfile::compromised(2)),
             make_client(3, DeviceProfile::trustzone(3)),
         ];
         let mut rng = StdRng::seed_from_u64(1);
-        let outcomes = screen_clients(&clients, whitelist(), &mut rng);
+        let outcomes = screen_clients(&mut clients, whitelist(), &mut rng);
         assert_eq!(
             outcomes,
             vec![
@@ -112,6 +133,48 @@ mod tests {
                 ScreeningOutcome::Eligible,
             ]
         );
+    }
+
+    #[test]
+    fn hung_up_clients_screen_as_unreachable() {
+        let (server_ep, client_ep) = crate::transport::inprocess::channel_pair();
+        // The session thread answers the handshake then exits without a
+        // Goodbye, hanging up the channel.
+        let handle = std::thread::spawn(move || {
+            let mut ep = client_ep;
+            use crate::transport::{ClientEndpoint, ClientHandler};
+            let ds = Arc::new(SyntheticCifar100::with_classes(8, 2, 1));
+            let mut handler = ClientHandler::new(FlClient::new(
+                5,
+                DeviceProfile::trustzone(5),
+                ds,
+                (0..8).collect(),
+                zoo::tiny_mlp(3 * 32 * 32, 4, 2, 5).unwrap(),
+                Box::new(PlainSgdTrainer),
+            ));
+            let req = ep.recv().unwrap();
+            let reply = handler.handle(req).unwrap();
+            ep.send(reply).unwrap();
+        });
+        let mut clients = vec![RemoteClient::connect(Box::new(server_ep)).unwrap()];
+        handle.join().unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let outcomes = screen_clients(&mut clients, whitelist(), &mut rng);
+        assert_eq!(outcomes, vec![ScreeningOutcome::Unreachable]);
+    }
+
+    #[test]
+    fn unprovisioned_keys_fail_screening() {
+        // The server verifies quotes against its provisioning registry
+        // (provisioned_key of the handshake-reported id), so a device
+        // signing with any other key screens out — the same fate an
+        // unprovisioned device meets in the field.
+        let mut device = DeviceProfile::trustzone(0);
+        device.attestation_key = b"some-other-key".to_vec();
+        let mut clients = vec![make_client(0, device)];
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcomes = screen_clients(&mut clients, whitelist(), &mut rng);
+        assert_eq!(outcomes, vec![ScreeningOutcome::FailedAttestation]);
     }
 
     #[test]
@@ -135,7 +198,11 @@ mod tests {
 
     #[test]
     fn sampling_none_when_no_eligible() {
-        let outcomes = vec![ScreeningOutcome::NoTee, ScreeningOutcome::FailedAttestation];
+        let outcomes = vec![
+            ScreeningOutcome::NoTee,
+            ScreeningOutcome::FailedAttestation,
+            ScreeningOutcome::Unreachable,
+        ];
         let mut rng = StdRng::seed_from_u64(4);
         assert!(sample_eligible(&outcomes, 3, &mut rng).is_empty());
     }

@@ -73,13 +73,13 @@ impl FlServer {
         self.round
     }
 
-    /// Screens all clients and samples this round's participants
-    /// (Figure 2-➊).
+    /// Screens all clients over their endpoints and samples this round's
+    /// participants (Figure 2-➊).
     ///
     /// # Errors
     ///
     /// Returns [`FlError::NoEligibleClients`] when nobody passes.
-    pub fn select(&mut self, clients: &[crate::client::FlClient]) -> Result<Vec<usize>> {
+    pub fn select(&mut self, clients: &mut [crate::transport::RemoteClient]) -> Result<Vec<usize>> {
         let outcomes = screen_clients(clients, self.expected_measurement, &mut self.rng);
         let picked = sample_eligible(&outcomes, self.plan.clients_per_round, &mut self.rng);
         if picked.is_empty() {
@@ -90,7 +90,10 @@ impl FlServer {
 
     /// Screens all clients, returning the per-client verdicts (used by
     /// examples and tests to show who was filtered and why).
-    pub fn screen(&mut self, clients: &[crate::client::FlClient]) -> Vec<ScreeningOutcome> {
+    pub fn screen(
+        &mut self,
+        clients: &mut [crate::transport::RemoteClient],
+    ) -> Vec<ScreeningOutcome> {
         screen_clients(clients, self.expected_measurement, &mut self.rng)
     }
 
@@ -127,6 +130,8 @@ mod tests {
     use super::*;
     use crate::client::{DeviceProfile, FlClient};
     use crate::trainer::PlainSgdTrainer;
+    use crate::transport::inprocess::LocalEndpoint;
+    use crate::transport::RemoteClient;
     use gradsec_data::SyntheticCifar100;
     use gradsec_nn::zoo;
     use gradsec_tee::crypto::sha256::sha256;
@@ -147,20 +152,21 @@ mod tests {
         }
     }
 
-    fn make_clients(devices: Vec<DeviceProfile>) -> Vec<FlClient> {
+    fn make_clients(devices: Vec<DeviceProfile>) -> Vec<RemoteClient> {
         let ds = Arc::new(SyntheticCifar100::with_classes(16, 2, 1));
         devices
             .into_iter()
             .enumerate()
             .map(|(i, d)| {
-                FlClient::new(
+                let client = FlClient::new(
                     i as u64,
                     d,
                     ds.clone(),
                     (0..16).collect(),
                     zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap(),
                     Box::new(PlainSgdTrainer),
-                )
+                );
+                RemoteClient::connect(Box::new(LocalEndpoint::new(client))).unwrap()
             })
             .collect()
     }
@@ -169,13 +175,13 @@ mod tests {
     fn selection_filters_and_samples() {
         let model = zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap();
         let mut server = FlServer::new(plan(), model.weights(), measurement()).unwrap();
-        let clients = make_clients(vec![
+        let mut clients = make_clients(vec![
             DeviceProfile::trustzone(0),
             DeviceProfile::legacy(1),
             DeviceProfile::compromised(2),
             DeviceProfile::trustzone(3),
         ]);
-        let picked = server.select(&clients).unwrap();
+        let picked = server.select(&mut clients).unwrap();
         assert_eq!(picked, vec![0, 3]);
     }
 
@@ -183,9 +189,9 @@ mod tests {
     fn selection_fails_without_tee_clients() {
         let model = zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap();
         let mut server = FlServer::new(plan(), model.weights(), measurement()).unwrap();
-        let clients = make_clients(vec![DeviceProfile::legacy(0)]);
+        let mut clients = make_clients(vec![DeviceProfile::legacy(0)]);
         assert!(matches!(
-            server.select(&clients),
+            server.select(&mut clients),
             Err(FlError::NoEligibleClients { .. })
         ));
     }
@@ -198,11 +204,11 @@ mod tests {
             DeviceProfile::trustzone(0),
             DeviceProfile::trustzone(1),
         ]);
-        let picked = server.select(&clients).unwrap();
+        let picked = server.select(&mut clients).unwrap();
         let download = server.download(vec![]);
         let updates: Vec<_> = picked
             .into_iter()
-            .map(|i| clients[i].run_cycle(&download).unwrap())
+            .map(|i| clients[i].train(&download).unwrap())
             .collect();
         server.aggregate(&updates).unwrap();
         assert_eq!(server.round(), 1);

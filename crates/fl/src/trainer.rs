@@ -8,7 +8,7 @@
 use gradsec_data::{batch_of, Dataset};
 use gradsec_nn::optim::Sgd;
 use gradsec_nn::Sequential;
-use gradsec_tee::cost::TimeBreakdown;
+use gradsec_tee::cost::{ClientCycleCost, TimeBreakdown};
 
 use crate::Result;
 
@@ -29,6 +29,20 @@ pub struct CycleStats {
     /// Secure-monitor crossings taken during the cycle (0 for the plain
     /// trainer) — feeds the round ledger's per-client accounting.
     pub crossings: u64,
+}
+
+impl CycleStats {
+    /// The ledger entry for this cycle, attributed to `client_id`. This is
+    /// what an [`UpdateUpload`](crate::message::UpdateUpload) carries over
+    /// the wire so remote clients stay accountable.
+    pub fn cost(&self, client_id: u64) -> ClientCycleCost {
+        ClientCycleCost {
+            client_id,
+            time: self.time,
+            crossings: self.crossings,
+            tee_peak_bytes: self.tee_peak_bytes,
+        }
+    }
 }
 
 /// A strategy that trains a model for one FL cycle on a client.

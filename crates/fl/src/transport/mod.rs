@@ -1,0 +1,497 @@
+//! Pluggable transports for the federation round exchange.
+//!
+//! The paper's protocol (Figure 2 ➊–➍) is a strict request/response
+//! pattern: the server initiates every exchange, the client answers. This
+//! module lifts that pattern onto a narrow byte-level seam so one protocol
+//! implementation serves every deployment scenario:
+//!
+//! * [`ServerEndpoint`] — the server's handle to one client: send an
+//!   [`Envelope`], block for the reply envelope.
+//! * [`ClientEndpoint`] — the client's side: block for the next request,
+//!   send the reply.
+//!
+//! Three backends implement the seam:
+//!
+//! * [`inprocess::LocalEndpoint`] — in-process dispatch, zero-copy in
+//!   flight (the envelope is moved between endpoints, never re-buffered;
+//!   each side pays the codec once, as on every transport); the default,
+//!   and bit-identical to the pre-transport direct-call federation.
+//! * [`inprocess::channel_pair`] — a channel-backed duplex for client
+//!   service threads inside one process.
+//! * [`tcp`] — the same envelopes over real sockets, the envelope header
+//!   doubling as the length-prefixed frame.
+//!
+//! [`sealed`] wraps any of the three in the trusted I/O path
+//! (`gradsec-tee::tiop`), sealing exactly the bytes that cross the wire.
+//!
+//! Above the byte seam sit the two protocol roles: [`RemoteClient`] (the
+//! server's typed view of a client behind any endpoint, beginning with the
+//! [`Hello`]/[`HelloAck`] version handshake) and [`ClientHandler`] /
+//! [`ClientSession`] (the client-side request dispatcher and its serve
+//! loop).
+
+pub mod inprocess;
+pub mod sealed;
+pub mod tcp;
+
+use gradsec_tee::attestation::Challenge;
+
+use crate::client::{DeviceProfile, FlClient};
+use crate::message::{
+    negotiate_version, AttestationRequest, AttestationResponse, Envelope, Hello, HelloAck,
+    MessageKind, ModelDownload, UpdateUpload, Wire, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+};
+use crate::{FlError, Result};
+
+/// The server's byte-level handle to one client.
+///
+/// Implementations deliver a request envelope and block until the
+/// client's reply envelope arrives (the protocol is strictly
+/// request/response, so no reordering can occur within one endpoint).
+pub trait ServerEndpoint: Send {
+    /// Sends `request` and blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] when the underlying pipe fails and
+    /// [`FlError::Protocol`] on framing violations.
+    fn exchange(&mut self, request: Envelope) -> Result<Envelope>;
+
+    /// Sends `message` without waiting for a reply (session teardown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] when the underlying pipe fails.
+    fn notify(&mut self, message: Envelope) -> Result<()>;
+
+    /// A human-readable description of the peer ("in-process",
+    /// "tcp:127.0.0.1:40812", …) for error context.
+    fn descriptor(&self) -> String;
+}
+
+/// The client's byte-level side of the exchange.
+pub trait ClientEndpoint: Send {
+    /// Blocks for the next request envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] when the underlying pipe fails and
+    /// [`FlError::Protocol`] on framing violations.
+    fn recv(&mut self) -> Result<Envelope>;
+
+    /// Sends a reply envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] when the underlying pipe fails.
+    fn send(&mut self, reply: Envelope) -> Result<()>;
+
+    /// A human-readable description of the peer, for error context.
+    fn descriptor(&self) -> String;
+}
+
+impl ServerEndpoint for Box<dyn ServerEndpoint> {
+    fn exchange(&mut self, request: Envelope) -> Result<Envelope> {
+        (**self).exchange(request)
+    }
+
+    fn notify(&mut self, message: Envelope) -> Result<()> {
+        (**self).notify(message)
+    }
+
+    fn descriptor(&self) -> String {
+        (**self).descriptor()
+    }
+}
+
+/// The client-side protocol logic, independent of any transport: decodes
+/// request envelopes, drives the wrapped [`FlClient`], encodes replies.
+///
+/// Failures never tear the session down silently — they are reported back
+/// to the server as [`MessageKind::Error`] envelopes, so the server's
+/// round logic can decide what a failed client costs.
+pub struct ClientHandler {
+    client: FlClient,
+    negotiated: Option<u16>,
+}
+
+impl std::fmt::Debug for ClientHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientHandler")
+            .field("client", &self.client.id())
+            .field("negotiated", &self.negotiated)
+            .finish()
+    }
+}
+
+impl ClientHandler {
+    /// Wraps a client.
+    pub fn new(client: FlClient) -> Self {
+        ClientHandler {
+            client,
+            negotiated: None,
+        }
+    }
+
+    /// The wrapped client.
+    pub fn client(&self) -> &FlClient {
+        &self.client
+    }
+
+    /// Mutable access to the wrapped client (tests inject failures here).
+    pub fn client_mut(&mut self) -> &mut FlClient {
+        &mut self.client
+    }
+
+    /// Unwraps the client.
+    pub fn into_client(self) -> FlClient {
+        self.client
+    }
+
+    /// The protocol version agreed during the handshake, if one happened.
+    pub fn negotiated_version(&self) -> Option<u16> {
+        self.negotiated
+    }
+
+    /// Handles one request, returning the reply — or `None` for
+    /// [`MessageKind::Goodbye`], which ends the session without a reply.
+    ///
+    /// Replies are stamped with the session's negotiated version once a
+    /// handshake has happened, so both directions keep speaking the
+    /// agreed dialect.
+    pub fn handle(&mut self, request: Envelope) -> Option<Envelope> {
+        if request.kind == MessageKind::Goodbye {
+            return None;
+        }
+        let mut reply = self.reply_to(request);
+        if let Some(version) = self.negotiated {
+            reply.version = version;
+        }
+        Some(reply)
+    }
+
+    fn reply_to(&mut self, request: Envelope) -> Envelope {
+        // The handshake is the one exchange allowed to carry a version we
+        // don't speak — that's what it exists to discover.
+        if request.kind == MessageKind::Hello {
+            return self.handle_hello(&request);
+        }
+        if !request.version_supported() {
+            return Envelope::error(format!(
+                "unsupported protocol version {} (this build speaks {}..={})",
+                request.version, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION
+            ));
+        }
+        match request.kind {
+            MessageKind::AttestationRequest => {
+                match request.open::<AttestationRequest>(MessageKind::AttestationRequest) {
+                    Ok(req) => Envelope::pack(
+                        MessageKind::AttestationResponse,
+                        &self.client.attest(&req.challenge),
+                    ),
+                    Err(e) => Envelope::error(format!("malformed attestation request: {e}")),
+                }
+            }
+            MessageKind::ModelDownload => {
+                match request.open::<ModelDownload>(MessageKind::ModelDownload) {
+                    Ok(download) => match self.client.run_cycle(&download) {
+                        Ok(upload) => Envelope::pack(MessageKind::UpdateUpload, &upload),
+                        Err(e) => Envelope::error(format!("training cycle failed: {e}")),
+                    },
+                    Err(e) => Envelope::error(format!("malformed model download: {e}")),
+                }
+            }
+            other => Envelope::error(format!("unexpected request kind {other:?}")),
+        }
+    }
+
+    fn handle_hello(&mut self, request: &Envelope) -> Envelope {
+        let hello = match request.open::<Hello>(MessageKind::Hello) {
+            Ok(h) => h,
+            Err(e) => return Envelope::error(format!("malformed hello: {e}")),
+        };
+        match negotiate_version(hello.min_version, hello.max_version) {
+            Some(version) => {
+                self.negotiated = Some(version);
+                Envelope::pack(
+                    MessageKind::HelloAck,
+                    &HelloAck {
+                        version,
+                        client_id: self.client.id(),
+                    },
+                )
+            }
+            None => Envelope::error(format!(
+                "no common protocol version: peer speaks {}..={}, this build {}..={}",
+                hello.min_version, hello.max_version, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION
+            )),
+        }
+    }
+}
+
+/// A [`ClientHandler`] bound to a [`ClientEndpoint`]: the serve loop a
+/// client device runs (typically on its own thread or process).
+pub struct ClientSession<E: ClientEndpoint> {
+    handler: ClientHandler,
+    endpoint: E,
+}
+
+impl<E: ClientEndpoint> ClientSession<E> {
+    /// Binds a client to its endpoint.
+    pub fn new(client: FlClient, endpoint: E) -> Self {
+        ClientSession {
+            handler: ClientHandler::new(client),
+            endpoint,
+        }
+    }
+
+    /// Serves requests until the server says goodbye, returning the client
+    /// (with its trained model and last-cycle stats) to the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] when the pipe breaks mid-session.
+    pub fn serve(mut self) -> Result<FlClient> {
+        loop {
+            let request = self.endpoint.recv()?;
+            match self.handler.handle(request) {
+                Some(reply) => self.endpoint.send(reply)?,
+                None => return Ok(self.handler.into_client()),
+            }
+        }
+    }
+}
+
+/// The server's typed view of one client behind a [`ServerEndpoint`].
+///
+/// Construction performs the protocol handshake: the server offers its
+/// version range, the client picks one and identifies itself, and the
+/// attestation key for that identity is looked up from the provisioning
+/// registry ([`DeviceProfile::provisioned_key`]).
+pub struct RemoteClient {
+    id: u64,
+    attestation_key: Vec<u8>,
+    version: u16,
+    endpoint: Box<dyn ServerEndpoint>,
+}
+
+impl std::fmt::Debug for RemoteClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteClient")
+            .field("id", &self.id)
+            .field("version", &self.version)
+            .field("endpoint", &self.endpoint.descriptor())
+            .finish()
+    }
+}
+
+impl RemoteClient {
+    /// Handshakes with the client behind `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Protocol`] when no common version exists or the
+    /// ack is malformed, and [`FlError::Transport`] on pipe failures.
+    pub fn connect(mut endpoint: Box<dyn ServerEndpoint>) -> Result<Self> {
+        let reply = endpoint.exchange(Envelope::pack(MessageKind::Hello, &Hello::current()))?;
+        let ack: HelloAck = reply.open(MessageKind::HelloAck)?;
+        if !(MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION).contains(&ack.version) {
+            return Err(FlError::Protocol {
+                reason: format!("client acked unsupported version {}", ack.version),
+            });
+        }
+        Ok(RemoteClient {
+            id: ack.client_id,
+            attestation_key: DeviceProfile::provisioned_key(ack.client_id),
+            version: ack.version,
+            endpoint,
+        })
+    }
+
+    /// The client's id (learned during the handshake).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The provisioned attestation key for this client's identity.
+    pub fn attestation_key(&self) -> &[u8] {
+        &self.attestation_key
+    }
+
+    /// The negotiated protocol version.
+    pub fn protocol_version(&self) -> u16 {
+        self.version
+    }
+
+    /// The endpoint's peer description.
+    pub fn descriptor(&self) -> String {
+        self.endpoint.descriptor()
+    }
+
+    fn request<Req: Wire, Resp: Wire>(
+        &mut self,
+        kind: MessageKind,
+        msg: &Req,
+        expect: MessageKind,
+    ) -> Result<Resp> {
+        // Speak the *negotiated* version, not the build's newest: a peer
+        // that acked an older version must keep seeing that version.
+        let mut envelope = Envelope::pack(kind, msg);
+        envelope.version = self.version;
+        let reply = self.endpoint.exchange(envelope)?;
+        if reply.kind == MessageKind::Error {
+            return Err(FlError::ClientFailure {
+                client: self.id,
+                reason: reply.error_reason(),
+            });
+        }
+        reply.open(expect)
+    }
+
+    /// Challenges the client for attestation evidence (Figure 2-➊).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures; a client-side failure surfaces as
+    /// [`FlError::ClientFailure`].
+    pub fn attest(&mut self, challenge: &Challenge) -> Result<AttestationResponse> {
+        self.request(
+            MessageKind::AttestationRequest,
+            &AttestationRequest {
+                challenge: *challenge,
+            },
+            MessageKind::AttestationResponse,
+        )
+    }
+
+    /// Ships the global model and plan, blocking for the trained update
+    /// (Figure 2-➋/➌/➍).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures; a failed training cycle surfaces as
+    /// [`FlError::ClientFailure`].
+    pub fn train(&mut self, download: &ModelDownload) -> Result<UpdateUpload> {
+        self.request(
+            MessageKind::ModelDownload,
+            download,
+            MessageKind::UpdateUpload,
+        )
+    }
+
+    /// Ends the session (best effort — the client does not reply).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] when the pipe already broke.
+    pub fn goodbye(&mut self) -> Result<()> {
+        self.endpoint
+            .notify(Envelope::control(MessageKind::Goodbye))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::inprocess::LocalEndpoint;
+    use super::*;
+    use crate::trainer::PlainSgdTrainer;
+    use gradsec_data::SyntheticCifar100;
+    use gradsec_nn::zoo;
+    use std::sync::Arc;
+
+    fn fl_client(id: u64) -> FlClient {
+        let ds = Arc::new(SyntheticCifar100::with_classes(16, 2, 1));
+        FlClient::new(
+            id,
+            DeviceProfile::trustzone(id),
+            ds,
+            (0..16).collect(),
+            zoo::tiny_mlp(3 * 32 * 32, 4, 2, 1).unwrap(),
+            Box::new(PlainSgdTrainer),
+        )
+    }
+
+    #[test]
+    fn handshake_negotiates_current_version_and_identity() {
+        let remote = RemoteClient::connect(Box::new(LocalEndpoint::new(fl_client(42)))).unwrap();
+        assert_eq!(remote.id(), 42);
+        assert_eq!(remote.protocol_version(), PROTOCOL_VERSION);
+        assert_eq!(
+            remote.attestation_key(),
+            DeviceProfile::provisioned_key(42).as_slice()
+        );
+    }
+
+    #[test]
+    fn handler_rejects_disjoint_version_ranges() {
+        let mut handler = ClientHandler::new(fl_client(1));
+        let futuristic = Envelope::pack(
+            MessageKind::Hello,
+            &Hello {
+                min_version: PROTOCOL_VERSION + 7,
+                max_version: PROTOCOL_VERSION + 9,
+            },
+        );
+        let reply = handler.handle(futuristic).expect("hello gets a reply");
+        assert_eq!(reply.kind, MessageKind::Error);
+        assert!(reply.error_reason().contains("no common protocol version"));
+        assert_eq!(handler.negotiated_version(), None);
+    }
+
+    #[test]
+    fn handler_rejects_unsupported_envelope_versions_after_handshake() {
+        let mut handler = ClientHandler::new(fl_client(1));
+        let mut req = Envelope::pack(
+            MessageKind::AttestationRequest,
+            &AttestationRequest {
+                challenge: Challenge::new([0u8; 16]),
+            },
+        );
+        req.version = 0;
+        let reply = handler.handle(req).expect("a reply");
+        assert_eq!(reply.kind, MessageKind::Error);
+        assert!(reply
+            .error_reason()
+            .contains("unsupported protocol version"));
+    }
+
+    #[test]
+    fn replies_carry_the_negotiated_version() {
+        let mut handler = ClientHandler::new(fl_client(1));
+        let ack = handler
+            .handle(Envelope::pack(MessageKind::Hello, &Hello::current()))
+            .expect("hello gets a reply");
+        assert_eq!(ack.version, PROTOCOL_VERSION);
+        assert_eq!(handler.negotiated_version(), Some(PROTOCOL_VERSION));
+        // Post-handshake replies are stamped with the agreed version —
+        // the dialect both sides keep speaking even when a newer build
+        // talks to an older peer.
+        let reply = handler
+            .handle(Envelope::pack(
+                MessageKind::AttestationRequest,
+                &AttestationRequest {
+                    challenge: Challenge::new([0u8; 16]),
+                },
+            ))
+            .expect("a reply");
+        assert_eq!(reply.kind, MessageKind::AttestationResponse);
+        assert_eq!(reply.version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn goodbye_ends_the_session_without_a_reply() {
+        let mut handler = ClientHandler::new(fl_client(1));
+        assert!(handler
+            .handle(Envelope::control(MessageKind::Goodbye))
+            .is_none());
+    }
+
+    #[test]
+    fn unexpected_kinds_get_error_replies_not_panics() {
+        let mut handler = ClientHandler::new(fl_client(1));
+        let reply = handler
+            .handle(Envelope::control(MessageKind::UpdateUpload))
+            .expect("a reply");
+        assert_eq!(reply.kind, MessageKind::Error);
+    }
+}

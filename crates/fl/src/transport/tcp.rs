@@ -1,0 +1,265 @@
+//! TCP transport: the same envelopes over real sockets.
+//!
+//! The [`Envelope`](crate::message::Envelope) binary layout doubles as
+//! the socket frame — a fixed 13-byte header (magic, version, kind,
+//! payload length) followed by exactly `payload length` bytes — so the
+//! reader never needs to guess message boundaries and a hostile length
+//! prefix is rejected before any allocation
+//! ([`MAX_ENVELOPE_PAYLOAD`](crate::message::MAX_ENVELOPE_PAYLOAD)).
+//!
+//! Deployment shape: the FL server [`bind`]s and [`TcpListenerEndpoint::accept`]s
+//! one connection per client; each client device [`connect`]s and runs a
+//! [`ClientSession`](super::ClientSession) serve loop over its socket.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+use bytes::{Buf, Bytes};
+
+use crate::message::{
+    encode, Envelope, MessageKind, ENVELOPE_HEADER_LEN, ENVELOPE_MAGIC, MAX_ENVELOPE_PAYLOAD,
+    SEAL_OVERHEAD,
+};
+use crate::transport::{ClientEndpoint, ServerEndpoint};
+use crate::{FlError, Result};
+
+/// Writes one envelope to a stream (header + payload, single buffer).
+fn write_envelope<W: Write>(w: &mut W, envelope: &Envelope, peer: &str) -> Result<()> {
+    let bytes = encode(envelope);
+    w.write_all(&bytes)
+        .and_then(|()| w.flush())
+        .map_err(|e| FlError::transport(format!("writing envelope to {peer}"), e))
+}
+
+/// Reads one envelope from a stream: fixed header first, then the
+/// advertised payload length read directly into the envelope's buffer
+/// (no reassembly or second decode pass — this is the hot round path).
+fn read_envelope<R: Read>(r: &mut R, peer: &str) -> Result<Envelope> {
+    let mut header = [0u8; ENVELOPE_HEADER_LEN];
+    r.read_exact(&mut header)
+        .map_err(|e| FlError::transport(format!("reading envelope header from {peer}"), e))?;
+    let mut cursor = Bytes::copy_from_slice(&header);
+    let magic = cursor.get_u16_le();
+    if magic != ENVELOPE_MAGIC {
+        return Err(FlError::Protocol {
+            reason: format!("bad envelope magic {magic:#06x} from {peer}"),
+        });
+    }
+    let version = cursor.get_u16_le();
+    let kind = MessageKind::from_u8(cursor.get_u8())?;
+    // Raw-u64 comparison (a usize cast first would truncate on 32-bit
+    // targets and defeat the guard); sealed carriers get their slack.
+    let len = cursor.get_u64_le();
+    if len > (MAX_ENVELOPE_PAYLOAD + SEAL_OVERHEAD) as u64 {
+        return Err(FlError::Protocol {
+            reason: format!("envelope payload length {len} from {peer} exceeds protocol maximum"),
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| FlError::transport(format!("reading envelope payload from {peer}"), e))?;
+    Ok(Envelope {
+        version,
+        kind,
+        payload,
+    })
+}
+
+fn configure(stream: &TcpStream, peer: &str) -> Result<()> {
+    // One small frame per exchange: Nagle only adds latency here.
+    stream
+        .set_nodelay(true)
+        .map_err(|e| FlError::transport(format!("configuring socket to {peer}"), e))
+}
+
+/// The server's socket to one connected client.
+#[derive(Debug)]
+pub struct TcpServerEndpoint {
+    stream: TcpStream,
+    peer: String,
+}
+
+impl ServerEndpoint for TcpServerEndpoint {
+    fn exchange(&mut self, request: Envelope) -> Result<Envelope> {
+        write_envelope(&mut self.stream, &request, &self.peer)?;
+        read_envelope(&mut self.stream, &self.peer)
+    }
+
+    fn notify(&mut self, message: Envelope) -> Result<()> {
+        write_envelope(&mut self.stream, &message, &self.peer)
+    }
+
+    fn descriptor(&self) -> String {
+        format!("tcp:{}", self.peer)
+    }
+}
+
+/// The client's socket to the server.
+#[derive(Debug)]
+pub struct TcpClientEndpoint {
+    stream: TcpStream,
+    peer: String,
+}
+
+impl ClientEndpoint for TcpClientEndpoint {
+    fn recv(&mut self) -> Result<Envelope> {
+        read_envelope(&mut self.stream, &self.peer)
+    }
+
+    fn send(&mut self, reply: Envelope) -> Result<()> {
+        write_envelope(&mut self.stream, &reply, &self.peer)
+    }
+
+    fn descriptor(&self) -> String {
+        format!("tcp:{}", self.peer)
+    }
+}
+
+/// A listening FL server socket.
+#[derive(Debug)]
+pub struct TcpListenerEndpoint {
+    listener: TcpListener,
+}
+
+impl TcpListenerEndpoint {
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] when the socket is gone.
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        self.listener
+            .local_addr()
+            .map_err(|e| FlError::transport("querying listener address", e))
+    }
+
+    /// Accepts one client connection, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] on accept failure.
+    pub fn accept(&self) -> Result<TcpServerEndpoint> {
+        let (stream, addr) = self
+            .listener
+            .accept()
+            .map_err(|e| FlError::transport("accepting client connection", e))?;
+        self.admit(stream, addr)
+    }
+
+    /// Polls for one client connection without blocking: `Ok(None)` when
+    /// nobody is waiting. Callers that interleave accepting with other
+    /// work (liveness checks, deadlines) use this instead of [`accept`].
+    ///
+    /// [`accept`]: TcpListenerEndpoint::accept
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] on accept failure.
+    pub fn try_accept(&self) -> Result<Option<TcpServerEndpoint>> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| FlError::transport("configuring listener", e))?;
+        let polled = self.listener.accept();
+        let restore = self.listener.set_nonblocking(false);
+        match polled {
+            Ok((stream, addr)) => {
+                restore.map_err(|e| FlError::transport("configuring listener", e))?;
+                self.admit(stream, addr).map(Some)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                restore.map_err(|e| FlError::transport("configuring listener", e))?;
+                Ok(None)
+            }
+            Err(e) => Err(FlError::transport("accepting client connection", e)),
+        }
+    }
+
+    fn admit(&self, stream: TcpStream, addr: SocketAddr) -> Result<TcpServerEndpoint> {
+        let peer = addr.to_string();
+        // The listener may have been polled in non-blocking mode; the
+        // session socket must block.
+        stream
+            .set_nonblocking(false)
+            .map_err(|e| FlError::transport(format!("configuring socket to {peer}"), e))?;
+        configure(&stream, &peer)?;
+        Ok(TcpServerEndpoint { stream, peer })
+    }
+}
+
+/// Binds the FL server's listening socket (use port 0 for an ephemeral
+/// loopback port in tests).
+///
+/// # Errors
+///
+/// Returns [`FlError::Transport`] on bind failure.
+pub fn bind<A: ToSocketAddrs>(addr: A) -> Result<TcpListenerEndpoint> {
+    let listener =
+        TcpListener::bind(addr).map_err(|e| FlError::transport("binding server socket", e))?;
+    Ok(TcpListenerEndpoint { listener })
+}
+
+/// Connects a client device to the FL server.
+///
+/// # Errors
+///
+/// Returns [`FlError::Transport`] on connect failure.
+pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<TcpClientEndpoint> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| FlError::transport("connecting to server", e))?;
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_owned());
+    configure(&stream, &peer)?;
+    Ok(TcpClientEndpoint { stream, peer })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Hello, MessageKind};
+
+    #[test]
+    fn envelope_roundtrips_over_a_socket_pair() {
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut client = connect(addr).unwrap();
+            let req = client.recv().unwrap();
+            client.send(req).unwrap(); // echo
+        });
+        let mut server = listener.accept().unwrap();
+        let sent = Envelope::pack(MessageKind::Hello, &Hello::current());
+        let echoed = server.exchange(sent.clone()).unwrap();
+        assert_eq!(sent, echoed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_a_protocol_error() {
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            s.write_all(&[0u8; ENVELOPE_HEADER_LEN]).unwrap();
+        });
+        let mut server = listener.accept().unwrap();
+        let err = read_envelope(&mut server.stream, "test").unwrap_err();
+        assert!(matches!(err, FlError::Protocol { .. }), "{err:?}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn closed_peer_is_a_transport_error() {
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let _ = connect(addr).unwrap();
+            // drop: connection closes without a byte sent
+        });
+        let mut server = listener.accept().unwrap();
+        client.join().unwrap();
+        let err = read_envelope(&mut server.stream, "test").unwrap_err();
+        assert!(matches!(err, FlError::Transport { .. }), "{err:?}");
+    }
+}

@@ -1,9 +1,20 @@
 //! Property-based tests for the FL wire protocol and aggregation.
+//!
+//! Every message the protocol speaks round-trips through the full path a
+//! transport uses: encode → wrap in an [`Envelope`] → encode the envelope
+//! (the TCP frame) → decode the envelope → open the payload.
 
 use gradsec_fl::aggregate::fedavg;
 use gradsec_fl::config::TrainingPlan;
-use gradsec_fl::message::{decode, encode, ModelDownload, UpdateUpload};
+use gradsec_fl::message::{
+    decode, encode, AttestationRequest, AttestationResponse, Envelope, ErrorReply, Hello, HelloAck,
+    MessageKind, ModelDownload, UpdateUpload, Wire, ENVELOPE_MAGIC,
+};
 use gradsec_nn::model::{LayerWeights, ModelWeights};
+use gradsec_tee::attestation::{sign_quote, Challenge, Measurement};
+use gradsec_tee::cost::{ClientCycleCost, TimeBreakdown};
+use gradsec_tee::ta::Uuid;
+use gradsec_tee::tiop::{Frame, SecureChannel};
 use gradsec_tensor::{init, Tensor};
 use proptest::prelude::*;
 
@@ -16,6 +27,29 @@ fn weights(layers: usize, width: usize, seed: u64) -> ModelWeights {
             })
             .collect(),
     )
+}
+
+fn cost(client_id: u64, scale: f64, crossings: u64, peak: usize) -> ClientCycleCost {
+    ClientCycleCost {
+        client_id,
+        time: TimeBreakdown {
+            user_s: 2.0 * scale,
+            kernel_s: 0.25 * scale,
+            alloc_s: 4.5 * scale,
+        },
+        crossings,
+        tee_peak_bytes: peak,
+    }
+}
+
+/// Round-trips a message through the full transport path: message bytes →
+/// envelope → envelope bytes (the TCP frame) → envelope → message.
+fn through_envelope<T: Wire + PartialEq + std::fmt::Debug>(kind: MessageKind, msg: &T) -> T {
+    let envelope = Envelope::pack(kind, msg);
+    let framed = encode(&envelope);
+    let back: Envelope = decode(&framed).expect("envelope frame decodes");
+    assert_eq!(back, envelope, "envelope survived framing");
+    back.open(kind).expect("payload opens as the packed kind")
 }
 
 proptest! {
@@ -36,40 +70,120 @@ proptest! {
             plan: TrainingPlan::default(),
             protected_layers: prot,
         };
-        let back: ModelDownload = decode(&encode(&msg)).unwrap();
+        let back = through_envelope(MessageKind::ModelDownload, &msg);
         prop_assert_eq!(msg, back);
     }
 
     #[test]
-    fn truncated_messages_never_panic(cut in 0usize..200) {
+    fn upload_wire_roundtrip(layers in 1usize..4, width in 1usize..5, id in 0u64..64, crossings in 0u64..1000, peak in 0usize..(8 << 20)) {
+        let msg = UpdateUpload {
+            client_id: id,
+            round: 3,
+            weights: weights(layers, width, id),
+            num_samples: 10,
+            train_loss: 0.5,
+            cost: cost(id, (crossings % 7) as f64 * 0.5, crossings, peak),
+        };
+        let back = through_envelope(MessageKind::UpdateUpload, &msg);
+        prop_assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn attestation_wire_roundtrip(nonce in any::<[u8; 16]>(), with_quote in any::<bool>(), key in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let challenge = Challenge::new(nonce);
+        let req = AttestationRequest { challenge };
+        let back = through_envelope(MessageKind::AttestationRequest, &req);
+        prop_assert_eq!(req, back);
+        let quote = with_quote.then(|| {
+            sign_quote(&key, Uuid::from_name("ta"), Measurement([7u8; 32]), &challenge)
+        });
+        let resp = AttestationResponse { quote };
+        let back = through_envelope(MessageKind::AttestationResponse, &resp);
+        prop_assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn handshake_wire_roundtrip(min in 0u16..100, span in 0u16..100, id in any::<u64>()) {
+        let hello = Hello { min_version: min, max_version: min.saturating_add(span) };
+        prop_assert_eq!(hello, through_envelope(MessageKind::Hello, &hello));
+        let ack = HelloAck { version: min, client_id: id };
+        prop_assert_eq!(ack, through_envelope(MessageKind::HelloAck, &ack));
+    }
+
+    #[test]
+    fn error_reply_roundtrips_arbitrary_text(reason in "[ -~]{0,120}") {
+        let msg = ErrorReply { reason };
+        let back = through_envelope(MessageKind::Error, &msg);
+        prop_assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn plan_wire_roundtrip(rounds in 1u64..100, cpr in 1usize..32, bpc in 1usize..32, bs in 1usize..128, seed in any::<u64>()) {
+        let plan = TrainingPlan {
+            rounds,
+            clients_per_round: cpr,
+            batches_per_cycle: bpc,
+            batch_size: bs,
+            learning_rate: 0.125,
+            seed,
+        };
+        let back: TrainingPlan = decode(&encode(&plan)).unwrap();
+        prop_assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn sealed_frame_roundtrips_through_envelope(payload in proptest::collection::vec(any::<u8>(), 0..256), secret in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let (mut tx, mut rx) = SecureChannel::pair(&secret);
+        let frame = tx.seal(&payload);
+        let back: Frame = through_envelope(MessageKind::Sealed, &frame);
+        prop_assert_eq!(&back, &frame);
+        prop_assert_eq!(rx.open(&back).unwrap(), payload);
+    }
+
+    #[test]
+    fn truncated_envelopes_never_panic(cut in 0usize..200) {
         let msg = UpdateUpload {
             client_id: 1,
             round: 2,
             weights: weights(2, 3, 7),
             num_samples: 10,
             train_loss: 0.5,
+            cost: cost(1, 1.0, 12, 4096),
         };
-        let mut bytes = encode(&msg);
+        let mut bytes = encode(&Envelope::pack(MessageKind::UpdateUpload, &msg));
         bytes.truncate(cut.min(bytes.len().saturating_sub(1)));
         // Must error, not panic or loop.
-        prop_assert!(decode::<UpdateUpload>(&bytes).is_err());
+        prop_assert!(decode::<Envelope>(&bytes).is_err());
     }
 
     #[test]
-    fn corrupted_length_prefixes_never_allocate_wildly(pos in 0usize..32, byte in any::<u8>()) {
+    fn corrupted_envelopes_never_allocate_wildly(pos in 0usize..48, byte in any::<u8>()) {
         let msg = UpdateUpload {
             client_id: 1,
             round: 2,
             weights: weights(1, 2, 7),
             num_samples: 10,
             train_loss: 0.5,
+            cost: cost(1, 0.5, 3, 1024),
         };
-        let mut bytes = encode(&msg);
+        let mut bytes = encode(&Envelope::pack(MessageKind::UpdateUpload, &msg));
         if pos < bytes.len() {
             bytes[pos] = byte;
         }
-        // Either decodes to something or errors — no panic, no OOM.
-        let _ = decode::<UpdateUpload>(&bytes);
+        // Either decodes to something or errors — no panic, no OOM. A
+        // decoded envelope may still hold a corrupt payload; opening it
+        // must be equally safe.
+        if let Ok(env) = decode::<Envelope>(&bytes) {
+            let _ = env.open::<UpdateUpload>(MessageKind::UpdateUpload);
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_always_rejected(magic in any::<u16>()) {
+        prop_assume!(magic != ENVELOPE_MAGIC);
+        let mut bytes = encode(&Envelope::control(MessageKind::Goodbye));
+        bytes[0..2].copy_from_slice(&magic.to_le_bytes());
+        prop_assert!(decode::<Envelope>(&bytes).is_err());
     }
 
     #[test]
@@ -82,6 +196,7 @@ proptest! {
                 weights: w.clone(),
                 num_samples: 5 + i,
                 train_loss: 0.1,
+                cost: cost(i as u64, 1.0, 2, 64),
             })
             .collect();
         let agg = fedavg(&updates).unwrap();
@@ -98,8 +213,8 @@ proptest! {
             b: Tensor::full(&[1], v),
         }]);
         let updates = vec![
-            UpdateUpload { client_id: 0, round: 0, weights: mk(wa), num_samples: na, train_loss: 0.0 },
-            UpdateUpload { client_id: 1, round: 0, weights: mk(wb), num_samples: nb, train_loss: 0.0 },
+            UpdateUpload { client_id: 0, round: 0, weights: mk(wa), num_samples: na, train_loss: 0.0, cost: Default::default() },
+            UpdateUpload { client_id: 1, round: 0, weights: mk(wb), num_samples: nb, train_loss: 0.0, cost: Default::default() },
         ];
         let agg = fedavg(&updates).unwrap();
         let v = agg.layer(0).unwrap().w.data()[0];

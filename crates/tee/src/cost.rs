@@ -141,7 +141,7 @@ pub struct ClientCycleCost {
 /// Per-round TEE accounting: one entry per participating client, kept
 /// sorted by client id so the merged view is deterministic regardless of
 /// the order workers finished in.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RoundLedger {
     entries: Vec<ClientCycleCost>,
 }
@@ -220,6 +220,49 @@ impl RoundLedger {
         for e in &other.entries {
             self.record(*e);
         }
+    }
+
+    /// Renders the ledger as a JSON object (hand-rolled: the vendored
+    /// serde is a derive marker only), so per-round accounting can be
+    /// exported by repro binaries.
+    pub fn to_json(&self) -> String {
+        let num = json_number;
+        let entries: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| {
+                format!(
+                    r#"{{"client_id":{},"user_s":{},"kernel_s":{},"alloc_s":{},"crossings":{},"tee_peak_bytes":{}}}"#,
+                    e.client_id,
+                    num(e.time.user_s),
+                    num(e.time.kernel_s),
+                    num(e.time.alloc_s),
+                    e.crossings,
+                    e.tee_peak_bytes,
+                )
+            })
+            .collect();
+        let total = self.total_time();
+        format!(
+            r#"{{"entries":[{}],"total_user_s":{},"total_kernel_s":{},"total_alloc_s":{},"total_crossings":{},"critical_path_s":{}}}"#,
+            entries.join(","),
+            num(total.user_s),
+            num(total.kernel_s),
+            num(total.alloc_s),
+            self.total_crossings(),
+            num(self.critical_path_s()),
+        )
+    }
+}
+
+/// Renders an `f64` as a JSON number (`null` for non-finite values) —
+/// the one rule every hand-rolled JSON export in the workspace shares,
+/// so formats cannot drift apart.
+pub fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
     }
 }
 

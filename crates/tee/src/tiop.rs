@@ -9,6 +9,11 @@
 //! carry a monotone sequence number under the MAC, so replay, reorder and
 //! truncation are all detected — the properties the provisioning path
 //! needs so protected weights never transit the normal world in clear.
+//!
+//! Since the federation's transport redesign, [`Frame`]s are also what
+//! the sealed transport endpoints (`gradsec-fl::transport::sealed`) ship:
+//! a whole protocol envelope is sealed here and the ciphertext crosses
+//! the in-process channel or TCP socket unchanged.
 
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +101,15 @@ impl SecureChannel {
             send_seq: 0,
             recv_seq: 0,
         }
+    }
+
+    /// Builds both ends of a channel at once — convenient for tests and
+    /// for transports wiring the two roles inside one process.
+    pub fn pair(shared_secret: &[u8]) -> (SecureChannel, SecureChannel) {
+        (
+            SecureChannel::established(shared_secret, Role::Server),
+            SecureChannel::established(shared_secret, Role::Client),
+        )
     }
 
     /// Encrypts and authenticates a payload, consuming one send sequence

@@ -59,16 +59,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nNote: clients 2 (no TEE) and 3 (failed attestation) never participate —");
     println!("the selection gate of the paper's Figure 2-(1).");
-    let stats = fed.clients()[0]
-        .last_stats()
-        .expect("client 0 participated");
+    let last = report.rounds.last().expect("rounds ran");
+    let entry = last
+        .ledger
+        .entries()
+        .first()
+        .expect("participants recorded in the ledger");
     println!(
-        "\nClient 0 last cycle: {:.3}s simulated ({:.3}s user + {:.3}s kernel + {:.3}s alloc), TEE peak {:.3} MB",
-        stats.time.total_s(),
-        stats.time.user_s,
-        stats.time.kernel_s,
-        stats.time.alloc_s,
-        stats.tee_peak_bytes as f64 / (1024.0 * 1024.0),
+        "\nClient {} last cycle: {:.3}s simulated ({:.3}s user + {:.3}s kernel + {:.3}s alloc), TEE peak {:.3} MB",
+        entry.client_id,
+        entry.time.total_s(),
+        entry.time.user_s,
+        entry.time.kernel_s,
+        entry.time.alloc_s,
+        entry.tee_peak_bytes as f64 / (1024.0 * 1024.0),
     );
+    fed.shutdown()?;
     Ok(())
 }

@@ -39,18 +39,16 @@ fn static_protected_federation_trains_and_reports() {
     for r in &report.rounds {
         assert_eq!(r.protected_layers, vec![1, 4]);
     }
-    // Participating clients charged enclave time and memory.
-    let stats = fed
-        .clients()
-        .iter()
-        .filter_map(|c| c.last_stats())
-        .next()
-        .expect("at least one participant");
-    assert!(stats.time.kernel_s > 0.0, "kernel time charged");
-    assert!(stats.time.alloc_s > 0.0, "allocation time charged");
+    // Participating clients charged enclave time and memory — the
+    // accounting now travels on the wire with every upload and lands in
+    // the round ledger.
+    let ledger = &report.rounds.last().expect("rounds ran").ledger;
+    let entry = ledger.entries().first().expect("at least one participant");
+    assert!(entry.time.kernel_s > 0.0, "kernel time charged");
+    assert!(entry.time.alloc_s > 0.0, "allocation time charged");
     // L2 + L5 of the 3-class LeNet at batch 8: exactly 219,576 bytes
     // (2 params-copies + activations, see the core memory model).
-    assert_eq!(stats.tee_peak_bytes, 219_576);
+    assert_eq!(entry.tee_peak_bytes, 219_576);
 }
 
 #[test]
@@ -94,8 +92,14 @@ fn mixed_fleet_trains_only_attested_tee_clients() {
     for r in &report.rounds {
         assert!(r.participants.iter().all(|&i| i == 0 || i == 3));
     }
-    assert!(fed.clients()[1].last_stats().is_none());
-    assert!(fed.clients()[2].last_stats().is_none());
+    // The screened-out devices never reach the ledger either.
+    for r in &report.rounds {
+        assert!(r
+            .ledger
+            .entries()
+            .iter()
+            .all(|e| e.client_id == 0 || e.client_id == 3));
+    }
 }
 
 #[test]

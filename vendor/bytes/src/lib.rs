@@ -35,6 +35,14 @@ pub trait Buf {
         v
     }
 
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(b)
+    }
+
     /// Reads a little-endian `u64`.
     fn get_u64_le(&mut self) -> u64 {
         let mut b = [0u8; 8];
@@ -49,6 +57,14 @@ pub trait Buf {
         b.copy_from_slice(&self.chunk()[..4]);
         self.advance(4);
         f32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        f64::from_le_bytes(b)
     }
 
     /// Fills `dest` from the cursor.
@@ -68,6 +84,11 @@ pub trait BufMut {
         self.put_slice(&[v]);
     }
 
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Appends a little-endian `u64`.
     fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
@@ -75,6 +96,11 @@ pub trait BufMut {
 
     /// Appends a little-endian `f32`.
     fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
         self.put_slice(&v.to_le_bytes());
     }
 }
@@ -161,13 +187,17 @@ mod tests {
     fn roundtrip_all_accessors() {
         let mut w = BytesMut::new();
         w.put_u8(7);
+        w.put_u16_le(0xBEEF);
         w.put_u64_le(0xDEAD_BEEF);
         w.put_f32_le(1.5);
+        w.put_f64_le(-2.25);
         w.put_slice(b"abc");
         let mut r = Bytes::copy_from_slice(&w.to_vec());
         assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
         assert_eq!(r.get_u64_le(), 0xDEAD_BEEF);
         assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
         let mut buf = [0u8; 3];
         r.copy_to_slice(&mut buf);
         assert_eq!(&buf, b"abc");
