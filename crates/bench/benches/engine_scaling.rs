@@ -108,15 +108,7 @@ fn main() {
     let mut c = Criterion::default();
     benches(&mut c);
     let json = summary_json(&c);
-    // Cargo runs benches with the package dir as cwd; anchor the summary
-    // in the workspace target dir regardless.
-    let target = std::env::var_os("CARGO_TARGET_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| {
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-                .join("../..")
-                .join("target")
-        });
+    let target = gradsec_bench::workspace_target();
     let path = target.join("engine_scaling.json");
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);

@@ -54,15 +54,7 @@ fn main() {
     let report = fed.run().expect("federation runs");
     fed.shutdown().expect("clean teardown");
     let json = report.to_json();
-    // Cargo runs bins with the package dir as cwd; anchor the output in
-    // the workspace target dir regardless.
-    let target = std::env::var_os("CARGO_TARGET_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| {
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-                .join("../..")
-                .join("target")
-        });
+    let target = gradsec_bench::workspace_target();
     let path = target.join("rounds.json");
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);

@@ -15,6 +15,9 @@
 //!   `property` (the paper's "gender") that adds a distinctive mid-level
 //!   component, so batches containing the property measurably bias the
 //!   aggregated gradients DPIA consumes.
+//! * [`SyntheticMicro`] — a featherweight low-dimensional vector dataset
+//!   for fleet-scale (10⁴+ client) federation benches, where CIFAR-sized
+//!   samples would drown the measurement in pixel traffic.
 //!
 //! Everything is generated lazily and deterministically from a seed —
 //! `sample(i)` is a pure function of `(seed, i)`.
@@ -39,8 +42,10 @@ mod dataset;
 pub mod split;
 mod synth_cifar;
 mod synth_lfw;
+mod synth_micro;
 
 pub use batch::Batcher;
 pub use dataset::{batch_of, one_hot, Dataset, Sample};
 pub use synth_cifar::SyntheticCifar100;
 pub use synth_lfw::SyntheticLfw;
+pub use synth_micro::SyntheticMicro;

@@ -1,9 +1,54 @@
-//! FedAvg aggregation (Figure 2-➍).
+//! FedAvg aggregation (Figure 2-➍), flat or sharded.
+//!
+//! Two entry points share one canonical fold:
+//!
+//! * [`fedavg`] — the classic slice-in, weights-out aggregation over one
+//!   round's updates in selection order.
+//! * [`PartialAggregate`] — the sharded path. Each engine shard packs its
+//!   updates into a partial tagged with their *global selection slots*;
+//!   partials [`merge`](PartialAggregate::merge) exactly (list
+//!   concatenation plus integer sample counts — no floating point), and
+//!   [`finish`](PartialAggregate::finish) restores canonical slot order
+//!   before running the very same fold `fedavg` runs.
+//!
+//! That split is what makes the merge *associativity-safe*: f32 addition
+//! is not associative, so summing per-shard weight averages would make the
+//! global model depend on the shard layout. By deferring every
+//! floating-point operation to the canonically-ordered finish, any
+//! grouping of updates into partials — 1 shard or 64, merged in any order
+//! — produces bit-identical global weights.
 
 use gradsec_nn::model::ModelWeights;
 
 use crate::message::UpdateUpload;
 use crate::{FlError, Result};
+
+/// The canonical FedAvg fold: sample-weighted averaging of the updates'
+/// post-training weights, accumulated strictly in iteration order. Both
+/// [`fedavg`] and [`PartialAggregate::finish`] bottom out here, so the
+/// flat and sharded paths cannot drift apart numerically.
+fn fold_updates<'a, I>(mut updates: I, total: usize) -> Result<ModelWeights>
+where
+    I: Iterator<Item = &'a UpdateUpload>,
+{
+    if total == 0 {
+        return Err(FlError::BadAggregation {
+            reason: "total sample count is zero".to_owned(),
+        });
+    }
+    let first = updates.next().ok_or_else(|| FlError::BadAggregation {
+        reason: "no updates to aggregate".to_owned(),
+    })?;
+    let mut acc = first.weights.clone();
+    acc.scale(first.num_samples as f32 / total as f32);
+    for u in updates {
+        acc.add_scaled(&u.weights, u.num_samples as f32 / total as f32)
+            .map_err(|e| FlError::BadAggregation {
+                reason: format!("update from client {}: {e}", u.client_id),
+            })?;
+    }
+    Ok(acc)
+}
 
 /// Combines client updates into the next global model by sample-weighted
 /// averaging of their post-training weights (McMahan et al.'s FedAvg, the
@@ -20,20 +65,94 @@ pub fn fedavg(updates: &[UpdateUpload]) -> Result<ModelWeights> {
         });
     }
     let total: usize = updates.iter().map(|u| u.num_samples).sum();
-    if total == 0 {
-        return Err(FlError::BadAggregation {
-            reason: "total sample count is zero".to_owned(),
-        });
+    fold_updates(updates.iter(), total)
+}
+
+/// The finished global aggregate of one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateOutcome {
+    /// The next global model.
+    pub weights: ModelWeights,
+    /// Mean training loss across the round's updates, in selection order
+    /// (the round report's `mean_loss`).
+    pub mean_loss: f32,
+    /// Total samples the round trained on.
+    pub total_samples: usize,
+}
+
+/// A shard's contribution to one round's aggregate: updates tagged with
+/// their global selection slots, merged exactly and finished in canonical
+/// order (see the module docs for why the fold is deferred).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartialAggregate {
+    terms: Vec<(usize, UpdateUpload)>,
+}
+
+impl PartialAggregate {
+    /// An empty partial.
+    pub fn new() -> Self {
+        PartialAggregate::default()
     }
-    let mut acc = updates[0].weights.clone();
-    acc.scale(updates[0].num_samples as f32 / total as f32);
-    for u in &updates[1..] {
-        acc.add_scaled(&u.weights, u.num_samples as f32 / total as f32)
-            .map_err(|e| FlError::BadAggregation {
-                reason: format!("update from client {}: {e}", u.client_id),
-            })?;
+
+    /// Adds one update at its global selection slot.
+    pub fn push(&mut self, slot: usize, upload: UpdateUpload) {
+        self.terms.push((slot, upload));
     }
-    Ok(acc)
+
+    /// Folds another partial into this one. The merge is exact — pure
+    /// list concatenation, no floating point — so it is associative and
+    /// commutative by construction; ordering is restored at
+    /// [`finish`](Self::finish).
+    pub fn merge(&mut self, other: PartialAggregate) {
+        self.terms.extend(other.terms);
+    }
+
+    /// Number of updates collected so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when no update has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Total samples across the collected updates (exact integer
+    /// arithmetic, so shard-layout independent).
+    pub fn total_samples(&self) -> usize {
+        self.terms.iter().map(|(_, u)| u.num_samples).sum()
+    }
+
+    /// Restores canonical slot order and runs the one FedAvg fold, plus
+    /// the round's mean-loss reduction in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::BadAggregation`] for an empty partial, duplicate
+    /// slots (one update per selected client), a zero total sample count,
+    /// or architecture mismatches.
+    pub fn finish(mut self) -> Result<AggregateOutcome> {
+        if self.terms.is_empty() {
+            return Err(FlError::BadAggregation {
+                reason: "no updates to aggregate".to_owned(),
+            });
+        }
+        self.terms.sort_by_key(|(slot, _)| *slot);
+        if let Some(w) = self.terms.windows(2).find(|w| w[0].0 == w[1].0) {
+            return Err(FlError::BadAggregation {
+                reason: format!("two updates claim selection slot {}", w[0].0),
+            });
+        }
+        let total = self.total_samples();
+        let weights = fold_updates(self.terms.iter().map(|(_, u)| u), total)?;
+        let mean_loss = self.terms.iter().map(|(_, u)| u.train_loss).sum::<f32>()
+            / self.terms.len().max(1) as f32;
+        Ok(AggregateOutcome {
+            weights,
+            mean_loss,
+            total_samples: total,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +224,75 @@ mod tests {
             },
         ]);
         assert!(fedavg(&[a, b]).is_err());
+    }
+
+    /// Awkwardly-weighted f32 values that would expose any reordering of
+    /// the fold if the partial path regrouped the sums.
+    fn awkward_uploads() -> Vec<UpdateUpload> {
+        [0.1f32, 0.7, 1e-3, 3.33, 0.2, 5.5, 0.9, 1e4]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| upload(i as u64, v, 3 * i + 1))
+            .collect()
+    }
+
+    #[test]
+    fn partial_aggregate_is_bit_identical_to_fedavg_for_any_grouping() {
+        let updates = awkward_uploads();
+        let want = fedavg(&updates).unwrap();
+        // Every contiguous two-way split, merged both ways.
+        for cut in 0..=updates.len() {
+            for swap in [false, true] {
+                let mut left = PartialAggregate::new();
+                let mut right = PartialAggregate::new();
+                for (slot, u) in updates.iter().enumerate() {
+                    let p = if slot < cut { &mut left } else { &mut right };
+                    p.push(slot, u.clone());
+                }
+                let mut merged = PartialAggregate::new();
+                if swap {
+                    merged.merge(right);
+                    merged.merge(left);
+                } else {
+                    merged.merge(left);
+                    merged.merge(right);
+                }
+                let out = merged.finish().unwrap();
+                assert_eq!(out.weights, want, "cut {cut} swap {swap} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_aggregate_reports_loss_and_samples_in_slot_order() {
+        let mut updates = awkward_uploads();
+        for (i, u) in updates.iter_mut().enumerate() {
+            u.train_loss = i as f32;
+        }
+        let flat_loss =
+            updates.iter().map(|u| u.train_loss).sum::<f32>() / updates.len().max(1) as f32;
+        let mut agg = PartialAggregate::new();
+        // Push in reverse — finish must restore slot order.
+        for (slot, u) in updates.iter().enumerate().rev() {
+            agg.push(slot, u.clone());
+        }
+        assert_eq!(agg.len(), updates.len());
+        let out = agg.finish().unwrap();
+        assert_eq!(out.weights, fedavg(&updates).unwrap());
+        assert_eq!(out.mean_loss, flat_loss);
+        assert_eq!(
+            out.total_samples,
+            updates.iter().map(|u| u.num_samples).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn partial_aggregate_rejects_empty_and_duplicate_slots() {
+        assert!(PartialAggregate::new().finish().is_err());
+        let mut agg = PartialAggregate::new();
+        agg.push(0, upload(0, 1.0, 4));
+        agg.push(0, upload(1, 2.0, 4));
+        let err = agg.finish().unwrap_err();
+        assert!(err.to_string().contains("selection slot"), "{err}");
     }
 }

@@ -71,6 +71,91 @@ pub enum TransportKind {
     Tcp,
 }
 
+/// How a registered client fleet is partitioned across engine shards.
+///
+/// The layout is *contiguous*: shard `s` owns clients
+/// `[offset(s), offset(s+1))` in registration (id) order, near-equal in
+/// size with the remainder spread over the first shards — the same
+/// convention `gradsec_data::split::shard` uses for data. Contiguity is
+/// what keeps a sharded run bit-identical to a flat one: walking shard
+/// 0, 1, … visits clients in exactly the global order, so the server's
+/// screening RNG stream and the global selection slots never notice the
+/// partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLayout {
+    /// `shards + 1` cumulative offsets; `offsets[s]..offsets[s+1]` is
+    /// shard `s`'s global client range.
+    offsets: Vec<usize>,
+}
+
+impl ShardLayout {
+    /// Partitions `num_clients` clients into `shards` contiguous shards.
+    /// The shard count is clamped to `1..=max(1, num_clients)`, so asking
+    /// for more shards than clients degrades to one client per shard.
+    pub fn new(num_clients: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, num_clients.max(1));
+        let base = num_clients / shards;
+        let extra = num_clients % shards;
+        let mut offsets = Vec::with_capacity(shards + 1);
+        let mut at = 0;
+        offsets.push(at);
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            offsets.push(at);
+        }
+        ShardLayout { offsets }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total clients across all shards.
+    pub fn num_clients(&self) -> usize {
+        *self.offsets.last().expect("layout has at least one offset")
+    }
+
+    /// Shard `s`'s global client range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s >= num_shards()`.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.offsets[s]..self.offsets[s + 1]
+    }
+
+    /// Splits a sorted global pick set into per-shard *local* pick lists,
+    /// index-aligned with the shards.
+    ///
+    /// Global order is preserved: concatenating the per-shard lists
+    /// (offset restored) in shard order reproduces `picked` exactly, which
+    /// is what lets per-shard selection slots be assigned by prefix sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a pick is `>= num_clients()` (schedules are validated
+    /// by `selection::validate_picks` before they get here).
+    pub fn split_picks(&self, picked: &[usize]) -> Vec<Vec<usize>> {
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.num_shards()];
+        for &p in picked {
+            assert!(
+                p < self.num_clients(),
+                "pick {p} out of range for {} clients",
+                self.num_clients()
+            );
+            // Picks are sorted, so a linear bucket walk would do; binary
+            // search keeps this robust to arbitrary order too.
+            let s = match self.offsets.binary_search(&p) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            per_shard[s].push(p - self.offsets[s]);
+        }
+        per_shard
+    }
+}
+
 impl Default for TrainingPlan {
     /// The paper's evaluation defaults: batch 32, 10 batches per cycle.
     fn default() -> Self {
@@ -95,6 +180,40 @@ mod tests {
         p.validate().unwrap();
         assert_eq!(p.batch_size, 32);
         assert_eq!(p.batches_per_cycle, 10);
+    }
+
+    #[test]
+    fn shard_layout_partitions_contiguously() {
+        let l = ShardLayout::new(10, 4);
+        assert_eq!(l.num_shards(), 4);
+        assert_eq!(l.num_clients(), 10);
+        // Near-equal, remainder on the first shards, contiguous cover.
+        assert_eq!(l.range(0), 0..3);
+        assert_eq!(l.range(1), 3..6);
+        assert_eq!(l.range(2), 6..8);
+        assert_eq!(l.range(3), 8..10);
+    }
+
+    #[test]
+    fn shard_layout_clamps_degenerate_counts() {
+        assert_eq!(ShardLayout::new(3, 0).num_shards(), 1);
+        assert_eq!(ShardLayout::new(3, 8).num_shards(), 3);
+        let empty = ShardLayout::new(0, 4);
+        assert_eq!(empty.num_shards(), 1);
+        assert_eq!(empty.num_clients(), 0);
+    }
+
+    #[test]
+    fn split_picks_preserves_global_order() {
+        let l = ShardLayout::new(10, 4);
+        let per_shard = l.split_picks(&[0, 2, 3, 6, 8, 9]);
+        assert_eq!(per_shard, vec![vec![0, 2], vec![0], vec![0], vec![0, 1]]);
+        // Restoring offsets in shard order reproduces the global picks.
+        let mut restored = Vec::new();
+        for (s, locals) in per_shard.iter().enumerate() {
+            restored.extend(locals.iter().map(|&i| i + l.range(s).start));
+        }
+        assert_eq!(restored, vec![0, 2, 3, 6, 8, 9]);
     }
 
     #[test]

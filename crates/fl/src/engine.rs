@@ -20,16 +20,38 @@
 //!   correct under concurrency — and complete even when clients live in
 //!   other processes.
 //!
+//! Failure containment: a schedule with duplicate or out-of-range indices
+//! is rejected up front ([`FlError::InvalidSelection`]) instead of
+//! panicking, and a panic inside one client's exchange — a buggy trainer,
+//! a poisoned endpoint — is caught on the worker and surfaced as that
+//! client's [`FlError::ClientFailure`] outcome. One bad client in a
+//! 10⁴-client round can therefore no longer kill the *process* (the old
+//! `join().expect` path aborted everything); the round's fate stays a
+//! policy decision of the runner, which today reports the earliest
+//! failure after every other client's outcome has been collected.
+//!
+//! [`ExecutionEngine::execute_shards`] lifts the same machinery one level
+//! up for sharded fleets: disjoint client shards run concurrently, each
+//! with its own worker pool and its own [`RoundLedger`], and the per-shard
+//! results come back in shard order for the global merge.
+//!
 //! With identical seeds, a 1-worker and an N-worker engine — over the
-//! in-process or the TCP transport — produce bit-identical round reports
-//! and final weights (see `tests/integration_engine.rs` and
-//! `tests/integration_transport.rs` at the workspace root).
+//! in-process or the TCP transport, sharded or flat — produce bit-identical
+//! round reports and final weights (see `tests/integration_engine.rs` and
+//! `tests/integration_sharding.rs` at the workspace root).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use gradsec_tee::cost::{RoundLedger, SharedLedger};
 
 use crate::message::{ModelDownload, UpdateUpload};
+use crate::selection::validate_picks;
 use crate::transport::RemoteClient;
-use crate::Result;
+use crate::{FlError, Result};
+
+/// Per-client outcomes of one engine run, in `picked` order, plus the
+/// merged TEE ledger of the successful exchanges.
+pub type CycleOutcomes = (Vec<Result<UpdateUpload>>, RoundLedger);
 
 /// A round-execution strategy: how many workers drive client exchanges
 /// concurrently within one FL cycle.
@@ -65,12 +87,24 @@ impl ExecutionEngine {
     /// Drives the cycles of the clients listed in `picked` (indices into
     /// `clients`) against `download`, returning per-client outcomes in
     /// `picked` order plus the round's merged TEE ledger.
-    pub(crate) fn execute_cycles(
+    ///
+    /// A failing client (transport error, failed cycle, or a panic inside
+    /// its exchange) yields an `Err` in its slot; the other clients'
+    /// outcomes are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidSelection`] when `picked` contains a
+    /// duplicate or out-of-range index — per-client failures are *not*
+    /// round errors and live in the returned slots instead.
+    pub fn execute_cycles(
         &self,
         clients: &mut [RemoteClient],
         picked: &[usize],
         download: &ModelDownload,
-    ) -> (Vec<Result<UpdateUpload>>, RoundLedger) {
+    ) -> Result<CycleOutcomes> {
+        validate_picks(picked, clients.len())?;
+        let picked_ids: Vec<u64> = picked.iter().map(|&ci| clients[ci].id()).collect();
         let ledger = SharedLedger::new();
         let mut slots: Vec<Option<Result<UpdateUpload>>> =
             (0..picked.len()).map(|_| None).collect();
@@ -82,19 +116,32 @@ impl ExecutionEngine {
             // Deal the selected clients round-robin into one shard per
             // worker. The deal is a pure function of (picked, workers),
             // so the partition — and therefore any numeric consequence of
-            // it — is reproducible.
+            // it — is reproducible. An O(n) slot map replaces the old
+            // per-client `position` scan (O(|picked|·|clients|)), which
+            // also silently collapsed duplicate picks onto one slot.
+            let mut slot_of: Vec<Option<usize>> = vec![None; clients.len()];
+            for (slot, &ci) in picked.iter().enumerate() {
+                slot_of[ci] = Some(slot);
+            }
             let workers = self.workers.min(picked.len());
             let mut shards: Vec<Vec<(usize, &mut RemoteClient)>> =
                 (0..workers).map(|_| Vec::new()).collect();
             for (k, (slot, client)) in clients
                 .iter_mut()
                 .enumerate()
-                .filter_map(|(i, c)| picked.iter().position(|&p| p == i).map(|s| (s, c)))
+                .filter_map(|(i, c)| slot_of[i].map(|s| (s, c)))
                 .enumerate()
             {
                 shards[k % workers].push((slot, client));
             }
-            let outcomes: Vec<Vec<(usize, Result<UpdateUpload>)>> = crossbeam::thread::scope(|s| {
+            // Remember each worker's slot assignment so a worker that dies
+            // wholesale (a panic escaping the per-exchange guard) can be
+            // billed to exactly its clients.
+            let assignments: Vec<Vec<usize>> = shards
+                .iter()
+                .map(|shard| shard.iter().map(|(slot, _)| *slot).collect())
+                .collect();
+            let outcomes = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = shards
                     .into_iter()
                     .map(|mut shard| {
@@ -111,19 +158,98 @@ impl ExecutionEngine {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("engine worker panicked"))
-                    .collect()
+                    .map(|h| h.join())
+                    .collect::<Vec<std::thread::Result<_>>>()
             })
-            .expect("engine scope panicked");
-            for (slot, outcome) in outcomes.into_iter().flatten() {
-                slots[slot] = Some(outcome);
+            .map_err(|_| FlError::Protocol {
+                reason: "engine scope panicked".to_owned(),
+            })?;
+            for (worker, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    Ok(results) => {
+                        for (slot, r) in results {
+                            slots[slot] = Some(r);
+                        }
+                    }
+                    // The per-exchange guard makes this unreachable in
+                    // practice; if it ever fires, the worker's clients
+                    // fail individually rather than killing the round.
+                    Err(_) => {
+                        for &slot in &assignments[worker] {
+                            slots[slot] = Some(Err(FlError::ClientFailure {
+                                client: picked_ids[slot],
+                                reason: "engine worker panicked".to_owned(),
+                            }));
+                        }
+                    }
+                }
             }
         }
         let results = slots
             .into_iter()
-            .map(|s| s.expect("every picked client executed"))
+            .enumerate()
+            .map(|(slot, s)| {
+                s.unwrap_or_else(|| {
+                    Err(FlError::ClientFailure {
+                        client: picked_ids[slot],
+                        reason: "engine lost the client's outcome".to_owned(),
+                    })
+                })
+            })
             .collect();
-        (results, ledger.into_round_ledger())
+        Ok((results, ledger.into_round_ledger()))
+    }
+
+    /// Runs several disjoint client shards concurrently — each shard's
+    /// picked clients on this engine's own worker pool — returning the
+    /// per-shard outcomes and per-shard ledgers in shard order.
+    ///
+    /// `shards` pairs each shard's clients with its *shard-local* pick
+    /// indices. Because every shard's execution is independently
+    /// deterministic and results stay keyed by shard + slot, the
+    /// concatenated outcome is bit-identical to running the shards one
+    /// after another — which is how [`ShardedFederation`] reproduces an
+    /// unsharded round exactly.
+    ///
+    /// [`ShardedFederation`]: crate::runner::ShardedFederation
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidSelection`] when any shard's picks are
+    /// duplicated or out of range (checked before anything runs).
+    pub fn execute_shards(
+        &self,
+        shards: Vec<(&mut [RemoteClient], Vec<usize>)>,
+        download: &ModelDownload,
+    ) -> Result<Vec<CycleOutcomes>> {
+        for (clients, picked) in &shards {
+            validate_picks(picked, clients.len())?;
+        }
+        if shards.len() <= 1 {
+            return shards
+                .into_iter()
+                .map(|(clients, picked)| self.execute_cycles(clients, &picked, download))
+                .collect();
+        }
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|(clients, picked)| {
+                    s.spawn(move |_| self.execute_cycles(clients, &picked, download))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().map_err(|_| FlError::Protocol {
+                        reason: "engine shard thread panicked".to_owned(),
+                    })?
+                })
+                .collect()
+        })
+        .map_err(|_| FlError::Protocol {
+            reason: "engine shard scope panicked".to_owned(),
+        })?
     }
 }
 
@@ -134,22 +260,54 @@ impl Default for ExecutionEngine {
 }
 
 /// Drives one client exchange and, on success, records the TEE accounting
-/// the upload carried across the transport.
+/// the upload carried across the transport. A panic inside the exchange
+/// (trainer bug, poisoned endpoint state) is caught and converted into
+/// that client's [`FlError::ClientFailure`] so it cannot take the worker
+/// — and with it the whole round — down.
 fn exchange_and_record(
     client: &mut RemoteClient,
     download: &ModelDownload,
     ledger: &SharedLedger,
 ) -> Result<UpdateUpload> {
-    let result = client.train(download);
+    let id = client.id();
+    let result =
+        catch_unwind(AssertUnwindSafe(|| client.train(download))).unwrap_or_else(|payload| {
+            Err(FlError::ClientFailure {
+                client: id,
+                reason: format!(
+                    "client exchange panicked: {}",
+                    panic_reason(payload.as_ref())
+                ),
+            })
+        });
     if let Ok(upload) = &result {
         ledger.record(upload.cost);
     }
     result
 }
 
+/// Best-effort rendering of a panic payload (the two forms `panic!`
+/// produces, then a generic fallback).
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::{DeviceProfile, FlClient};
+    use crate::config::TrainingPlan;
+    use crate::trainer::{CycleStats, LocalTrainer, PlainSgdTrainer};
+    use crate::transport::inprocess::LocalEndpoint;
+    use gradsec_data::{Dataset, SyntheticCifar100};
+    use gradsec_nn::{zoo, Sequential};
+    use std::sync::Arc;
 
     #[test]
     fn zero_workers_means_all_cores() {
@@ -158,5 +316,140 @@ mod tests {
         assert_eq!(ExecutionEngine::new(3).workers(), 3);
         assert_eq!(ExecutionEngine::sequential().workers(), 1);
         assert_eq!(ExecutionEngine::default(), ExecutionEngine::sequential());
+    }
+
+    /// A trainer that panics on every cycle — the failure mode the engine
+    /// must contain to one client.
+    struct PanickingTrainer;
+
+    impl LocalTrainer for PanickingTrainer {
+        fn train_cycle(
+            &mut self,
+            _model: &mut Sequential,
+            _dataset: &dyn Dataset,
+            _batches: &[Vec<usize>],
+            _learning_rate: f32,
+            _protected_layers: &[usize],
+        ) -> Result<CycleStats> {
+            panic!("injected trainer bug");
+        }
+    }
+
+    fn fleet(n: usize, panicking: &[usize]) -> Vec<RemoteClient> {
+        let ds = Arc::new(SyntheticCifar100::with_classes(4 * n, 2, 1));
+        let shards = gradsec_data::split::shard(4 * n, n, 1);
+        (0..n)
+            .zip(shards)
+            .map(|(i, shard)| {
+                let trainer: Box<dyn LocalTrainer> = if panicking.contains(&i) {
+                    Box::new(PanickingTrainer)
+                } else {
+                    Box::new(PlainSgdTrainer)
+                };
+                let client = FlClient::new(
+                    i as u64,
+                    DeviceProfile::trustzone(i as u64),
+                    ds.clone(),
+                    shard,
+                    zoo::tiny_mlp(3 * 32 * 32, 4, 2, 9).unwrap(),
+                    trainer,
+                );
+                RemoteClient::connect(Box::new(LocalEndpoint::new(client))).unwrap()
+            })
+            .collect()
+    }
+
+    fn download() -> ModelDownload {
+        ModelDownload {
+            round: 0,
+            weights: zoo::tiny_mlp(3 * 32 * 32, 4, 2, 9).unwrap().weights(),
+            plan: TrainingPlan {
+                rounds: 1,
+                clients_per_round: 4,
+                batches_per_cycle: 1,
+                batch_size: 2,
+                learning_rate: 0.05,
+                seed: 3,
+            },
+            protected_layers: vec![],
+        }
+    }
+
+    #[test]
+    fn duplicate_picks_are_an_error_not_a_panic() {
+        let mut clients = fleet(4, &[]);
+        for engine in [ExecutionEngine::sequential(), ExecutionEngine::new(3)] {
+            let err = engine
+                .execute_cycles(&mut clients, &[1, 2, 1], &download())
+                .unwrap_err();
+            assert!(matches!(err, FlError::InvalidSelection { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_picks_are_an_error_not_a_panic() {
+        let mut clients = fleet(2, &[]);
+        let err = ExecutionEngine::new(2)
+            .execute_cycles(&mut clients, &[0, 5], &download())
+            .unwrap_err();
+        assert!(matches!(err, FlError::InvalidSelection { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_pick_set_runs_to_an_empty_round() {
+        let mut clients = fleet(2, &[]);
+        let (results, ledger) = ExecutionEngine::new(2)
+            .execute_cycles(&mut clients, &[], &download())
+            .unwrap();
+        assert!(results.is_empty());
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn a_panicking_client_fails_alone_not_the_round() {
+        for workers in [1usize, 3] {
+            let mut clients = fleet(4, &[2]);
+            let (results, ledger) = ExecutionEngine::new(workers)
+                .execute_cycles(&mut clients, &[0, 2, 3], &download())
+                .unwrap();
+            assert_eq!(results.len(), 3);
+            assert!(results[0].is_ok(), "{workers} workers: client 0");
+            assert!(results[2].is_ok(), "{workers} workers: client 3");
+            match &results[1] {
+                Err(FlError::ClientFailure { client: 2, reason }) => {
+                    assert!(reason.contains("panicked"), "{reason}");
+                }
+                other => panic!("expected client 2's panic as ClientFailure, got {other:?}"),
+            }
+            // Only the two successful clients are billed.
+            assert_eq!(ledger.len(), 2);
+        }
+    }
+
+    #[test]
+    fn execute_shards_matches_per_shard_execute_cycles() {
+        let build = || {
+            let mut all = fleet(6, &[]);
+            let tail = all.split_off(3);
+            (all, tail)
+        };
+        let engine = ExecutionEngine::new(2);
+        let (mut a_seq, mut b_seq) = build();
+        let want_a = engine
+            .execute_cycles(&mut a_seq, &[0, 2], &download())
+            .unwrap();
+        let want_b = engine
+            .execute_cycles(&mut b_seq, &[1], &download())
+            .unwrap();
+        let (mut a, mut b) = build();
+        let got = engine
+            .execute_shards(
+                vec![(a.as_mut_slice(), vec![0, 2]), (b.as_mut_slice(), vec![1])],
+                &download(),
+            )
+            .unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], want_a);
+        assert_eq!(got[1], want_b);
     }
 }

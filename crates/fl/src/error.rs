@@ -34,6 +34,12 @@ pub enum FlError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A round schedule handed to the engine was malformed: duplicate or
+    /// out-of-range client indices.
+    InvalidSelection {
+        /// Human-readable reason.
+        reason: String,
+    },
     /// A client worker thread failed, or a remote client reported a
     /// failure over its transport.
     ClientFailure {
@@ -87,6 +93,7 @@ impl PartialEq for FlError {
             }
             (FlError::BadAggregation { reason: a }, FlError::BadAggregation { reason: b })
             | (FlError::BadConfig { reason: a }, FlError::BadConfig { reason: b })
+            | (FlError::InvalidSelection { reason: a }, FlError::InvalidSelection { reason: b })
             | (FlError::Protocol { reason: a }, FlError::Protocol { reason: b }) => a == b,
             (
                 FlError::ClientFailure {
@@ -124,6 +131,7 @@ impl fmt::Display for FlError {
             }
             FlError::BadAggregation { reason } => write!(f, "bad aggregation: {reason}"),
             FlError::BadConfig { reason } => write!(f, "bad config: {reason}"),
+            FlError::InvalidSelection { reason } => write!(f, "invalid selection: {reason}"),
             FlError::ClientFailure { client, reason } => {
                 write!(f, "client {client} failed: {reason}")
             }
@@ -146,6 +154,7 @@ impl std::error::Error for FlError {
             FlError::NoEligibleClients { .. }
             | FlError::BadAggregation { .. }
             | FlError::BadConfig { .. }
+            | FlError::InvalidSelection { .. }
             | FlError::ClientFailure { .. }
             | FlError::Protocol { .. } => None,
         }
@@ -220,6 +229,7 @@ mod tests {
         for e in [
             FlError::NoEligibleClients { round: 1 },
             FlError::BadConfig { reason: "r".into() },
+            FlError::InvalidSelection { reason: "d".into() },
             FlError::Protocol { reason: "v".into() },
             FlError::ClientFailure {
                 client: 1,

@@ -19,6 +19,11 @@
 //!    ([`aggregate`]) and the global snapshot history is recorded for the
 //!    long-term DPIA attacker ([`history`]).
 //!
+//! Rounds run on a flat fleet ([`runner::Federation`]) or, for 10⁴+
+//! simulated clients, on a fleet partitioned across independent engine
+//! shards ([`runner::ShardedFederation`]) — same results bit-for-bit,
+//! scaled-out wall clock.
+//!
 //! # Example
 //!
 //! ```
@@ -64,9 +69,10 @@ pub mod server;
 pub mod trainer;
 pub mod transport;
 
-pub use config::TransportKind;
+pub use config::{ShardLayout, TransportKind};
 pub use engine::ExecutionEngine;
 pub use error::FlError;
+pub use runner::ShardedFederation;
 pub use scheduler::ProtectionScheduler;
 pub use transport::{ClientEndpoint, RemoteClient, ServerEndpoint};
 

@@ -8,6 +8,17 @@
 //! endpoint, and hands the resulting [`RemoteClient`]s to the server and
 //! engine. The same protocol bytes flow either way, so reports are
 //! bit-identical across transports.
+//!
+//! Two runners share that machinery:
+//!
+//! * [`Federation`] — one flat fleet on one [`ExecutionEngine`].
+//! * [`ShardedFederation`] — the fleet partitioned into contiguous
+//!   [`ShardLayout`] shards, each running its selected clients on its own
+//!   engine instance, with per-shard ledgers and [`PartialAggregate`]s
+//!   merged into one global round report. Screening walks shards in
+//!   global client order and the merge restores canonical selection
+//!   order, so for any `(shards, workers)` combination the report and
+//!   final weights are bit-identical to the flat run.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -20,10 +31,10 @@ use gradsec_tee::attestation::Measurement;
 use gradsec_tee::cost::RoundLedger;
 use gradsec_tee::crypto::sha256::sha256;
 
+use crate::aggregate::PartialAggregate;
 use crate::client::{DeviceProfile, FlClient};
-use crate::config::{TrainingPlan, TransportKind};
+use crate::config::{ShardLayout, TrainingPlan, TransportKind};
 use crate::engine::ExecutionEngine;
-use crate::message::UpdateUpload;
 use crate::scheduler::{NoProtection, ProtectionScheduler};
 use crate::server::FlServer;
 use crate::trainer::{LocalTrainer, PlainSgdTrainer};
@@ -106,6 +117,7 @@ pub struct FederationBuilder {
     engine: ExecutionEngine,
     measurement: Measurement,
     transport: TransportKind,
+    shards: usize,
 }
 
 impl FederationBuilder {
@@ -120,6 +132,7 @@ impl FederationBuilder {
             engine: ExecutionEngine::sequential(),
             measurement: Measurement(sha256(b"gradsec-ta-code-v1")),
             transport: TransportKind::InProcess,
+            shards: 1,
         }
     }
 
@@ -191,15 +204,75 @@ impl FederationBuilder {
         self
     }
 
-    /// Assembles the federation: builds the fleet, wires it onto the
-    /// configured transport and handshakes every endpoint.
+    /// Partitions the fleet into `shards` contiguous engine shards
+    /// (clamped to the client count; defaults to 1). Build the result
+    /// with [`build_sharded`](Self::build_sharded) — sharding changes
+    /// wall-clock scaling, never results.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Assembles a flat (single-shard) federation: builds the fleet,
+    /// wires it onto the configured transport and handshakes every
+    /// endpoint.
     ///
     /// # Errors
     ///
     /// Returns [`FlError::BadConfig`] when the model factory or dataset is
-    /// missing, or the plan is invalid; transport/handshake failures
-    /// propagate as [`FlError::Transport`]/[`FlError::Protocol`].
+    /// missing, the plan is invalid, or a shard count above 1 was
+    /// configured (use [`build_sharded`](Self::build_sharded)); transport/
+    /// handshake failures propagate as
+    /// [`FlError::Transport`]/[`FlError::Protocol`].
     pub fn build(self) -> Result<Federation> {
+        if self.shards > 1 {
+            return Err(FlError::BadConfig {
+                reason: format!(
+                    "builder configured {} shards; use build_sharded()",
+                    self.shards
+                ),
+            });
+        }
+        let fleet = self.assemble()?;
+        Ok(Federation {
+            server: fleet.server,
+            clients: fleet.clients,
+            scheduler: fleet.scheduler,
+            engine: fleet.engine,
+            sessions: fleet.sessions,
+        })
+    }
+
+    /// Assembles a sharded federation: the same fleet, wired the same
+    /// way, then partitioned into the configured number of contiguous
+    /// shards. `shards(1)` (the default) yields a one-shard federation
+    /// whose rounds are bit-identical to [`build`](Self::build)'s.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build`](Self::build), minus the shard-count
+    /// restriction.
+    pub fn build_sharded(self) -> Result<ShardedFederation> {
+        let shards = self.shards;
+        let fleet = self.assemble()?;
+        let mut clients = fleet.clients;
+        let layout = ShardLayout::new(clients.len(), shards);
+        let mut fleet_shards = Vec::with_capacity(layout.num_shards());
+        for s in 0..layout.num_shards() {
+            let rest = clients.split_off(layout.range(s).len());
+            fleet_shards.push(std::mem::replace(&mut clients, rest));
+        }
+        Ok(ShardedFederation {
+            server: fleet.server,
+            shards: fleet_shards,
+            layout,
+            scheduler: fleet.scheduler,
+            engine: fleet.engine,
+            sessions: fleet.sessions,
+        })
+    }
+
+    fn assemble(self) -> Result<AssembledFleet> {
         let model_factory = self.model_factory.ok_or_else(|| FlError::BadConfig {
             reason: "model factory not set".to_owned(),
         })?;
@@ -235,14 +308,24 @@ impl FederationBuilder {
             .collect();
         let server = FlServer::new(self.plan, prototype.weights(), self.measurement)?;
         let (clients, sessions) = wire_fleet(fleet, self.transport)?;
-        Ok(Federation {
+        Ok(AssembledFleet {
             server,
             clients,
+            sessions,
             scheduler: self.scheduler,
             engine: self.engine,
-            sessions,
         })
     }
+}
+
+/// Everything `assemble` produces: the handshaken fleet plus the run
+/// configuration the builder carried.
+struct AssembledFleet {
+    server: FlServer,
+    clients: Vec<RemoteClient>,
+    sessions: SessionHandles,
+    scheduler: Arc<dyn ProtectionScheduler>,
+    engine: ExecutionEngine,
 }
 
 /// Client service threads spawned by socket-backed transports; each
@@ -392,15 +475,17 @@ impl Federation {
         let mut protected = self.scheduler.layers_for_round(round);
         protected.retain(|&l| l < n_layers);
         let download = self.server.download(protected.clone());
-        let (results, ledger) = engine.execute_cycles(&mut self.clients, &picked, &download);
-        let updates: Vec<UpdateUpload> = results.into_iter().collect::<Result<Vec<_>>>()?;
-        let mean_loss =
-            updates.iter().map(|u| u.train_loss).sum::<f32>() / updates.len().max(1) as f32;
-        self.server.aggregate(&updates)?;
+        let (results, ledger) = engine.execute_cycles(&mut self.clients, &picked, &download)?;
+        let mut agg = PartialAggregate::new();
+        for (slot, result) in results.into_iter().enumerate() {
+            agg.push(slot, result?);
+        }
+        let outcome = agg.finish()?;
+        self.server.commit(outcome.weights);
         Ok(RoundReport {
             round,
             participants: picked,
-            mean_loss,
+            mean_loss: outcome.mean_loss,
             protected_layers: protected,
             ledger,
         })
@@ -443,34 +528,216 @@ impl Federation {
     }
 
     fn teardown(&mut self) -> Result<()> {
-        let mut first_err = None;
-        for client in &mut self.clients {
-            if let Err(e) = client.goodbye() {
-                first_err.get_or_insert(e);
-            }
-        }
+        let outcome = teardown_fleet(self.clients.iter_mut(), &mut self.sessions);
         self.clients.clear();
-        for session in self.sessions.drain(..) {
-            match session.join() {
-                Ok(Ok(_client)) => {}
-                Ok(Err(e)) => {
-                    first_err.get_or_insert(e);
-                }
-                Err(_) => {
-                    first_err.get_or_insert(FlError::Protocol {
-                        reason: "client session thread panicked".to_owned(),
-                    });
-                }
-            }
-        }
-        match first_err {
-            None => Ok(()),
-            Some(e) => Err(e),
-        }
+        outcome
     }
 }
 
 impl Drop for Federation {
+    fn drop(&mut self) {
+        let _ = self.teardown();
+    }
+}
+
+/// Says goodbye over every endpoint and joins any client service threads,
+/// returning the first failure encountered (both runners tear down this
+/// way).
+fn teardown_fleet<'a>(
+    clients: impl Iterator<Item = &'a mut RemoteClient>,
+    sessions: &mut SessionHandles,
+) -> Result<()> {
+    let mut first_err = None;
+    for client in clients {
+        if let Err(e) = client.goodbye() {
+            first_err.get_or_insert(e);
+        }
+    }
+    for session in sessions.drain(..) {
+        match session.join() {
+            Ok(Ok(_client)) => {}
+            Ok(Err(e)) => {
+                first_err.get_or_insert(e);
+            }
+            Err(_) => {
+                first_err.get_or_insert(FlError::Protocol {
+                    reason: "client session thread panicked".to_owned(),
+                });
+            }
+        }
+    }
+    match first_err {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// A federation whose client fleet is partitioned across independent
+/// engine shards — the scale-out runner for 10⁴+ simulated clients.
+///
+/// One [`FlServer`] still owns the global model, RNG and history; what
+/// shards is the *fleet*: each contiguous [`ShardLayout`] shard holds its
+/// own `Vec<RemoteClient>` and runs its selected clients on its own
+/// [`ExecutionEngine`] worker pool (shards execute concurrently). Per
+/// round the server screens shard-by-shard in global client order,
+/// samples globally, and the per-shard outcomes come back as slot-tagged
+/// [`PartialAggregate`]s plus per-shard [`RoundLedger`]s that merge into
+/// one canonical report — bit-identical to the flat [`Federation`] for
+/// any `(shards, workers)` combination (asserted by
+/// `tests/integration_sharding.rs`).
+pub struct ShardedFederation {
+    server: FlServer,
+    shards: Vec<Vec<RemoteClient>>,
+    layout: ShardLayout,
+    scheduler: Arc<dyn ProtectionScheduler>,
+    engine: ExecutionEngine,
+    sessions: SessionHandles,
+}
+
+impl std::fmt::Debug for ShardedFederation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedFederation")
+            .field("shards", &self.shards.len())
+            .field("clients", &self.layout.num_clients())
+            .field("round", &self.server.round())
+            .finish()
+    }
+}
+
+impl ShardedFederation {
+    /// The server.
+    pub fn server(&self) -> &FlServer {
+        &self.server
+    }
+
+    /// The shard layout.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// Number of engine shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total clients across all shards.
+    pub fn num_clients(&self) -> usize {
+        self.layout.num_clients()
+    }
+
+    /// The configured execution engine (each shard runs its own pool of
+    /// this size).
+    pub fn engine(&self) -> ExecutionEngine {
+        self.engine
+    }
+
+    /// Runs one FL cycle with the builder-configured engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selection, training and aggregation failures.
+    pub fn run_round(&mut self) -> Result<RoundReport> {
+        let engine = self.engine;
+        self.run_round_with(&engine)
+    }
+
+    /// Runs one FL cycle — shard-scoped screening, global sampling,
+    /// concurrent per-shard execution, canonical merge — through
+    /// `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selection, training and aggregation failures. When
+    /// several clients fail in one round, the error of the earliest
+    /// client in selection order is returned — the same contract the flat
+    /// runner keeps.
+    pub fn run_round_with(&mut self, engine: &ExecutionEngine) -> Result<RoundReport> {
+        let round = self.server.round();
+        let picked = self.server.select_sharded(&mut self.shards)?;
+        let n_layers = self.server.global().num_layers();
+        let mut protected = self.scheduler.layers_for_round(round);
+        protected.retain(|&l| l < n_layers);
+        let download = self.server.download(protected.clone());
+        let local_picks = self.layout.split_picks(&picked);
+        let jobs: Vec<(&mut [RemoteClient], Vec<usize>)> = self
+            .shards
+            .iter_mut()
+            .map(Vec::as_mut_slice)
+            .zip(local_picks)
+            .collect();
+        let per_shard = engine.execute_shards(jobs, &download)?;
+        // Merge: ledgers fold id-sorted; updates keep their global
+        // selection slots (prefix sums over shard pick counts), so the
+        // aggregate finishes in canonical order whatever the layout.
+        let mut ledger = RoundLedger::new();
+        let mut agg = PartialAggregate::new();
+        let mut slot_base = 0;
+        for (outcomes, shard_ledger) in per_shard {
+            let shard_picks = outcomes.len();
+            for (j, result) in outcomes.into_iter().enumerate() {
+                agg.push(slot_base + j, result?);
+            }
+            slot_base += shard_picks;
+            ledger.merge(&shard_ledger);
+        }
+        let outcome = agg.finish()?;
+        self.server.commit(outcome.weights);
+        Ok(RoundReport {
+            round,
+            participants: picked,
+            mean_loss: outcome.mean_loss,
+            protected_layers: protected,
+            ledger,
+        })
+    }
+
+    /// Runs the full plan with the builder-configured engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round failures.
+    pub fn run(&mut self) -> Result<FederationReport> {
+        let engine = self.engine;
+        self.run_with(&engine)
+    }
+
+    /// Runs the full plan through `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round failures.
+    pub fn run_with(&mut self, engine: &ExecutionEngine) -> Result<FederationReport> {
+        let mut report = FederationReport::default();
+        for _ in 0..self.server.plan().rounds {
+            let r = self.run_round_with(engine)?;
+            report.rounds.push(r);
+            report.rounds_completed += 1;
+        }
+        Ok(report)
+    }
+
+    /// Tears the fleet down: says goodbye over every endpoint and joins
+    /// any client service threads. Called automatically on drop (best
+    /// effort); call explicitly to observe teardown errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first goodbye/join failure encountered.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.teardown()
+    }
+
+    fn teardown(&mut self) -> Result<()> {
+        let outcome = teardown_fleet(
+            self.shards.iter_mut().flat_map(|s| s.iter_mut()),
+            &mut self.sessions,
+        );
+        self.shards.clear();
+        outcome
+    }
+}
+
+impl Drop for ShardedFederation {
     fn drop(&mut self) {
         let _ = self.teardown();
     }
@@ -546,6 +813,47 @@ mod tests {
                 "{workers}-worker weights diverged"
             );
         }
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_flat() {
+        let mut flat = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .clients(5, dataset())
+            .build()
+            .unwrap();
+        let flat_report = flat.run().unwrap();
+        for shards in [1usize, 2, 5, 9] {
+            let mut sharded = Federation::builder(plan())
+                .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+                .clients(5, dataset())
+                .shards(shards)
+                .engine(ExecutionEngine::new(2))
+                .build_sharded()
+                .unwrap();
+            assert_eq!(sharded.num_shards(), shards.min(5));
+            assert_eq!(sharded.num_clients(), 5);
+            let report = sharded.run().unwrap();
+            assert_eq!(report, flat_report, "{shards}-shard report diverged");
+            assert_eq!(
+                sharded.server().global(),
+                flat.server().global(),
+                "{shards}-shard weights diverged"
+            );
+            sharded.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn build_rejects_multi_shard_config() {
+        let err = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .clients(4, dataset())
+            .shards(3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, FlError::BadConfig { .. }), "{err}");
+        assert!(err.to_string().contains("build_sharded"));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use rand::RngExt;
 use gradsec_tee::attestation::{verify_quote, Challenge, Measurement};
 
 use crate::transport::RemoteClient;
+use crate::{FlError, Result};
 
 /// Outcome of screening one client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,34 @@ pub fn screen_clients(
             }
         })
         .collect()
+}
+
+/// Validates a round schedule before it reaches the engine: every index
+/// must address a registered client and no client may appear twice (a
+/// client trains at most once per round, and a duplicated slot used to
+/// leave the engine's result vector with a hole — and a panic).
+///
+/// Runs in O(`n_clients` + `picked`) with a one-bit-per-client seen map.
+///
+/// # Errors
+///
+/// Returns [`FlError::InvalidSelection`] naming the offending index.
+pub fn validate_picks(picked: &[usize], n_clients: usize) -> Result<()> {
+    let mut seen = vec![false; n_clients];
+    for &p in picked {
+        if p >= n_clients {
+            return Err(FlError::InvalidSelection {
+                reason: format!("picked index {p} out of range for {n_clients} clients"),
+            });
+        }
+        if seen[p] {
+            return Err(FlError::InvalidSelection {
+                reason: format!("client {p} picked twice in one round"),
+            });
+        }
+        seen[p] = true;
+    }
+    Ok(())
 }
 
 /// Samples up to `k` eligible client indices uniformly without
@@ -194,6 +223,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let all = sample_eligible(&outcomes, 10, &mut rng);
         assert_eq!(all, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn validate_picks_accepts_legal_schedules() {
+        validate_picks(&[], 4).unwrap();
+        validate_picks(&[2], 4).unwrap();
+        validate_picks(&[3, 0, 2, 1], 4).unwrap();
+    }
+
+    #[test]
+    fn validate_picks_rejects_duplicates_and_out_of_range() {
+        let dup = validate_picks(&[1, 3, 1], 4).unwrap_err();
+        assert!(matches!(dup, FlError::InvalidSelection { .. }), "{dup}");
+        assert!(dup.to_string().contains("picked twice"));
+        let oor = validate_picks(&[0, 4], 4).unwrap_err();
+        assert!(matches!(oor, FlError::InvalidSelection { .. }), "{oor}");
+        assert!(oor.to_string().contains("out of range"));
     }
 
     #[test]

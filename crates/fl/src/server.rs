@@ -81,11 +81,43 @@ impl FlServer {
     /// Returns [`FlError::NoEligibleClients`] when nobody passes.
     pub fn select(&mut self, clients: &mut [crate::transport::RemoteClient]) -> Result<Vec<usize>> {
         let outcomes = screen_clients(clients, self.expected_measurement, &mut self.rng);
-        let picked = sample_eligible(&outcomes, self.plan.clients_per_round, &mut self.rng);
+        self.sample_from(&outcomes)
+    }
+
+    /// The sampling tail both selection paths share — keeping it single
+    /// is part of the flat/sharded bit-identity guarantee.
+    fn sample_from(&mut self, outcomes: &[ScreeningOutcome]) -> Result<Vec<usize>> {
+        let picked = sample_eligible(outcomes, self.plan.clients_per_round, &mut self.rng);
         if picked.is_empty() {
             return Err(FlError::NoEligibleClients { round: self.round });
         }
         Ok(picked)
+    }
+
+    /// Screens and samples a *sharded* fleet (Figure 2-➊ at fleet scale).
+    ///
+    /// Shards are walked in order, so with the contiguous
+    /// [`ShardLayout`](crate::config::ShardLayout) the server's RNG
+    /// consumes nonces in exactly the global client order — the returned
+    /// pick set (global indices, sorted) is bit-identical to
+    /// [`select`](Self::select) over the flattened fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::NoEligibleClients`] when nobody passes.
+    pub fn select_sharded(
+        &mut self,
+        shards: &mut [Vec<crate::transport::RemoteClient>],
+    ) -> Result<Vec<usize>> {
+        let mut outcomes = Vec::with_capacity(shards.iter().map(Vec::len).sum());
+        for shard in shards.iter_mut() {
+            outcomes.extend(screen_clients(
+                shard,
+                self.expected_measurement,
+                &mut self.rng,
+            ));
+        }
+        self.sample_from(&outcomes)
     }
 
     /// Screens all clients, returning the per-client verdicts (used by
@@ -118,10 +150,20 @@ impl FlServer {
     /// Propagates aggregation failures (empty set, mismatches).
     pub fn aggregate(&mut self, updates: &[UpdateUpload]) -> Result<()> {
         let next = fedavg(updates)?;
+        self.commit(next);
+        Ok(())
+    }
+
+    /// Installs an already-aggregated global model — the commit half of
+    /// [`aggregate`](Self::aggregate), used by the sharded runner after
+    /// merging per-shard [`PartialAggregate`]s — records the snapshot and
+    /// advances the round counter.
+    ///
+    /// [`PartialAggregate`]: crate::aggregate::PartialAggregate
+    pub fn commit(&mut self, next: ModelWeights) {
         self.global = next.clone();
         self.history.push(next);
         self.round += 1;
-        Ok(())
     }
 }
 
@@ -183,6 +225,36 @@ mod tests {
         ]);
         let picked = server.select(&mut clients).unwrap();
         assert_eq!(picked, vec![0, 3]);
+    }
+
+    #[test]
+    fn sharded_selection_matches_flat_selection() {
+        let model = zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap();
+        let devices = || {
+            vec![
+                DeviceProfile::trustzone(0),
+                DeviceProfile::legacy(1),
+                DeviceProfile::trustzone(2),
+                DeviceProfile::trustzone(3),
+                DeviceProfile::compromised(4),
+            ]
+        };
+        let mut flat_server = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+        let mut flat = make_clients(devices());
+        let flat_picked = flat_server.select(&mut flat).unwrap();
+        // The same fleet cut into contiguous shards consumes the same RNG
+        // stream and picks the same global indices.
+        for cuts in [vec![2usize, 3], vec![1, 1, 3], vec![5]] {
+            let mut server = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+            let mut clients = make_clients(devices());
+            let mut shards: Vec<Vec<RemoteClient>> = Vec::new();
+            for n in cuts {
+                let rest = clients.split_off(n);
+                shards.push(std::mem::replace(&mut clients, rest));
+            }
+            let picked = server.select_sharded(&mut shards).unwrap();
+            assert_eq!(picked, flat_picked);
+        }
     }
 
     #[test]
