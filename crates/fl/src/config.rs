@@ -125,6 +125,25 @@ impl ShardLayout {
         self.offsets[s]..self.offsets[s + 1]
     }
 
+    /// The shard owning global client `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client >= num_clients()`.
+    pub fn shard_of(&self, client: usize) -> usize {
+        assert!(
+            client < self.num_clients(),
+            "client {client} out of range for {} clients",
+            self.num_clients()
+        );
+        // Picks arrive sorted, so a linear bucket walk would do; binary
+        // search keeps this robust to arbitrary order too.
+        match self.offsets.binary_search(&client) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
     /// Splits a sorted global pick set into per-shard *local* pick lists,
     /// index-aligned with the shards.
     ///
@@ -139,17 +158,7 @@ impl ShardLayout {
     pub fn split_picks(&self, picked: &[usize]) -> Vec<Vec<usize>> {
         let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.num_shards()];
         for &p in picked {
-            assert!(
-                p < self.num_clients(),
-                "pick {p} out of range for {} clients",
-                self.num_clients()
-            );
-            // Picks are sorted, so a linear bucket walk would do; binary
-            // search keeps this robust to arbitrary order too.
-            let s = match self.offsets.binary_search(&p) {
-                Ok(i) => i,
-                Err(i) => i - 1,
-            };
+            let s = self.shard_of(p);
             per_shard[s].push(p - self.offsets[s]);
         }
         per_shard

@@ -11,47 +11,137 @@
 //! * endpoints are dealt round-robin onto `workers` scoped threads
 //!   (the crossbeam idiom the tensor kernels already use), each worker
 //!   owning its shard of endpoints for the round,
-//! * each [`UpdateUpload`] lands in a slot keyed by the client's position
-//!   in the round's selection, so aggregation order never depends on
-//!   timing,
+//! * each exchange lands a [`ClientOutcome`] in a slot keyed by the
+//!   client's position in the round's selection, so aggregation order
+//!   never depends on timing,
 //! * the TEE accounting that arrives *on the wire* with every upload is
 //!   recorded into a [`SharedLedger`] as workers finish and merged into an
 //!   id-sorted [`RoundLedger`], so the world-switch/crypto bill stays
 //!   correct under concurrency — and complete even when clients live in
-//!   other processes.
+//!   other processes. A client that fails still gets a ledger entry (an
+//!   [`unbilled`](ClientCycleCost::unbilled) zero-cost one), so the round
+//!   ledger accounts every selected client, success or not, and a failure
+//!   can never leak cost into another client's slot.
 //!
 //! Failure containment: a schedule with duplicate or out-of-range indices
 //! is rejected up front ([`FlError::InvalidSelection`]) instead of
 //! panicking, and a panic inside one client's exchange — a buggy trainer,
 //! a poisoned endpoint — is caught on the worker and surfaced as that
-//! client's [`FlError::ClientFailure`] outcome. One bad client in a
-//! 10⁴-client round can therefore no longer kill the *process* (the old
-//! `join().expect` path aborted everything); the round's fate stays a
-//! policy decision of the runner, which today reports the earliest
-//! failure after every other client's outcome has been collected.
+//! client's [`ClientOutcome::Failed`]. One bad client in a 10⁴-client
+//! round can therefore no longer kill the *process*; the round's fate
+//! stays a policy decision of the runner.
+//!
+//! Fault injection: [`execute_cycles_with`](ExecutionEngine::execute_cycles_with)
+//! threads an optional [`FaultPlan`] through the exchange path. The plan
+//! contributes each client's simulated network latency for the round, and
+//! when a round deadline is configured, a client whose simulated elapsed
+//! time (latency + cycle compute on the simulated clock) overruns it comes
+//! back as [`ClientOutcome::Straggler`] — its cost still billed to the
+//! ledger, its update excluded from aggregation — instead of blocking the
+//! round. All fault decisions are pure functions of
+//! `(fault seed, client, round)`, so they are identical on every worker,
+//! shard and transport.
 //!
 //! [`ExecutionEngine::execute_shards`] lifts the same machinery one level
 //! up for sharded fleets: disjoint client shards run concurrently, each
 //! with its own worker pool and its own [`RoundLedger`], and the per-shard
 //! results come back in shard order for the global merge.
 //!
-//! With identical seeds, a 1-worker and an N-worker engine — over the
-//! in-process or the TCP transport, sharded or flat — produce bit-identical
-//! round reports and final weights (see `tests/integration_engine.rs` and
-//! `tests/integration_sharding.rs` at the workspace root).
+//! With identical seeds — training *and* fault seeds — a 1-worker and an
+//! N-worker engine, over the in-process or the TCP transport, sharded or
+//! flat, produce bit-identical round reports and final weights (see
+//! `tests/integration_engine.rs`, `tests/integration_sharding.rs` and
+//! `tests/integration_faults.rs` at the workspace root).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use gradsec_tee::cost::{RoundLedger, SharedLedger};
+use gradsec_tee::cost::{ClientCycleCost, RoundLedger, SharedLedger};
 
+use crate::faults::FaultPlan;
 use crate::message::{ModelDownload, UpdateUpload};
 use crate::selection::validate_picks;
 use crate::transport::RemoteClient;
 use crate::{FlError, Result};
 
+/// How one selected client's exchange ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientOutcome {
+    /// The client trained and its update arrived within any deadline.
+    Completed(UpdateUpload),
+    /// The client trained, but its simulated elapsed time (injected
+    /// latency + cycle compute) overran the round deadline; its cost is
+    /// billed to the ledger but its update is excluded from aggregation.
+    Straggler {
+        /// The straggling client.
+        client: u64,
+        /// Simulated seconds from download to (late) upload.
+        elapsed_s: f64,
+    },
+    /// The exchange failed: a transport fault, a client-side error
+    /// report, or a panic caught on the worker.
+    Failed {
+        /// The failing client.
+        client: u64,
+        /// What went wrong.
+        error: FlError,
+    },
+}
+
+impl ClientOutcome {
+    /// The client the outcome belongs to.
+    pub fn client_id(&self) -> u64 {
+        match self {
+            ClientOutcome::Completed(u) => u.client_id,
+            ClientOutcome::Straggler { client, .. } | ClientOutcome::Failed { client, .. } => {
+                *client
+            }
+        }
+    }
+
+    /// The update, for completed outcomes.
+    pub fn update(&self) -> Option<&UpdateUpload> {
+        match self {
+            ClientOutcome::Completed(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its update, for completed outcomes.
+    pub fn into_update(self) -> Option<UpdateUpload> {
+        match self {
+            ClientOutcome::Completed(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The failure, for failed outcomes.
+    pub fn error(&self) -> Option<&FlError> {
+        match self {
+            ClientOutcome::Failed { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`ClientOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ClientOutcome::Completed(_))
+    }
+
+    /// `true` for [`ClientOutcome::Straggler`].
+    pub fn is_straggler(&self) -> bool {
+        matches!(self, ClientOutcome::Straggler { .. })
+    }
+
+    /// `true` for [`ClientOutcome::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, ClientOutcome::Failed { .. })
+    }
+}
+
 /// Per-client outcomes of one engine run, in `picked` order, plus the
-/// merged TEE ledger of the successful exchanges.
-pub type CycleOutcomes = (Vec<Result<UpdateUpload>>, RoundLedger);
+/// round's merged TEE ledger (one entry per picked client — zero-cost
+/// entries for failures).
+pub type CycleOutcomes = (Vec<ClientOutcome>, RoundLedger);
 
 /// A round-execution strategy: how many workers drive client exchanges
 /// concurrently within one FL cycle.
@@ -85,32 +175,56 @@ impl ExecutionEngine {
     }
 
     /// Drives the cycles of the clients listed in `picked` (indices into
-    /// `clients`) against `download`, returning per-client outcomes in
-    /// `picked` order plus the round's merged TEE ledger.
-    ///
-    /// A failing client (transport error, failed cycle, or a panic inside
-    /// its exchange) yields an `Err` in its slot; the other clients'
-    /// outcomes are unaffected.
+    /// `clients`) against `download` with no fault plan — see
+    /// [`execute_cycles_with`](Self::execute_cycles_with).
     ///
     /// # Errors
     ///
     /// Returns [`FlError::InvalidSelection`] when `picked` contains a
-    /// duplicate or out-of-range index — per-client failures are *not*
-    /// round errors and live in the returned slots instead.
+    /// duplicate or out-of-range index.
     pub fn execute_cycles(
         &self,
         clients: &mut [RemoteClient],
         picked: &[usize],
         download: &ModelDownload,
     ) -> Result<CycleOutcomes> {
+        self.execute_cycles_with(clients, picked, download, None)
+    }
+
+    /// Drives the cycles of the clients listed in `picked` (indices into
+    /// `clients`) against `download`, returning per-client outcomes in
+    /// `picked` order plus the round's merged TEE ledger.
+    ///
+    /// A failing client (transport error, failed cycle, or a panic inside
+    /// its exchange) yields a [`ClientOutcome::Failed`] in its slot; the
+    /// other clients' outcomes are unaffected. With a fault plan and a
+    /// round deadline, clients whose simulated elapsed time overruns the
+    /// deadline yield [`ClientOutcome::Straggler`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidSelection`] when `picked` contains a
+    /// duplicate or out-of-range index — per-client failures are *not*
+    /// round errors and live in the returned slots instead.
+    pub fn execute_cycles_with(
+        &self,
+        clients: &mut [RemoteClient],
+        picked: &[usize],
+        download: &ModelDownload,
+        faults: Option<&FaultPlan>,
+    ) -> Result<CycleOutcomes> {
         validate_picks(picked, clients.len())?;
         let picked_ids: Vec<u64> = picked.iter().map(|&ci| clients[ci].id()).collect();
         let ledger = SharedLedger::new();
-        let mut slots: Vec<Option<Result<UpdateUpload>>> =
-            (0..picked.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<ClientOutcome>> = (0..picked.len()).map(|_| None).collect();
         if self.workers <= 1 || picked.len() <= 1 {
             for (slot, &ci) in picked.iter().enumerate() {
-                slots[slot] = Some(exchange_and_record(&mut clients[ci], download, &ledger));
+                slots[slot] = Some(exchange_outcome(
+                    &mut clients[ci],
+                    download,
+                    &ledger,
+                    faults,
+                ));
             }
         } else {
             // Deal the selected clients round-robin into one shard per
@@ -150,7 +264,7 @@ impl ExecutionEngine {
                             shard
                                 .iter_mut()
                                 .map(|(slot, client)| {
-                                    (*slot, exchange_and_record(client, download, ledger))
+                                    (*slot, exchange_outcome(client, download, ledger, faults))
                                 })
                                 .collect::<Vec<_>>()
                         })
@@ -176,10 +290,14 @@ impl ExecutionEngine {
                     // fail individually rather than killing the round.
                     Err(_) => {
                         for &slot in &assignments[worker] {
-                            slots[slot] = Some(Err(FlError::ClientFailure {
+                            ledger.record(ClientCycleCost::unbilled(picked_ids[slot]));
+                            slots[slot] = Some(ClientOutcome::Failed {
                                 client: picked_ids[slot],
-                                reason: "engine worker panicked".to_owned(),
-                            }));
+                                error: FlError::ClientFailure {
+                                    client: picked_ids[slot],
+                                    reason: "engine worker panicked".to_owned(),
+                                },
+                            });
                         }
                     }
                 }
@@ -190,28 +308,22 @@ impl ExecutionEngine {
             .enumerate()
             .map(|(slot, s)| {
                 s.unwrap_or_else(|| {
-                    Err(FlError::ClientFailure {
+                    ledger.record(ClientCycleCost::unbilled(picked_ids[slot]));
+                    ClientOutcome::Failed {
                         client: picked_ids[slot],
-                        reason: "engine lost the client's outcome".to_owned(),
-                    })
+                        error: FlError::ClientFailure {
+                            client: picked_ids[slot],
+                            reason: "engine lost the client's outcome".to_owned(),
+                        },
+                    }
                 })
             })
             .collect();
         Ok((results, ledger.into_round_ledger()))
     }
 
-    /// Runs several disjoint client shards concurrently — each shard's
-    /// picked clients on this engine's own worker pool — returning the
-    /// per-shard outcomes and per-shard ledgers in shard order.
-    ///
-    /// `shards` pairs each shard's clients with its *shard-local* pick
-    /// indices. Because every shard's execution is independently
-    /// deterministic and results stay keyed by shard + slot, the
-    /// concatenated outcome is bit-identical to running the shards one
-    /// after another — which is how [`ShardedFederation`] reproduces an
-    /// unsharded round exactly.
-    ///
-    /// [`ShardedFederation`]: crate::runner::ShardedFederation
+    /// Runs several disjoint client shards concurrently with no fault
+    /// plan — see [`execute_shards_with`](Self::execute_shards_with).
     ///
     /// # Errors
     ///
@@ -222,20 +334,48 @@ impl ExecutionEngine {
         shards: Vec<(&mut [RemoteClient], Vec<usize>)>,
         download: &ModelDownload,
     ) -> Result<Vec<CycleOutcomes>> {
+        self.execute_shards_with(shards, download, None)
+    }
+
+    /// Runs several disjoint client shards concurrently — each shard's
+    /// picked clients on this engine's own worker pool — returning the
+    /// per-shard outcomes and per-shard ledgers in shard order.
+    ///
+    /// `shards` pairs each shard's clients with its *shard-local* pick
+    /// indices. Because every shard's execution is independently
+    /// deterministic (fault decisions included) and results stay keyed by
+    /// shard + slot, the concatenated outcome is bit-identical to running
+    /// the shards one after another — which is how [`ShardedFederation`]
+    /// reproduces an unsharded round exactly.
+    ///
+    /// [`ShardedFederation`]: crate::runner::ShardedFederation
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidSelection`] when any shard's picks are
+    /// duplicated or out of range (checked before anything runs).
+    pub fn execute_shards_with(
+        &self,
+        shards: Vec<(&mut [RemoteClient], Vec<usize>)>,
+        download: &ModelDownload,
+        faults: Option<&FaultPlan>,
+    ) -> Result<Vec<CycleOutcomes>> {
         for (clients, picked) in &shards {
             validate_picks(picked, clients.len())?;
         }
         if shards.len() <= 1 {
             return shards
                 .into_iter()
-                .map(|(clients, picked)| self.execute_cycles(clients, &picked, download))
+                .map(|(clients, picked)| {
+                    self.execute_cycles_with(clients, &picked, download, faults)
+                })
                 .collect();
         }
         crossbeam::thread::scope(|s| {
             let handles: Vec<_> = shards
                 .into_iter()
                 .map(|(clients, picked)| {
-                    s.spawn(move |_| self.execute_cycles(clients, &picked, download))
+                    s.spawn(move |_| self.execute_cycles_with(clients, &picked, download, faults))
                 })
                 .collect();
             handles
@@ -259,16 +399,21 @@ impl Default for ExecutionEngine {
     }
 }
 
-/// Drives one client exchange and, on success, records the TEE accounting
-/// the upload carried across the transport. A panic inside the exchange
-/// (trainer bug, poisoned endpoint state) is caught and converted into
-/// that client's [`FlError::ClientFailure`] so it cannot take the worker
-/// — and with it the whole round — down.
-fn exchange_and_record(
+/// Drives one client exchange and classifies the result. On success the
+/// TEE accounting the upload carried across the transport is recorded and
+/// the simulated elapsed time (injected latency + cycle compute) is
+/// checked against any round deadline; overruns come back as stragglers
+/// with their cost still billed. A panic inside the exchange (trainer
+/// bug, poisoned endpoint state) is caught and converted into that
+/// client's [`ClientOutcome::Failed`] so it cannot take the worker — and
+/// with it the whole round — down; failures are billed as zero-cost
+/// ledger entries so the round accounts every selected client.
+fn exchange_outcome(
     client: &mut RemoteClient,
     download: &ModelDownload,
     ledger: &SharedLedger,
-) -> Result<UpdateUpload> {
+    faults: Option<&FaultPlan>,
+) -> ClientOutcome {
     let id = client.id();
     let result =
         catch_unwind(AssertUnwindSafe(|| client.train(download))).unwrap_or_else(|payload| {
@@ -280,10 +425,30 @@ fn exchange_and_record(
                 ),
             })
         });
-    if let Ok(upload) = &result {
-        ledger.record(upload.cost);
+    match result {
+        Ok(upload) => {
+            ledger.record(upload.cost);
+            // Draw the latency only when a deadline can consume it: the
+            // draw is deterministic either way, but a 10⁴-client round
+            // should not pay a per-exchange RNG for a discarded value.
+            if let Some(plan) = faults {
+                if let Some(deadline) = plan.round_deadline_s() {
+                    let elapsed_s = plan.latency_s(id, download.round) + upload.cost.time.total_s();
+                    if elapsed_s > deadline {
+                        return ClientOutcome::Straggler {
+                            client: id,
+                            elapsed_s,
+                        };
+                    }
+                }
+            }
+            ClientOutcome::Completed(upload)
+        }
+        Err(error) => {
+            ledger.record(ClientCycleCost::unbilled(id));
+            ClientOutcome::Failed { client: id, error }
+        }
     }
-    result
 }
 
 /// Best-effort rendering of a panic payload (the two forms `panic!`
@@ -303,6 +468,7 @@ mod tests {
     use super::*;
     use crate::client::{DeviceProfile, FlClient};
     use crate::config::TrainingPlan;
+    use crate::faults::LatencyModel;
     use crate::trainer::{CycleStats, LocalTrainer, PlainSgdTrainer};
     use crate::transport::inprocess::LocalEndpoint;
     use gradsec_data::{Dataset, SyntheticCifar100};
@@ -335,6 +501,33 @@ mod tests {
         }
     }
 
+    /// A plain trainer that also stamps nonzero simulated cost, so these
+    /// tests can tell a real bill from a zero-cost failure entry (the
+    /// plain baseline itself bills nothing).
+    struct BilledTrainer;
+
+    impl LocalTrainer for BilledTrainer {
+        fn train_cycle(
+            &mut self,
+            model: &mut Sequential,
+            dataset: &dyn Dataset,
+            batches: &[Vec<usize>],
+            learning_rate: f32,
+            protected_layers: &[usize],
+        ) -> Result<CycleStats> {
+            let mut stats = PlainSgdTrainer.train_cycle(
+                model,
+                dataset,
+                batches,
+                learning_rate,
+                protected_layers,
+            )?;
+            stats.time.user_s = 1.5;
+            stats.crossings = 4;
+            Ok(stats)
+        }
+    }
+
     fn fleet(n: usize, panicking: &[usize]) -> Vec<RemoteClient> {
         let ds = Arc::new(SyntheticCifar100::with_classes(4 * n, 2, 1));
         let shards = gradsec_data::split::shard(4 * n, n, 1);
@@ -344,7 +537,7 @@ mod tests {
                 let trainer: Box<dyn LocalTrainer> = if panicking.contains(&i) {
                     Box::new(PanickingTrainer)
                 } else {
-                    Box::new(PlainSgdTrainer)
+                    Box::new(BilledTrainer)
                 };
                 let client = FlClient::new(
                     i as u64,
@@ -413,17 +606,64 @@ mod tests {
                 .execute_cycles(&mut clients, &[0, 2, 3], &download())
                 .unwrap();
             assert_eq!(results.len(), 3);
-            assert!(results[0].is_ok(), "{workers} workers: client 0");
-            assert!(results[2].is_ok(), "{workers} workers: client 3");
+            assert!(results[0].is_completed(), "{workers} workers: client 0");
+            assert!(results[2].is_completed(), "{workers} workers: client 3");
             match &results[1] {
-                Err(FlError::ClientFailure { client: 2, reason }) => {
+                ClientOutcome::Failed {
+                    client: 2,
+                    error: FlError::ClientFailure { client: 2, reason },
+                } => {
                     assert!(reason.contains("panicked"), "{reason}");
                 }
-                other => panic!("expected client 2's panic as ClientFailure, got {other:?}"),
+                other => panic!("expected client 2's panic as Failed, got {other:?}"),
             }
-            // Only the two successful clients are billed.
-            assert_eq!(ledger.len(), 2);
+            // Every picked client is accounted: the failed one with a
+            // zero-cost entry, the successes with their real bills.
+            assert_eq!(ledger.len(), 3);
+            let failed = ledger.client(2).expect("failed client is in the ledger");
+            assert_eq!(failed.crossings, 0);
+            assert_eq!(failed.time.total_s(), 0.0);
+            for id in [0u64, 3] {
+                assert!(ledger.client(id).expect("billed").time.total_s() > 0.0);
+            }
         }
+    }
+
+    #[test]
+    fn deadline_turns_slow_clients_into_stragglers() {
+        let plan = FaultPlan::seeded(5)
+            .client_latency(1, LatencyModel::Fixed(100.0))
+            .deadline_s(50.0);
+        for workers in [1usize, 3] {
+            let mut clients = fleet(3, &[]);
+            let (results, ledger) = ExecutionEngine::new(workers)
+                .execute_cycles_with(&mut clients, &[0, 1, 2], &download(), Some(&plan))
+                .unwrap();
+            assert!(results[0].is_completed());
+            assert!(results[2].is_completed());
+            match &results[1] {
+                ClientOutcome::Straggler {
+                    client: 1,
+                    elapsed_s,
+                } => {
+                    assert!(*elapsed_s > 50.0, "{elapsed_s}");
+                }
+                other => panic!("expected a straggler, got {other:?}"),
+            }
+            // The straggler's compute is still billed.
+            assert_eq!(ledger.len(), 3);
+            assert!(ledger.client(1).expect("billed").time.total_s() > 0.0);
+        }
+    }
+
+    #[test]
+    fn no_deadline_means_no_stragglers_whatever_the_latency() {
+        let plan = FaultPlan::seeded(5).latency(LatencyModel::Fixed(1e6));
+        let mut clients = fleet(2, &[]);
+        let (results, _) = ExecutionEngine::sequential()
+            .execute_cycles_with(&mut clients, &[0, 1], &download(), Some(&plan))
+            .unwrap();
+        assert!(results.iter().all(ClientOutcome::is_completed));
     }
 
     #[test]
@@ -451,5 +691,27 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0], want_a);
         assert_eq!(got[1], want_b);
+    }
+
+    #[test]
+    fn outcome_accessors_are_coherent() {
+        let failed = ClientOutcome::Failed {
+            client: 4,
+            error: FlError::ClientFailure {
+                client: 4,
+                reason: "x".into(),
+            },
+        };
+        assert_eq!(failed.client_id(), 4);
+        assert!(failed.error().is_some());
+        assert!(failed.update().is_none());
+        assert!(!failed.is_completed() && failed.is_failed());
+        let straggler = ClientOutcome::Straggler {
+            client: 9,
+            elapsed_s: 2.0,
+        };
+        assert_eq!(straggler.client_id(), 9);
+        assert!(straggler.is_straggler());
+        assert!(straggler.clone().into_update().is_none());
     }
 }

@@ -24,6 +24,18 @@ pub enum FlError {
         /// Round index.
         round: u64,
     },
+    /// A fault-tolerant round committed nothing: every selected client
+    /// straggled past the deadline or failed. Distinct from
+    /// [`NoEligibleClients`](Self::NoEligibleClients) — selection *did*
+    /// find eligible clients; the fleet shed all of them.
+    RoundCollapsed {
+        /// Round index.
+        round: u64,
+        /// How many selected clients overran the round deadline.
+        stragglers: usize,
+        /// How many selected clients failed outright.
+        failures: usize,
+    },
     /// An aggregation input set was empty or inconsistent.
     BadAggregation {
         /// Human-readable reason.
@@ -91,6 +103,18 @@ impl PartialEq for FlError {
             (FlError::NoEligibleClients { round: a }, FlError::NoEligibleClients { round: b }) => {
                 a == b
             }
+            (
+                FlError::RoundCollapsed {
+                    round: ra,
+                    stragglers: sa,
+                    failures: fa,
+                },
+                FlError::RoundCollapsed {
+                    round: rb,
+                    stragglers: sb,
+                    failures: fb,
+                },
+            ) => ra == rb && sa == sb && fa == fb,
             (FlError::BadAggregation { reason: a }, FlError::BadAggregation { reason: b })
             | (FlError::BadConfig { reason: a }, FlError::BadConfig { reason: b })
             | (FlError::InvalidSelection { reason: a }, FlError::InvalidSelection { reason: b })
@@ -129,6 +153,17 @@ impl fmt::Display for FlError {
             FlError::NoEligibleClients { round } => {
                 write!(f, "no eligible clients for round {round}")
             }
+            FlError::RoundCollapsed {
+                round,
+                stragglers,
+                failures,
+            } => {
+                write!(
+                    f,
+                    "round {round} collapsed: no update committed \
+                     ({stragglers} stragglers, {failures} failures)"
+                )
+            }
             FlError::BadAggregation { reason } => write!(f, "bad aggregation: {reason}"),
             FlError::BadConfig { reason } => write!(f, "bad config: {reason}"),
             FlError::InvalidSelection { reason } => write!(f, "invalid selection: {reason}"),
@@ -152,6 +187,7 @@ impl std::error::Error for FlError {
             // The remaining variants originate here: there is no deeper
             // cause to chain to.
             FlError::NoEligibleClients { .. }
+            | FlError::RoundCollapsed { .. }
             | FlError::BadAggregation { .. }
             | FlError::BadConfig { .. }
             | FlError::InvalidSelection { .. }
@@ -228,6 +264,11 @@ mod tests {
     fn non_source_variants_report_none() {
         for e in [
             FlError::NoEligibleClients { round: 1 },
+            FlError::RoundCollapsed {
+                round: 2,
+                stragglers: 3,
+                failures: 0,
+            },
             FlError::BadConfig { reason: "r".into() },
             FlError::InvalidSelection { reason: "d".into() },
             FlError::Protocol { reason: "v".into() },

@@ -22,7 +22,10 @@
 //! Rounds run on a flat fleet ([`runner::Federation`]) or, for 10⁴+
 //! simulated clients, on a fleet partitioned across independent engine
 //! shards ([`runner::ShardedFederation`]) — same results bit-for-bit,
-//! scaled-out wall clock.
+//! scaled-out wall clock. Imperfect fleets — stragglers, dropouts,
+//! crashes, lossy links — are simulated by the seeded, deterministic
+//! [`faults`] layer, with over-provisioned selection keeping faulted
+//! rounds aggregating a full cohort.
 //!
 //! # Example
 //!
@@ -60,6 +63,7 @@ pub mod client;
 pub mod config;
 pub mod engine;
 mod error;
+pub mod faults;
 pub mod history;
 pub mod message;
 pub mod runner;
@@ -70,8 +74,9 @@ pub mod trainer;
 pub mod transport;
 
 pub use config::{ShardLayout, TransportKind};
-pub use engine::ExecutionEngine;
+pub use engine::{ClientOutcome, ExecutionEngine};
 pub use error::FlError;
+pub use faults::{FaultPlan, FaultyEndpoint, LatencyModel};
 pub use runner::ShardedFederation;
 pub use scheduler::ProtectionScheduler;
 pub use transport::{ClientEndpoint, RemoteClient, ServerEndpoint};

@@ -34,12 +34,13 @@ use gradsec_tee::crypto::sha256::sha256;
 use crate::aggregate::PartialAggregate;
 use crate::client::{DeviceProfile, FlClient};
 use crate::config::{ShardLayout, TrainingPlan, TransportKind};
-use crate::engine::ExecutionEngine;
+use crate::engine::{ClientOutcome, ExecutionEngine};
+use crate::faults::{FaultPlan, FaultyEndpoint};
 use crate::scheduler::{NoProtection, ProtectionScheduler};
 use crate::server::FlServer;
 use crate::trainer::{LocalTrainer, PlainSgdTrainer};
 use crate::transport::inprocess::LocalEndpoint;
-use crate::transport::{tcp, ClientSession, RemoteClient};
+use crate::transport::{tcp, ClientSession, RemoteClient, ServerEndpoint};
 use crate::{FlError, Result};
 
 /// Builds the prototype model whose replicas every client trains.
@@ -54,18 +55,35 @@ fn json_usize_list(xs: &[usize]) -> String {
 }
 
 /// Per-round outcome.
+///
+/// Under a fault plan, one round's selected cohort partitions into four
+/// disjoint groups: `participants` (committed into the aggregate),
+/// `surplus` (over-provisioned spares that completed but were not
+/// needed), `stragglers` (overran the round deadline on the simulated
+/// clock) and `failures` (unreachable, dropped, garbled or crashed
+/// exchanges). The `ledger` accounts *every* selected client — zero-cost
+/// entries for failures. Without faults the last three groups are empty
+/// and `participants` is the whole selection, exactly as before.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundReport {
     /// Round index (0-based).
     pub round: u64,
-    /// Indices of participating clients.
+    /// Indices of the clients whose updates were committed.
     pub participants: Vec<usize>,
-    /// Mean training loss across participants.
+    /// Over-provisioned clients that completed but were not needed (the
+    /// first `clients_per_round` survivors in canonical order win).
+    pub surplus: Vec<usize>,
+    /// Clients whose simulated elapsed time overran the round deadline.
+    pub stragglers: Vec<usize>,
+    /// Clients whose exchange failed this round.
+    pub failures: Vec<usize>,
+    /// Mean training loss across committed participants.
     pub mean_loss: f32,
     /// The protected layers used this round.
     pub protected_layers: Vec<usize>,
     /// Per-client TEE accounting merged over the round (id-sorted, so
-    /// identical whichever worker finished first).
+    /// identical whichever worker finished first) — one entry per
+    /// selected client, success or not.
     pub ledger: RoundLedger,
 }
 
@@ -75,9 +93,12 @@ impl RoundReport {
     /// per-round results.
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"round":{},"participants":{},"mean_loss":{},"protected_layers":{},"ledger":{}}}"#,
+            r#"{{"round":{},"participants":{},"surplus":{},"stragglers":{},"failures":{},"mean_loss":{},"protected_layers":{},"ledger":{}}}"#,
             self.round,
             json_usize_list(&self.participants),
+            json_usize_list(&self.surplus),
+            json_usize_list(&self.stragglers),
+            json_usize_list(&self.failures),
             gradsec_tee::cost::json_number(f64::from(self.mean_loss)),
             json_usize_list(&self.protected_layers),
             self.ledger.to_json(),
@@ -118,6 +139,7 @@ pub struct FederationBuilder {
     measurement: Measurement,
     transport: TransportKind,
     shards: usize,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl FederationBuilder {
@@ -133,6 +155,7 @@ impl FederationBuilder {
             measurement: Measurement(sha256(b"gradsec-ta-code-v1")),
             transport: TransportKind::InProcess,
             shards: 1,
+            faults: None,
         }
     }
 
@@ -204,6 +227,19 @@ impl FederationBuilder {
         self
     }
 
+    /// Installs a deterministic fault plan: every client endpoint is
+    /// wrapped in a [`FaultyEndpoint`] injecting the plan's transport
+    /// faults, selection over-provisions by the plan's spare count, and
+    /// rounds become fault-*tolerant* — failed and straggling clients are
+    /// recorded in the round report (and billed to its ledger) instead of
+    /// failing the round, as long as at least one update commits. Under
+    /// the same plan seed a faulted run is bit-identical for any
+    /// `(shards, workers, transport)` combination.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
     /// Partitions the fleet into `shards` contiguous engine shards
     /// (clamped to the client count; defaults to 1). Build the result
     /// with [`build_sharded`](Self::build_sharded) — sharding changes
@@ -240,6 +276,7 @@ impl FederationBuilder {
             scheduler: fleet.scheduler,
             engine: fleet.engine,
             sessions: fleet.sessions,
+            faults: fleet.faults,
         })
     }
 
@@ -269,6 +306,7 @@ impl FederationBuilder {
             scheduler: fleet.scheduler,
             engine: fleet.engine,
             sessions: fleet.sessions,
+            faults: fleet.faults,
         })
     }
 
@@ -285,6 +323,9 @@ impl FederationBuilder {
             });
         }
         self.plan.validate()?;
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+        }
         let shards = split::shard(dataset.len(), self.devices.len(), self.plan.seed);
         // One factory invocation builds the prototype; every client gets a
         // replica (identical weights, fresh caches) — the same mechanism
@@ -306,14 +347,18 @@ impl FederationBuilder {
                 )
             })
             .collect();
-        let server = FlServer::new(self.plan, prototype.weights(), self.measurement)?;
-        let (clients, sessions) = wire_fleet(fleet, self.transport)?;
+        let mut server = FlServer::new(self.plan, prototype.weights(), self.measurement)?;
+        if let Some(plan) = &self.faults {
+            server.overprovision(plan.spare_count());
+        }
+        let (clients, sessions) = wire_fleet(fleet, self.transport, self.faults.as_ref())?;
         Ok(AssembledFleet {
             server,
             clients,
             sessions,
             scheduler: self.scheduler,
             engine: self.engine,
+            faults: self.faults,
         })
     }
 }
@@ -326,6 +371,7 @@ struct AssembledFleet {
     sessions: SessionHandles,
     scheduler: Arc<dyn ProtectionScheduler>,
     engine: ExecutionEngine,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Client service threads spawned by socket-backed transports; each
@@ -333,16 +379,26 @@ struct AssembledFleet {
 type SessionHandles = Vec<JoinHandle<Result<FlClient>>>;
 
 /// Wires a built fleet onto `transport`, returning the handshaken
-/// endpoints (id-ordered) plus any client service threads spawned.
+/// endpoints (id-ordered) plus any client service threads spawned. With
+/// a fault plan, every endpoint — whatever the backend — is wrapped in a
+/// [`FaultyEndpoint`] before the handshake, so transport faults inject
+/// identically over in-process pipes and real sockets.
 fn wire_fleet(
     fleet: Vec<FlClient>,
     transport: TransportKind,
+    faults: Option<&Arc<FaultPlan>>,
 ) -> Result<(Vec<RemoteClient>, SessionHandles)> {
+    let wrap = move |endpoint: Box<dyn ServerEndpoint>| -> Box<dyn ServerEndpoint> {
+        match faults {
+            Some(plan) => Box::new(FaultyEndpoint::new(endpoint, plan.clone())),
+            None => endpoint,
+        }
+    };
     match transport {
         TransportKind::InProcess => {
             let remotes = fleet
                 .into_iter()
-                .map(|c| RemoteClient::connect(Box::new(LocalEndpoint::new(c))))
+                .map(|c| RemoteClient::connect(wrap(Box::new(LocalEndpoint::new(c)))))
                 .collect::<Result<Vec<_>>>()?;
             Ok((remotes, Vec::new()))
         }
@@ -367,7 +423,9 @@ fn wire_fleet(
             let mut remotes = Vec::with_capacity(n);
             while remotes.len() < n {
                 match listener.try_accept()? {
-                    Some(endpoint) => remotes.push(RemoteClient::connect(Box::new(endpoint))?),
+                    Some(endpoint) => {
+                        remotes.push(RemoteClient::connect(wrap(Box::new(endpoint)))?)
+                    }
                     None => {
                         if let Some(dead) = sessions.iter().position(JoinHandle::is_finished) {
                             let outcome = sessions.remove(dead).join();
@@ -403,6 +461,7 @@ pub struct Federation {
     scheduler: Arc<dyn ProtectionScheduler>,
     engine: ExecutionEngine,
     sessions: SessionHandles,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for Federation {
@@ -461,9 +520,11 @@ impl Federation {
     ///
     /// # Errors
     ///
-    /// Propagates selection, training and aggregation failures. When
-    /// several clients fail in one round, the error of the earliest
-    /// client in selection order is returned.
+    /// Propagates selection, training and aggregation failures. Without a
+    /// fault plan, when several clients fail in one round the error of the
+    /// earliest client in selection order is returned; with one, failures
+    /// and stragglers are tolerated and recorded on the report as long as
+    /// at least one update commits.
     pub fn run_round_with(&mut self, engine: &ExecutionEngine) -> Result<RoundReport> {
         let round = self.server.round();
         let picked = self.server.select(&mut self.clients)?;
@@ -475,20 +536,21 @@ impl Federation {
         let mut protected = self.scheduler.layers_for_round(round);
         protected.retain(|&l| l < n_layers);
         let download = self.server.download(protected.clone());
-        let (results, ledger) = engine.execute_cycles(&mut self.clients, &picked, &download)?;
-        let mut agg = PartialAggregate::new();
-        for (slot, result) in results.into_iter().enumerate() {
-            agg.push(slot, result?);
-        }
-        let outcome = agg.finish()?;
-        self.server.commit(outcome.weights);
-        Ok(RoundReport {
+        let (outcomes, ledger) = engine.execute_cycles_with(
+            &mut self.clients,
+            &picked,
+            &download,
+            self.faults.as_deref(),
+        )?;
+        finish_round(
+            &mut self.server,
             round,
-            participants: picked,
-            mean_loss: outcome.mean_loss,
-            protected_layers: protected,
+            picked,
+            outcomes,
             ledger,
-        })
+            protected,
+            self.faults.is_some(),
+        )
     }
 
     /// Runs the full plan with the builder-configured engine.
@@ -528,9 +590,7 @@ impl Federation {
     }
 
     fn teardown(&mut self) -> Result<()> {
-        let outcome = teardown_fleet(self.clients.iter_mut(), &mut self.sessions);
-        self.clients.clear();
-        outcome
+        teardown_fleet(std::mem::take(&mut self.clients), &mut self.sessions)
     }
 }
 
@@ -540,18 +600,95 @@ impl Drop for Federation {
     }
 }
 
-/// Says goodbye over every endpoint and joins any client service threads,
-/// returning the first failure encountered (both runners tear down this
-/// way).
-fn teardown_fleet<'a>(
-    clients: impl Iterator<Item = &'a mut RemoteClient>,
-    sessions: &mut SessionHandles,
-) -> Result<()> {
+/// Commits one executed round: walks the outcomes in canonical
+/// (selection) order, aggregates the first `clients_per_round` completed
+/// updates, classifies the rest into surplus/straggler/failure groups and
+/// installs the new global model. Both runners bottom out here — sharing
+/// the commit path is part of the flat/sharded bit-identity guarantee.
+///
+/// Without fault tolerance (`tolerate == false`, no fault plan
+/// configured) any failed outcome fails the round with the earliest
+/// failure in selection order — the strict contract healthy fleets always
+/// had. With tolerance, failures and stragglers are merely recorded, and
+/// the round only errors when *no* update committed.
+fn finish_round(
+    server: &mut FlServer,
+    round: u64,
+    picked: Vec<usize>,
+    outcomes: Vec<ClientOutcome>,
+    ledger: RoundLedger,
+    protected: Vec<usize>,
+    tolerate: bool,
+) -> Result<RoundReport> {
+    let k = server.plan().clients_per_round;
+    let mut agg = PartialAggregate::new();
+    let mut participants = Vec::new();
+    let mut surplus = Vec::new();
+    let mut stragglers = Vec::new();
+    let mut failures = Vec::new();
+    let mut first_err: Option<FlError> = None;
+    for (slot, (outcome, &ci)) in outcomes.into_iter().zip(picked.iter()).enumerate() {
+        match outcome {
+            ClientOutcome::Completed(upload) => {
+                if participants.len() < k {
+                    agg.push(slot, upload);
+                    participants.push(ci);
+                } else {
+                    surplus.push(ci);
+                }
+            }
+            ClientOutcome::Straggler { .. } => stragglers.push(ci),
+            ClientOutcome::Failed { error, .. } => {
+                failures.push(ci);
+                first_err.get_or_insert(error);
+            }
+        }
+    }
+    if !tolerate {
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+    }
+    if participants.is_empty() {
+        // Prefer the earliest concrete failure; a collapse with no
+        // failure at all means every survivor straggled — name that
+        // rather than misdiagnosing it as a selection problem.
+        return Err(first_err.unwrap_or(FlError::RoundCollapsed {
+            round,
+            stragglers: stragglers.len(),
+            failures: failures.len(),
+        }));
+    }
+    let outcome = agg.finish()?;
+    server.commit(outcome.weights);
+    Ok(RoundReport {
+        round,
+        participants,
+        surplus,
+        stragglers,
+        failures,
+        mean_loss: outcome.mean_loss,
+        protected_layers: protected,
+        ledger,
+    })
+}
+
+/// Says goodbye over every endpoint, *drops* every endpoint, then joins
+/// any client service threads, returning the first failure encountered
+/// (both runners tear down this way).
+///
+/// The order matters: dropping the server-side endpoints closes their
+/// sockets/channels before the joins below, so a session thread whose
+/// goodbye was lost (dead peer, injected fault, broken pipe) wakes from
+/// its blocking `recv` with a disconnect error and exits instead of
+/// hanging the join forever.
+fn teardown_fleet(clients: Vec<RemoteClient>, sessions: &mut SessionHandles) -> Result<()> {
     let mut first_err = None;
-    for client in clients {
+    for mut client in clients {
         if let Err(e) = client.goodbye() {
             first_err.get_or_insert(e);
         }
+        // `client` drops here, hanging up its transport.
     }
     for session in sessions.drain(..) {
         match session.join() {
@@ -592,6 +729,7 @@ pub struct ShardedFederation {
     scheduler: Arc<dyn ProtectionScheduler>,
     engine: ExecutionEngine,
     sessions: SessionHandles,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for ShardedFederation {
@@ -647,10 +785,10 @@ impl ShardedFederation {
     ///
     /// # Errors
     ///
-    /// Propagates selection, training and aggregation failures. When
-    /// several clients fail in one round, the error of the earliest
-    /// client in selection order is returned — the same contract the flat
-    /// runner keeps.
+    /// Propagates selection, training and aggregation failures under the
+    /// same tolerance contract as the flat runner: strict without a fault
+    /// plan (earliest failure in selection order fails the round),
+    /// fault-tolerant with one.
     pub fn run_round_with(&mut self, engine: &ExecutionEngine) -> Result<RoundReport> {
         let round = self.server.round();
         let picked = self.server.select_sharded(&mut self.shards)?;
@@ -665,30 +803,25 @@ impl ShardedFederation {
             .map(Vec::as_mut_slice)
             .zip(local_picks)
             .collect();
-        let per_shard = engine.execute_shards(jobs, &download)?;
-        // Merge: ledgers fold id-sorted; updates keep their global
-        // selection slots (prefix sums over shard pick counts), so the
-        // aggregate finishes in canonical order whatever the layout.
+        let per_shard = engine.execute_shards_with(jobs, &download, self.faults.as_deref())?;
+        // Merge: ledgers fold id-sorted; outcomes concatenate in shard
+        // order, which — the layout being contiguous — restores exactly
+        // the canonical global selection order the commit walks.
         let mut ledger = RoundLedger::new();
-        let mut agg = PartialAggregate::new();
-        let mut slot_base = 0;
-        for (outcomes, shard_ledger) in per_shard {
-            let shard_picks = outcomes.len();
-            for (j, result) in outcomes.into_iter().enumerate() {
-                agg.push(slot_base + j, result?);
-            }
-            slot_base += shard_picks;
+        let mut outcomes = Vec::with_capacity(picked.len());
+        for (shard_outcomes, shard_ledger) in per_shard {
+            outcomes.extend(shard_outcomes);
             ledger.merge(&shard_ledger);
         }
-        let outcome = agg.finish()?;
-        self.server.commit(outcome.weights);
-        Ok(RoundReport {
+        finish_round(
+            &mut self.server,
             round,
-            participants: picked,
-            mean_loss: outcome.mean_loss,
-            protected_layers: protected,
+            picked,
+            outcomes,
             ledger,
-        })
+            protected,
+            self.faults.is_some(),
+        )
     }
 
     /// Runs the full plan with the builder-configured engine.
@@ -728,12 +861,8 @@ impl ShardedFederation {
     }
 
     fn teardown(&mut self) -> Result<()> {
-        let outcome = teardown_fleet(
-            self.shards.iter_mut().flat_map(|s| s.iter_mut()),
-            &mut self.sessions,
-        );
-        self.shards.clear();
-        outcome
+        let clients: Vec<RemoteClient> = self.shards.drain(..).flatten().collect();
+        teardown_fleet(clients, &mut self.sessions)
     }
 }
 
@@ -841,6 +970,30 @@ mod tests {
                 "{shards}-shard weights diverged"
             );
             sharded.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn an_all_straggler_round_reports_collapse_not_selection_failure() {
+        use crate::faults::{FaultPlan, LatencyModel};
+        let mut fed = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .clients(3, dataset())
+            .faults(
+                FaultPlan::seeded(1)
+                    .latency(LatencyModel::Fixed(10.0))
+                    .deadline_s(1.0),
+            )
+            .build()
+            .unwrap();
+        let err = fed.run_round().unwrap_err();
+        match err {
+            FlError::RoundCollapsed {
+                round: 0,
+                stragglers,
+                failures: 0,
+            } => assert!(stragglers > 0),
+            other => panic!("expected RoundCollapsed, got {other:?}"),
         }
     }
 

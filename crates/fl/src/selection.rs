@@ -100,7 +100,14 @@ pub fn validate_picks(picked: &[usize], n_clients: usize) -> Result<()> {
 }
 
 /// Samples up to `k` eligible client indices uniformly without
-/// replacement.
+/// replacement, returned in canonical (sorted) order.
+///
+/// Over-provisioned selection is this same function with
+/// `k = clients_per_round + spare` (see
+/// [`FlServer::overprovision`](crate::server::FlServer::overprovision)):
+/// the runner later commits the first `clients_per_round` *survivors* of
+/// the returned canonical order, so faulted rounds keep aggregating a
+/// full cohort deterministically.
 pub fn sample_eligible(outcomes: &[ScreeningOutcome], k: usize, rng: &mut StdRng) -> Vec<usize> {
     let mut eligible: Vec<usize> = outcomes
         .iter()
@@ -240,6 +247,43 @@ mod tests {
         let oor = validate_picks(&[0, 4], 4).unwrap_err();
         assert!(matches!(oor, FlError::InvalidSelection { .. }), "{oor}");
         assert!(oor.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn injected_faults_screen_as_unreachable() {
+        // A fault plan that takes a client down (here: crashed from round
+        // 0) surfaces through screening as Unreachable — the same verdict
+        // a genuinely dead device earns — so faulted selection needs no
+        // special cases downstream.
+        use crate::faults::{FaultPlan, FaultyEndpoint};
+        use std::sync::Arc;
+        let plan = Arc::new(FaultPlan::seeded(3).crash_at(1, 0));
+        let mut clients: Vec<RemoteClient> = (0..3u64)
+            .map(|id| {
+                let ds = Arc::new(SyntheticCifar100::with_classes(8, 2, 1));
+                let client = FlClient::new(
+                    id,
+                    DeviceProfile::trustzone(id),
+                    ds,
+                    (0..8).collect(),
+                    zoo::tiny_mlp(3 * 32 * 32, 4, 2, id).unwrap(),
+                    Box::new(PlainSgdTrainer),
+                );
+                let inner: Box<dyn crate::transport::ServerEndpoint> =
+                    Box::new(LocalEndpoint::new(client));
+                RemoteClient::connect(Box::new(FaultyEndpoint::new(inner, plan.clone()))).unwrap()
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcomes = screen_clients(&mut clients, whitelist(), &mut rng);
+        assert_eq!(
+            outcomes,
+            vec![
+                ScreeningOutcome::Eligible,
+                ScreeningOutcome::Unreachable,
+                ScreeningOutcome::Eligible,
+            ]
+        );
     }
 
     #[test]

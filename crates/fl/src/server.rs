@@ -23,6 +23,7 @@ pub struct FlServer {
     expected_measurement: Measurement,
     rng: StdRng,
     round: u64,
+    spare: usize,
 }
 
 impl FlServer {
@@ -50,7 +51,22 @@ impl FlServer {
             history,
             expected_measurement,
             round: 0,
+            spare: 0,
         })
+    }
+
+    /// Over-provisions every round's selection by `spare` extra clients:
+    /// [`select`](Self::select) samples `clients_per_round + spare`, and
+    /// the runner commits the first `clients_per_round` *survivors* in
+    /// canonical order — the slack that keeps faulted rounds aggregating
+    /// a full cohort. Zero (the default) restores exact-`k` sampling.
+    pub fn overprovision(&mut self, spare: usize) {
+        self.spare = spare;
+    }
+
+    /// The configured selection spare count.
+    pub fn spare(&self) -> usize {
+        self.spare
     }
 
     /// The training plan.
@@ -85,9 +101,12 @@ impl FlServer {
     }
 
     /// The sampling tail both selection paths share — keeping it single
-    /// is part of the flat/sharded bit-identity guarantee.
+    /// is part of the flat/sharded bit-identity guarantee. Samples
+    /// `clients_per_round + spare` so over-provisioned fleets carry the
+    /// slack faulted rounds commit from.
     fn sample_from(&mut self, outcomes: &[ScreeningOutcome]) -> Result<Vec<usize>> {
-        let picked = sample_eligible(outcomes, self.plan.clients_per_round, &mut self.rng);
+        let k = self.plan.clients_per_round + self.spare;
+        let picked = sample_eligible(outcomes, k, &mut self.rng);
         if picked.is_empty() {
             return Err(FlError::NoEligibleClients { round: self.round });
         }
@@ -255,6 +274,25 @@ mod tests {
             let picked = server.select_sharded(&mut shards).unwrap();
             assert_eq!(picked, flat_picked);
         }
+    }
+
+    #[test]
+    fn overprovisioned_selection_samples_k_plus_spare() {
+        let model = zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap();
+        let mut server = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+        assert_eq!(server.spare(), 0);
+        server.overprovision(1);
+        assert_eq!(server.spare(), 1);
+        let mut clients = make_clients(vec![
+            DeviceProfile::trustzone(0),
+            DeviceProfile::trustzone(1),
+            DeviceProfile::trustzone(2),
+            DeviceProfile::trustzone(3),
+        ]);
+        // k = 2, spare = 1 -> 3 sampled, sorted canonical order.
+        let picked = server.select(&mut clients).unwrap();
+        assert_eq!(picked.len(), 3);
+        assert!(picked.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -87,11 +87,11 @@ proptest! {
         } else {
             let (outcomes, ledger) = seq.unwrap();
             prop_assert_eq!(outcomes.len(), picked.len());
-            prop_assert!(outcomes.iter().all(Result::is_ok));
+            prop_assert!(outcomes.iter().all(gradsec_fl::ClientOutcome::is_completed));
             prop_assert_eq!(ledger.len(), picked.len());
             // Slots line up with the pick order.
             for (slot, &ci) in picked.iter().enumerate() {
-                prop_assert_eq!(outcomes[slot].as_ref().unwrap().client_id, ci as u64);
+                prop_assert_eq!(outcomes[slot].client_id(), ci as u64);
             }
         }
     }

@@ -138,6 +138,18 @@ pub struct ClientCycleCost {
     pub tee_peak_bytes: usize,
 }
 
+impl ClientCycleCost {
+    /// A zero-cost entry for `client_id` — what a failed or unreachable
+    /// client is billed so the round ledger still accounts it without
+    /// charging compute that never reached the server.
+    pub fn unbilled(client_id: u64) -> Self {
+        ClientCycleCost {
+            client_id,
+            ..ClientCycleCost::default()
+        }
+    }
+}
+
 /// Per-round TEE accounting: one entry per participating client, kept
 /// sorted by client id so the merged view is deterministic regardless of
 /// the order workers finished in.
@@ -168,6 +180,14 @@ impl RoundLedger {
     /// Per-client entries, ordered by client id.
     pub fn entries(&self) -> &[ClientCycleCost] {
         &self.entries
+    }
+
+    /// The entry for one client, if it was billed this round.
+    pub fn client(&self, client_id: u64) -> Option<&ClientCycleCost> {
+        self.entries
+            .binary_search_by_key(&client_id, |e| e.client_id)
+            .ok()
+            .map(|i| &self.entries[i])
     }
 
     /// Number of recorded clients.
@@ -519,6 +539,30 @@ mod tests {
         let ids: Vec<u64> = ledger.entries().iter().map(|e| e.client_id).collect();
         assert_eq!(ids, (0..8).collect::<Vec<_>>());
         assert_eq!(ledger.total_crossings(), 28);
+    }
+
+    #[test]
+    fn unbilled_entries_cost_nothing_but_are_accounted() {
+        let mut ledger = RoundLedger::new();
+        ledger.record(ClientCycleCost::unbilled(9));
+        ledger.record(ClientCycleCost {
+            client_id: 4,
+            time: TimeBreakdown {
+                user_s: 1.0,
+                kernel_s: 0.5,
+                alloc_s: 0.0,
+            },
+            crossings: 3,
+            tee_peak_bytes: 64,
+        });
+        assert_eq!(ledger.len(), 2);
+        let failed = ledger.client(9).expect("accounted");
+        assert_eq!(failed.crossings, 0);
+        assert_eq!(failed.time.total_s(), 0.0);
+        assert_eq!(failed.tee_peak_bytes, 0);
+        assert!(ledger.client(4).expect("billed").time.total_s() > 0.0);
+        assert!(ledger.client(7).is_none());
+        assert_eq!(ledger.total_crossings(), 3);
     }
 
     #[test]
