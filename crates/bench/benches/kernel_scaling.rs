@@ -1,0 +1,114 @@
+//! Per-op, per-backend kernel wall-clock on the paper's model shapes.
+//!
+//! Times the `TensorBackend` hot paths — the LeNet-5 and AlexNet conv
+//! stacks (forward + backward, batch 32) and the heaviest dense products
+//! (AlexNet FC7) — once per backend, and writes a machine-readable
+//! summary (median seconds per entry plus the blocked-over-reference
+//! speedup) to `target/kernel_scaling.json` for the performance
+//! trajectory (CI uploads it as a workflow artifact; the release-built
+//! `repro_kernels` bin rewrites the same file with its gated numbers).
+//!
+//! Numerical parity between the backends is asserted elsewhere
+//! (`crates/tensor/tests/backend_properties.rs`, `repro_kernels`); this
+//! bench only measures how the wall clock scales.
+
+use criterion::{criterion_group, Criterion};
+
+use gradsec_bench::kernels::{alexnet_conv_geometries, conv_stack, lenet5_conv_geometries, BATCH};
+use gradsec_tensor::backend::BackendKind;
+use gradsec_tensor::init;
+use gradsec_tensor::ops::conv::{conv2d_backward_with, conv2d_forward_with};
+use gradsec_tensor::ops::matmul::{matmul_nt_with, matmul_with};
+
+fn bench_kernels(c: &mut Criterion) {
+    let stacks = [
+        ("lenet5", conv_stack(&lenet5_conv_geometries(), 100)),
+        ("alexnet", conv_stack(&alexnet_conv_geometries(), 200)),
+    ];
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(5);
+    for (model, stack) in &stacks {
+        for backend in BackendKind::ALL {
+            group.bench_function(format!("conv2d_forward_{model}/{backend}"), |b| {
+                b.iter(|| {
+                    for l in stack {
+                        criterion::black_box(
+                            conv2d_forward_with(&l.input, &l.weights, &l.bias, &l.geo, backend)
+                                .expect("conv forward runs"),
+                        );
+                    }
+                })
+            });
+            group.bench_function(format!("conv2d_backward_{model}/{backend}"), |b| {
+                b.iter(|| {
+                    for l in stack {
+                        criterion::black_box(
+                            conv2d_backward_with(&l.input, &l.weights, &l.delta, &l.geo, backend)
+                                .expect("conv backward runs"),
+                        );
+                    }
+                })
+            });
+        }
+    }
+    // AlexNet FC7 (4096 -> 4096): the heaviest dense products per cycle.
+    let a = init::uniform(&[BATCH, 4096], -1.0, 1.0, 300);
+    let w = init::uniform(&[4096, 4096], -0.5, 0.5, 301);
+    for backend in BackendKind::ALL {
+        group.bench_function(format!("matmul_nt_alexnet_fc7/{backend}"), |b| {
+            b.iter(|| criterion::black_box(matmul_nt_with(&a, &w, backend).expect("nt runs")))
+        });
+        group.bench_function(format!("matmul_alexnet_fc7/{backend}"), |b| {
+            b.iter(|| criterion::black_box(matmul_with(&a, &w, backend).expect("matmul runs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+
+/// Renders the JSON summary: median seconds per `entry/backend` pair plus
+/// the blocked speedup over reference for each entry.
+fn summary_json(c: &Criterion) -> String {
+    let median_of = |id: &str| -> Option<f64> {
+        c.results()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.median.as_secs_f64())
+    };
+    let rows: Vec<String> = c
+        .results()
+        .iter()
+        .filter(|r| r.id.ends_with("/reference"))
+        .filter_map(|r| {
+            let entry = r.id.strip_prefix("kernel/")?.strip_suffix("/reference")?;
+            let reference_s = r.median.as_secs_f64();
+            let blocked_s = median_of(&format!("kernel/{entry}/blocked"))?;
+            let speedup = if blocked_s > 0.0 {
+                reference_s / blocked_s
+            } else {
+                1.0
+            };
+            Some(format!(
+                "    {{\"entry\": \"{entry}\", \"batch\": {BATCH}, \"reference_s\": {reference_s:.6}, \"blocked_s\": {blocked_s:.6}, \"speedup_blocked\": {speedup:.3}}}"
+            ))
+        })
+        .collect();
+    format!("{{\n  \"benchmarks\": [\n{}\n  ]\n}}\n", rows.join(",\n"))
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+    let json = summary_json(&c);
+    let target = gradsec_bench::workspace_target();
+    let path = target.join("kernel_scaling.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    println!("{json}");
+}

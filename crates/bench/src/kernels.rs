@@ -1,0 +1,97 @@
+//! Shared kernel-benchmark workloads.
+//!
+//! The `kernel_scaling` bench and the `repro_kernels` gate bin time the
+//! same per-op, per-backend workloads and write the same
+//! `target/kernel_scaling.json`; the model shapes and seeded operand
+//! construction live here so the two entry points can never drift apart
+//! and silently measure different workloads.
+
+use gradsec_tensor::ops::conv::Conv2dGeometry;
+use gradsec_tensor::{init, Tensor};
+
+/// The paper's evaluation batch size (Table 6 uses 32).
+pub const BATCH: usize = 32;
+
+/// The four conv geometries of the paper's LeNet-5 (zoo Table 4 shapes).
+pub fn lenet5_conv_geometries() -> Vec<Conv2dGeometry> {
+    vec![
+        Conv2dGeometry::new(3, 32, 32, 12, 5, 2, 2).expect("lenet L1"),
+        Conv2dGeometry::new(12, 16, 16, 12, 5, 2, 2).expect("lenet L2"),
+        Conv2dGeometry::new(12, 8, 8, 12, 5, 1, 2).expect("lenet L3"),
+        Conv2dGeometry::new(12, 8, 8, 12, 5, 1, 2).expect("lenet L4"),
+    ]
+}
+
+/// The five conv geometries of the paper's AlexNet (zoo Table 4 shapes).
+pub fn alexnet_conv_geometries() -> Vec<Conv2dGeometry> {
+    vec![
+        Conv2dGeometry::new(3, 32, 32, 64, 3, 2, 1).expect("alexnet L1"),
+        Conv2dGeometry::new(64, 8, 8, 192, 3, 1, 1).expect("alexnet L2"),
+        Conv2dGeometry::new(192, 4, 4, 384, 3, 1, 1).expect("alexnet L3"),
+        Conv2dGeometry::new(384, 4, 4, 256, 3, 1, 1).expect("alexnet L4"),
+        Conv2dGeometry::new(256, 4, 4, 256, 3, 1, 1).expect("alexnet L5"),
+    ]
+}
+
+/// One conv layer's pre-built, seeded operands.
+#[derive(Debug, Clone)]
+pub struct ConvOperands {
+    /// The layer geometry.
+    pub geo: Conv2dGeometry,
+    /// `(BATCH, C, H, W)` input batch.
+    pub input: Tensor,
+    /// `(F, C·K·K)` filter matrix.
+    pub weights: Tensor,
+    /// `(F)` bias vector.
+    pub bias: Tensor,
+    /// `(BATCH, F, OH, OW)` upstream error for the backward pass.
+    pub delta: Tensor,
+}
+
+/// Builds seeded operands for every layer of a conv stack.
+pub fn conv_stack(geos: &[Conv2dGeometry], seed: u64) -> Vec<ConvOperands> {
+    geos.iter()
+        .enumerate()
+        .map(|(l, &geo)| {
+            let s = seed + 10 * l as u64;
+            ConvOperands {
+                geo,
+                input: init::uniform(&[BATCH, geo.in_channels, geo.in_h, geo.in_w], -1.0, 1.0, s),
+                weights: init::uniform(
+                    &[geo.out_channels, geo.in_channels * geo.kernel * geo.kernel],
+                    -0.5,
+                    0.5,
+                    s + 1,
+                ),
+                bias: init::uniform(&[geo.out_channels], -0.5, 0.5, s + 2),
+                delta: init::uniform(
+                    &[BATCH, geo.out_channels, geo.out_h, geo.out_w],
+                    -1.0,
+                    1.0,
+                    s + 3,
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacks_build_with_matching_shapes() {
+        for geos in [lenet5_conv_geometries(), alexnet_conv_geometries()] {
+            let stack = conv_stack(&geos, 7);
+            assert_eq!(stack.len(), geos.len());
+            for l in &stack {
+                assert_eq!(l.input.dims()[0], BATCH);
+                assert_eq!(l.weights.dims()[0], l.geo.out_channels);
+                assert_eq!(
+                    l.delta.dims(),
+                    &[BATCH, l.geo.out_channels, l.geo.out_h, l.geo.out_w]
+                );
+            }
+        }
+    }
+}

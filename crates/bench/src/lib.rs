@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod kernels;
 pub mod table;
 
 /// Experiment scale.

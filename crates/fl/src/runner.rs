@@ -26,7 +26,7 @@ use std::thread::JoinHandle;
 use serde::{Deserialize, Serialize};
 
 use gradsec_data::{split, Dataset};
-use gradsec_nn::Sequential;
+use gradsec_nn::{BackendKind, Sequential};
 use gradsec_tee::attestation::Measurement;
 use gradsec_tee::cost::RoundLedger;
 use gradsec_tee::crypto::sha256::sha256;
@@ -140,6 +140,7 @@ pub struct FederationBuilder {
     transport: TransportKind,
     shards: usize,
     faults: Option<Arc<FaultPlan>>,
+    backend: BackendKind,
 }
 
 impl FederationBuilder {
@@ -156,6 +157,7 @@ impl FederationBuilder {
             transport: TransportKind::InProcess,
             shards: 1,
             faults: None,
+            backend: BackendKind::from_env(),
         }
     }
 
@@ -237,6 +239,21 @@ impl FederationBuilder {
     /// `(shards, workers, transport)` combination.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Selects the tensor kernel backend for the whole federation run:
+    /// the prototype model is pointed at it before replication, so every
+    /// client replica — and every per-worker copy the engine makes from
+    /// those — trains through the same kernels on every shard and
+    /// transport. Defaults to the `GRADSEC_BACKEND` environment variable
+    /// (`reference`/`blocked`), falling back to
+    /// [`BackendKind::Reference`], the bit-identical-to-seed kernels.
+    /// Runs are bit-identical *within* a backend for any
+    /// `(shards, workers, transport)` combination; switching backends
+    /// changes f32 rounding, not semantics.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -329,8 +346,10 @@ impl FederationBuilder {
         let shards = split::shard(dataset.len(), self.devices.len(), self.plan.seed);
         // One factory invocation builds the prototype; every client gets a
         // replica (identical weights, fresh caches) — the same mechanism
-        // the engine's per-worker replicas rely on.
-        let prototype = model_factory();
+        // the engine's per-worker replicas rely on. The run's kernel
+        // backend is set once here and rides along in every replica.
+        let mut prototype = model_factory();
+        prototype.set_backend(self.backend);
         let fleet: Vec<FlClient> = self
             .devices
             .into_iter()
@@ -994,6 +1013,40 @@ mod tests {
                 failures: 0,
             } => assert!(stragglers > 0),
             other => panic!("expected RoundCollapsed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backend_selection_reaches_every_replica() {
+        let run = |backend: Option<BackendKind>| {
+            let mut b = Federation::builder(plan())
+                .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+                .clients(3, dataset());
+            if let Some(kind) = backend {
+                b = b.backend(kind);
+            }
+            let mut fed = b.build().unwrap();
+            let report = fed.run().unwrap();
+            let weights = fed.server().global().clone();
+            fed.shutdown().unwrap();
+            (report, weights)
+        };
+        // The builder default is whatever GRADSEC_BACKEND selects
+        // (Reference when unset) — bit-identical to passing that kind
+        // explicitly, so the comparison holds even when the suite runs
+        // under a GRADSEC_BACKEND override.
+        let (r_default, w_default) = run(None);
+        let (r_env, w_env) = run(Some(BackendKind::from_env()));
+        assert_eq!(r_default, r_env);
+        assert_eq!(w_default, w_env);
+        let (r_ref, w_ref) = run(Some(BackendKind::Reference));
+        // The blocked backend completes the same plan and lands within
+        // kernel-rounding distance of the reference run.
+        let (r_blk, w_blk) = run(Some(BackendKind::Blocked));
+        assert_eq!(r_blk.rounds_completed, r_ref.rounds_completed);
+        for (a, b) in w_ref.iter().zip(w_blk.iter()) {
+            assert!(a.w.approx_eq(&b.w, 1e-2));
+            assert!(a.b.approx_eq(&b.b, 1e-2));
         }
     }
 

@@ -1,8 +1,9 @@
 //! 2-D convolutional layer, optionally fused with `MP2` max pooling.
 
-use gradsec_tensor::ops::conv::{conv2d_backward, conv2d_forward, Conv2dGeometry};
-use gradsec_tensor::ops::pool::{maxpool_backward, maxpool_forward, PoolGeometry};
-use gradsec_tensor::{init, Tensor};
+use gradsec_tensor::ops::conv::{conv2d_backward_with, conv2d_forward_with, Conv2dGeometry};
+use gradsec_tensor::ops::elementwise::hadamard_with;
+use gradsec_tensor::ops::pool::{maxpool_backward_with, maxpool_forward_with, PoolGeometry};
+use gradsec_tensor::{init, BackendKind, Tensor};
 
 use crate::activation::Activation;
 use crate::layer::{Layer, LayerKind};
@@ -34,6 +35,7 @@ pub struct Conv2d {
     geo: Conv2dGeometry,
     pool: Option<PoolGeometry>,
     act: Activation,
+    backend: BackendKind,
     weights: Tensor,
     bias: Tensor,
     dw: Option<Tensor>,
@@ -78,6 +80,7 @@ impl Conv2d {
             geo,
             pool,
             act,
+            backend: BackendKind::default(),
             weights,
             bias,
             dw: None,
@@ -113,6 +116,14 @@ impl Layer for Conv2d {
         }
     }
 
+    fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    fn set_backend(&mut self, backend: BackendKind) {
+        self.backend = backend;
+    }
+
     fn activation(&self) -> Activation {
         self.act
     }
@@ -135,13 +146,13 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        let z = conv2d_forward(input, &self.weights, &self.bias, &self.geo)?;
+        let z = conv2d_forward_with(input, &self.weights, &self.bias, &self.geo, self.backend)?;
         let a = self.act.apply_tensor(&z);
         self.cached_input = Some(input.clone());
         self.cached_preact = Some(z);
         match &self.pool {
             Some(p) => {
-                let (pooled, argmax) = maxpool_forward(&a, p)?;
+                let (pooled, argmax) = maxpool_forward_with(&a, p, self.backend)?;
                 self.cached_argmax = Some(argmax);
                 Ok(pooled)
             }
@@ -168,14 +179,15 @@ impl Layer for Conv2d {
                     .cached_argmax
                     .as_ref()
                     .ok_or(NnError::BackwardBeforeForward { layer: 0 })?;
-                maxpool_backward(delta_out, argmax, p)?
+                maxpool_backward_with(delta_out, argmax, p, self.backend)?
             }
             None => delta_out.clone(),
         };
         // δ_l = (unpooled error) ∗ f'(Z_l)  — the Hadamard term of eq. (4).
         let fprime = self.act.derivative_tensor(z);
-        let delta_z = delta_act.zip_with(&fprime, |d, fp| d * fp)?;
-        let (dw, db, dinput) = conv2d_backward(input, &self.weights, &delta_z, &self.geo)?;
+        let delta_z = hadamard_with(&delta_act, &fprime, self.backend)?;
+        let (dw, db, dinput) =
+            conv2d_backward_with(input, &self.weights, &delta_z, &self.geo, self.backend)?;
         self.dw = Some(dw);
         self.db = Some(db);
         Ok(dinput)

@@ -1,7 +1,8 @@
 //! Fully-connected (dense) layer.
 
-use gradsec_tensor::ops::matmul::{matmul, matmul_nt, matmul_tn};
-use gradsec_tensor::{init, Tensor};
+use gradsec_tensor::ops::elementwise::hadamard_with;
+use gradsec_tensor::ops::matmul::{matmul_nt_with, matmul_tn_with, matmul_with};
+use gradsec_tensor::{init, BackendKind, Tensor};
 
 use crate::activation::Activation;
 use crate::layer::{Layer, LayerKind};
@@ -35,6 +36,7 @@ pub struct Dense {
     inputs: usize,
     outputs: usize,
     act: Activation,
+    backend: BackendKind,
     weights: Tensor,
     bias: Tensor,
     dw: Option<Tensor>,
@@ -62,6 +64,7 @@ impl Dense {
             inputs,
             outputs,
             act,
+            backend: BackendKind::default(),
             weights,
             bias,
             dw: None,
@@ -101,6 +104,14 @@ impl Layer for Dense {
         }
     }
 
+    fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    fn set_backend(&mut self, backend: BackendKind) {
+        self.backend = backend;
+    }
+
     fn activation(&self) -> Activation {
         self.act
     }
@@ -124,7 +135,7 @@ impl Layer for Dense {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
         let flat = self.flatten_input(input)?;
         // Z (N, out) = A (N, in) · Wᵀ  + b
-        let mut z = matmul_nt(&flat, &self.weights)?;
+        let mut z = matmul_nt_with(&flat, &self.weights, self.backend)?;
         let batch = flat.dims()[0];
         for i in 0..batch {
             let row = &mut z.data_mut()[i * self.outputs..(i + 1) * self.outputs];
@@ -150,9 +161,9 @@ impl Layer for Dense {
             .ok_or(NnError::BackwardBeforeForward { layer: 0 })?;
         // δ_l = upstream ∗ f'(Z_l).
         let fprime = self.act.derivative_tensor(z);
-        let delta_z = delta_out.zip_with(&fprime, |d, fp| d * fp)?;
+        let delta_z = hadamard_with(delta_out, &fprime, self.backend)?;
         // dW (out, in) = δᵀ (out, N) · A (N, in)  — eq. (3): δ_l · A_{l−1}.
-        self.dw = Some(matmul_tn(&delta_z, input)?);
+        self.dw = Some(matmul_tn_with(&delta_z, input, self.backend)?);
         // db (out) = column sums of δ.
         let batch = delta_z.dims()[0];
         let mut db = Tensor::zeros(&[self.outputs]);
@@ -164,7 +175,7 @@ impl Layer for Dense {
         self.db = Some(db);
         // dA_{l−1} (N, in) = δ (N, out) · W (out, in) — the W_{l+1}·δ_{l+1}
         // term that the *previous* layer consumes.
-        let dinput = matmul(&delta_z, &self.weights)?;
+        let dinput = matmul_with(&delta_z, &self.weights, self.backend)?;
         // Restore the caller's original (possibly 4-D) input shape.
         match &self.cached_input_dims {
             Some(dims) if dims.len() != 2 => Ok(dinput.reshape(dims)?),

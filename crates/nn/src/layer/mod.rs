@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::activation::Activation;
 use crate::Result;
-use gradsec_tensor::Tensor;
+use gradsec_tensor::{BackendKind, Tensor};
 
 /// Static description of a layer's type and geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -89,6 +89,19 @@ impl std::fmt::Display for LayerKind {
 pub trait Layer: Send {
     /// Static description of the layer.
     fn kind(&self) -> LayerKind;
+
+    /// The tensor kernel backend every forward/backward pass of this
+    /// layer dispatches through ([`BackendKind::Reference`] unless
+    /// changed with [`Layer::set_backend`]).
+    fn backend(&self) -> BackendKind;
+
+    /// Points the layer at a different kernel backend. Weights, caches
+    /// and gradients are untouched — only the kernels future passes use
+    /// change. [`Layer::clone_box`] (and therefore
+    /// [`crate::Sequential::replicate`]) carries the selection into every
+    /// replica, which is how one federation-level choice reaches every
+    /// per-client and per-worker model copy.
+    fn set_backend(&mut self, backend: BackendKind);
 
     /// The activation function applied after the linear part.
     fn activation(&self) -> Activation;

@@ -48,6 +48,9 @@ pub mod zoo;
 pub use error::NnError;
 pub use gradient::GradientSnapshot;
 pub use model::Sequential;
+// Re-exported so layers-above (fl, bench) can select kernel backends
+// without depending on gradsec-tensor directly.
+pub use gradsec_tensor::BackendKind;
 
 /// Crate-wide result alias using [`NnError`].
 pub type Result<T> = std::result::Result<T, NnError>;

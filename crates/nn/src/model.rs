@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use gradsec_tensor::ops::reduce::argmax_rows;
-use gradsec_tensor::Tensor;
+use gradsec_tensor::{BackendKind, Tensor};
 
 use crate::gradient::{GradientSnapshot, LayerGradient};
 use crate::layer::Layer;
@@ -201,6 +201,27 @@ impl Sequential {
     /// Total trainable parameter count.
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Points every layer at `backend` for all future forward/backward
+    /// passes. Weights are untouched, so switching backends mid-training
+    /// is safe (though it changes subsequent rounding for non-reference
+    /// backends). [`Sequential::replicate`] copies the selection into
+    /// every replica — set it once on the prototype and every FL client
+    /// and engine worker inherits it.
+    pub fn set_backend(&mut self, backend: BackendKind) -> &mut Self {
+        for l in &mut self.layers {
+            l.set_backend(backend);
+        }
+        self
+    }
+
+    /// The kernel backend the model's layers dispatch through
+    /// ([`BackendKind::Reference`] for empty models; layers are only ever
+    /// assigned one backend collectively via
+    /// [`Sequential::set_backend`]).
+    pub fn backend(&self) -> BackendKind {
+        self.layers.first().map(|l| l.backend()).unwrap_or_default()
     }
 
     /// Runs the full forward pass, caching per-layer state for backward.
@@ -441,6 +462,47 @@ mod replicate_tests {
         // Replicating a trained model copies the trained weights.
         let c = a.replicate();
         assert_eq!(c.weights(), a.weights());
+    }
+
+    #[test]
+    fn replicas_inherit_the_prototype_backend() {
+        use gradsec_tensor::BackendKind;
+        let mut proto = zoo::tiny_mlp(16, 8, 2, 3).unwrap();
+        assert_eq!(proto.backend(), BackendKind::Reference);
+        proto.set_backend(BackendKind::Blocked);
+        assert_eq!(proto.backend(), BackendKind::Blocked);
+        let replica = proto.replicate();
+        assert_eq!(replica.backend(), BackendKind::Blocked);
+        for l in replica.iter() {
+            assert_eq!(l.backend(), BackendKind::Blocked);
+        }
+    }
+
+    #[test]
+    fn blocked_backend_trains_close_to_reference() {
+        use gradsec_tensor::BackendKind;
+        let proto = zoo::lenet5_with(2, 7).unwrap();
+        let x = init::uniform(&[2, 3, 32, 32], 0.0, 1.0, 2);
+        let mut y = gradsec_tensor::Tensor::zeros(&[2, 2]);
+        y.set(&[0, 0], 1.0).unwrap();
+        y.set(&[1, 1], 1.0).unwrap();
+        let run = |backend: BackendKind| {
+            let mut m = proto.replicate();
+            m.set_backend(backend);
+            let mut opt = crate::optim::Sgd::new(0.05);
+            let stats = m.train_batch(&x, &y, &mut opt).unwrap();
+            (stats.loss, m.weights())
+        };
+        let (loss_ref, w_ref) = run(BackendKind::Reference);
+        let (loss_blk, w_blk) = run(BackendKind::Blocked);
+        assert!(
+            (loss_ref - loss_blk).abs() < 1e-4,
+            "{loss_ref} vs {loss_blk}"
+        );
+        for (a, b) in w_ref.iter().zip(w_blk.iter()) {
+            assert!(a.w.approx_eq(&b.w, 1e-3));
+            assert!(a.b.approx_eq(&b.b, 1e-3));
+        }
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Reusable scratch buffers for the im2col/col2im convolution kernels.
+//!
+//! One client cycle calls `conv2d_forward`/`conv2d_backward` once per
+//! convolutional layer per batch; allocating the `(C·K·K) × (OH·OW)`
+//! column matrix inside every call used to dominate the kernel bench for
+//! small layers. Buffers are instead checked out of a process-wide pool
+//! and returned after the kernel runs, so they are reused across calls —
+//! including across the *fresh scoped threads* the banded conv path
+//! spawns per call (a thread-local cache would die with each band
+//! worker). Reuse is value-safe because every kernel fully overwrites
+//! the region it uses (`im2col` writes every element; the `dcol` buffer
+//! is `fill(0.0)`ed).
+//!
+//! The pool holds at most as many buffers as ran concurrently (bands ×
+//! engine workers at peak), each grown to the largest `col_len` it has
+//! served; the two lock round-trips per kernel call are nanoseconds
+//! against the micro/milliseconds the kernel itself takes. A buffer
+//! held across a kernel panic is simply dropped, never returned poisoned.
+
+use std::sync::Mutex;
+
+static POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+
+fn checkout(col_len: usize) -> Vec<f32> {
+    let mut buf = POOL
+        .lock()
+        .expect("scratch pool lock poisoned")
+        .pop()
+        .unwrap_or_default();
+    if buf.len() < col_len {
+        buf.resize(col_len, 0.0);
+    }
+    buf
+}
+
+fn give_back(buf: Vec<f32>) {
+    POOL.lock().expect("scratch pool lock poisoned").push(buf);
+}
+
+/// Runs `f` with a pooled column buffer of at least `col_len` elements
+/// (the forward pass needs one buffer).
+pub(crate) fn with_col<R>(col_len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = checkout(col_len);
+    let out = f(&mut buf[..col_len]);
+    give_back(buf);
+    out
+}
+
+/// Runs `f` with two pooled column buffers of at least `col_len`
+/// elements each (the backward pass needs `col` and `dcol`).
+pub(crate) fn with_col_pair<R>(col_len: usize, f: impl FnOnce(&mut [f32], &mut [f32]) -> R) -> R {
+    let mut col = checkout(col_len);
+    let mut dcol = checkout(col_len);
+    let out = f(&mut col[..col_len], &mut dcol[..col_len]);
+    give_back(col);
+    give_back(dcol);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_returned_and_reused_across_threads() {
+        // Fill a buffer, return it, then observe the recycled contents
+        // from a *different* thread — the cross-thread reuse the banded
+        // conv path relies on. Kernels must overwrite what they read,
+        // and do: this test documents that contract rather than clean
+        // memory.
+        with_col(8, |col| {
+            assert_eq!(col.len(), 8);
+            col.fill(7.0);
+        });
+        std::thread::spawn(|| {
+            with_col(4, |col| {
+                assert_eq!(col.len(), 4);
+            });
+        })
+        .join()
+        .expect("scratch thread joins");
+        with_col_pair(16, |col, dcol| {
+            assert_eq!(col.len(), 16);
+            assert_eq!(dcol.len(), 16);
+        });
+    }
+}

@@ -10,6 +10,9 @@
 //!
 //! * [`Shape`] — row-major shapes with stride computation,
 //! * [`Tensor`] — owned dense `f32` tensors with elementwise algebra,
+//! * [`backend`] — pluggable kernel backends ([`BackendKind::Reference`],
+//!   the bit-identical default, and [`BackendKind::Blocked`], cache-blocked
+//!   autovectorization-friendly kernels) behind the [`TensorBackend`] trait,
 //! * [`ops::matmul`] — blocked and multi-threaded matrix products,
 //! * [`ops::conv`] — im2col/col2im 2-D convolutions (forward and both
 //!   backward passes), the workhorse of LeNet-5 and AlexNet,
@@ -17,6 +20,9 @@
 //! * [`init`] — seeded Xavier/He initialisers used by the NN crate.
 //!
 //! Everything is deterministic given a seed; no global RNG state is used.
+//! Each backend is individually deterministic too: within one
+//! [`BackendKind`], identical inputs produce bit-identical outputs on any
+//! machine.
 //!
 //! # Example
 //!
@@ -35,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod error;
 pub mod init;
 pub mod ops;
 mod shape;
 mod tensor;
 
+pub use backend::{BackendKind, TensorBackend};
 pub use error::TensorError;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -12,18 +12,23 @@
 //! [`conv2d_backward`] returning `(dW, db, dInput)` per the paper's
 //! equation (4): `dW_l = δ_l ⊗ A_{l−1}`.
 //!
-//! Both passes split the batch dimension across scoped threads once the
-//! per-batch im2col volume crosses [`PARALLEL_THRESHOLD`] — the scoped
-//! banding pattern of `ops::matmul`. Each image's computation is
-//! independent, so the forward pass is bit-identical to the sequential
-//! loop under any banding. The backward pass reduces per-band `dW`/`db`
-//! partials in band order, so — unlike `matmul`, whose disjoint output
-//! rows make any band count safe — the band count must **not** depend
-//! on the machine: bands are a fixed [`IMAGES_PER_BAND`] images wide,
-//! making the reduction grouping a pure function of the batch size.
-//! (This also bounds the threads a nested caller — e.g. a federation
-//! engine worker — can fan out per pass.)
+//! The functions here are *dispatchers*: shape checks, output allocation
+//! and thread banding live here, while the per-band kernels come from a
+//! [`TensorBackend`](crate::backend::TensorBackend) — the default
+//! [`BackendKind::Reference`] for the plain entry points or any backend
+//! via the `*_with` variants. Both passes split the batch dimension
+//! across scoped threads once the per-batch im2col volume crosses
+//! [`PARALLEL_THRESHOLD`] — the scoped banding pattern of `ops::matmul`.
+//! Each image's computation is independent, so the forward pass is
+//! bit-identical to the sequential loop under any banding. The backward
+//! pass reduces per-band `dW`/`db` partials in band order, so — unlike
+//! `matmul`, whose disjoint output rows make any band count safe — the
+//! band count must **not** depend on the machine: bands are a fixed
+//! [`IMAGES_PER_BAND`] images wide, making the reduction grouping a pure
+//! function of the batch size. (This also bounds the threads a nested
+//! caller — e.g. a federation engine worker — can fan out per pass.)
 
+use crate::backend::BackendKind;
 use crate::{Result, Tensor, TensorError};
 
 /// Batches whose total im2col volume (elements) is below this run
@@ -140,7 +145,9 @@ impl Conv2dGeometry {
 
 /// Expands one `C×H×W` image into its `(C·K·K) × (OH·OW)` column matrix.
 ///
-/// Out-of-bounds taps (padding) contribute zeros.
+/// Out-of-bounds taps (padding) contribute zeros. Every element of `col`
+/// is written, which is what lets the backends reuse scratch buffers
+/// across calls.
 ///
 /// # Panics
 ///
@@ -247,7 +254,8 @@ fn check_weights(weights: &Tensor, bias: &Tensor, geo: &Conv2dGeometry) -> Resul
     Ok(())
 }
 
-/// Convolution forward pass: `Z = W ⊛ A + b` over a batch.
+/// Convolution forward pass: `Z = W ⊛ A + b` over a batch, on the default
+/// ([`BackendKind::Reference`]) backend.
 ///
 /// `input` is `(N, C, H, W)`, `weights` is `(F, C·K·K)`, `bias` is `(F)`;
 /// the result is `(N, F, OH, OW)`.
@@ -261,12 +269,28 @@ pub fn conv2d_forward(
     bias: &Tensor,
     geo: &Conv2dGeometry,
 ) -> Result<Tensor> {
+    conv2d_forward_with(input, weights, bias, geo, BackendKind::Reference)
+}
+
+/// [`conv2d_forward`] through an explicit backend.
+///
+/// # Errors
+///
+/// Same contract as [`conv2d_forward`].
+pub fn conv2d_forward_with(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+    geo: &Conv2dGeometry,
+    backend: BackendKind,
+) -> Result<Tensor> {
     let n = check_batch_input(input, geo)?;
     check_weights(weights, bias, geo)?;
+    let kernels = backend.kernels();
     let mut out = Tensor::zeros(&[n, geo.out_channels, geo.out_h, geo.out_w]);
     let bands = conv_bands(n, geo.col_len());
     if bands == 1 {
-        forward_band(
+        kernels.conv2d_forward(
             input.data(),
             weights.data(),
             bias.data(),
@@ -286,7 +310,7 @@ pub fn conv2d_forward(
                 let take = per.min(n - row);
                 let (band, tail) = rest.split_at_mut(take * geo.out_len());
                 let in_band = &id[row * geo.in_len()..(row + take) * geo.in_len()];
-                s.spawn(move |_| forward_band(in_band, wd, bd, band, geo));
+                s.spawn(move |_| kernels.conv2d_forward(in_band, wd, bd, band, geo));
                 rest = tail;
                 row += take;
             }
@@ -296,35 +320,7 @@ pub fn conv2d_forward(
     Ok(out)
 }
 
-/// Sequential forward kernel over one contiguous band of images.
-fn forward_band(input: &[f32], wd: &[f32], bd: &[f32], out: &mut [f32], geo: &Conv2dGeometry) {
-    let k2 = geo.in_channels * geo.kernel * geo.kernel;
-    let cols = geo.out_h * geo.out_w;
-    let n = input.len() / geo.in_len();
-    let mut col = vec![0.0f32; geo.col_len()];
-    for img in 0..n {
-        let inp = &input[img * geo.in_len()..(img + 1) * geo.in_len()];
-        im2col(inp, geo, &mut col);
-        let out_img = &mut out[img * geo.out_len()..(img + 1) * geo.out_len()];
-        // out_img (F, cols) = W (F, k2) × col (k2, cols)
-        for f in 0..geo.out_channels {
-            let wrow = &wd[f * k2..(f + 1) * k2];
-            let orow = &mut out_img[f * cols..(f + 1) * cols];
-            orow.fill(bd[f]);
-            for (kk, &w) in wrow.iter().enumerate() {
-                if w == 0.0 {
-                    continue;
-                }
-                let crow = &col[kk * cols..(kk + 1) * cols];
-                for j in 0..cols {
-                    orow[j] += w * crow[j];
-                }
-            }
-        }
-    }
-}
-
-/// Convolution backward pass.
+/// Convolution backward pass on the default backend.
 ///
 /// Given the upstream error `delta_out = ∂Loss/∂Z` of shape `(N, F, OH, OW)`,
 /// returns `(dW, db, dInput)` where
@@ -344,6 +340,21 @@ pub fn conv2d_backward(
     delta_out: &Tensor,
     geo: &Conv2dGeometry,
 ) -> Result<(Tensor, Tensor, Tensor)> {
+    conv2d_backward_with(input, weights, delta_out, geo, BackendKind::Reference)
+}
+
+/// [`conv2d_backward`] through an explicit backend.
+///
+/// # Errors
+///
+/// Same contract as [`conv2d_backward`].
+pub fn conv2d_backward_with(
+    input: &Tensor,
+    weights: &Tensor,
+    delta_out: &Tensor,
+    geo: &Conv2dGeometry,
+    backend: BackendKind,
+) -> Result<(Tensor, Tensor, Tensor)> {
     let n = check_batch_input(input, geo)?;
     let k2 = geo.in_channels * geo.kernel * geo.kernel;
     if delta_out.dims() != [n, geo.out_channels, geo.out_h, geo.out_w] {
@@ -360,12 +371,13 @@ pub fn conv2d_backward(
             rhs: vec![geo.out_channels, k2],
         });
     }
+    let kernels = backend.kernels();
     let mut dw = Tensor::zeros(&[geo.out_channels, k2]);
     let mut db = Tensor::zeros(&[geo.out_channels]);
     let mut dinput = Tensor::zeros(input.dims());
     let bands = conv_bands(n, geo.col_len());
     if bands == 1 {
-        backward_band(
+        kernels.conv2d_backward(
             input.data(),
             weights.data(),
             delta_out.data(),
@@ -392,7 +404,7 @@ pub fn conv2d_backward(
                 handles.push(s.spawn(move |_| {
                     let mut dw_part = vec![0.0f32; geo.weight_len()];
                     let mut db_part = vec![0.0f32; geo.out_channels];
-                    backward_band(
+                    kernels.conv2d_backward(
                         in_band,
                         wd,
                         d_band,
@@ -423,65 +435,6 @@ pub fn conv2d_backward(
         }
     }
     Ok((dw, db, dinput))
-}
-
-/// Sequential backward kernel over one contiguous band of images,
-/// accumulating into the provided `dw`/`db` buffers and writing the
-/// band's `dinput` slice.
-fn backward_band(
-    input: &[f32],
-    wd: &[f32],
-    delta_out: &[f32],
-    dwd: &mut [f32],
-    dbd: &mut [f32],
-    dinput: &mut [f32],
-    geo: &Conv2dGeometry,
-) {
-    let k2 = geo.in_channels * geo.kernel * geo.kernel;
-    let cols = geo.out_h * geo.out_w;
-    let n = input.len() / geo.in_len();
-    let mut col = vec![0.0f32; geo.col_len()];
-    let mut dcol = vec![0.0f32; geo.col_len()];
-    for img in 0..n {
-        let inp = &input[img * geo.in_len()..(img + 1) * geo.in_len()];
-        let dout = &delta_out[img * geo.out_len()..(img + 1) * geo.out_len()];
-        im2col(inp, geo, &mut col);
-        // dW += δ (F, cols) × colᵀ (cols, k2)
-        for f in 0..geo.out_channels {
-            let drow = &dout[f * cols..(f + 1) * cols];
-            let dwrow = &mut dwd[f * k2..(f + 1) * k2];
-            for kk in 0..k2 {
-                let crow = &col[kk * cols..(kk + 1) * cols];
-                let mut acc = 0.0f32;
-                for j in 0..cols {
-                    acc += drow[j] * crow[j];
-                }
-                dwrow[kk] += acc;
-            }
-        }
-        // db += Σ spatial δ
-        for f in 0..geo.out_channels {
-            dbd[f] += dout[f * cols..(f + 1) * cols].iter().sum::<f32>();
-        }
-        // dcol = Wᵀ (k2, F) × δ (F, cols); then scatter to image space.
-        dcol.fill(0.0);
-        for f in 0..geo.out_channels {
-            let wrow = &wd[f * k2..(f + 1) * k2];
-            let drow = &dout[f * cols..(f + 1) * cols];
-            for kk in 0..k2 {
-                let w = wrow[kk];
-                if w == 0.0 {
-                    continue;
-                }
-                let dcrow = &mut dcol[kk * cols..(kk + 1) * cols];
-                for j in 0..cols {
-                    dcrow[j] += w * drow[j];
-                }
-            }
-        }
-        let dinp = &mut dinput[img * geo.in_len()..(img + 1) * geo.in_len()];
-        col2im(&dcol, geo, dinp);
-    }
 }
 
 #[cfg(test)]
@@ -579,9 +532,14 @@ mod tests {
             let input = init::uniform(&[2, c, h, w], -1.0, 1.0, 40);
             let weights = init::uniform(&[f, c * k * k], -1.0, 1.0, 41);
             let bias = init::uniform(&[f], -1.0, 1.0, 42);
-            let fast = conv2d_forward(&input, &weights, &bias, &geo).unwrap();
             let slow = naive_forward(&input, &weights, &bias, &geo);
-            assert!(fast.approx_eq(&slow, 1e-3), "mismatch for geometry {geo:?}");
+            for backend in BackendKind::ALL {
+                let fast = conv2d_forward_with(&input, &weights, &bias, &geo, backend).unwrap();
+                assert!(
+                    fast.approx_eq(&slow, 1e-3),
+                    "{backend} mismatch for geometry {geo:?}"
+                );
+            }
         }
     }
 
@@ -604,51 +562,58 @@ mod tests {
     #[test]
     fn backward_gradient_check() {
         // Finite-difference check of dW, db and dInput through a scalar
-        // loss L = sum(Z).
+        // loss L = sum(Z), on both backends.
         let geo = Conv2dGeometry::new(2, 5, 5, 3, 3, 1, 1).unwrap();
         let input = init::uniform(&[1, 2, 5, 5], -1.0, 1.0, 60);
         let weights = init::uniform(&[3, 18], -1.0, 1.0, 61);
         let bias = init::uniform(&[3], -1.0, 1.0, 62);
         let delta = Tensor::ones(&[1, 3, geo.out_h, geo.out_w]);
-        let (dw, db, dinput) = conv2d_backward(&input, &weights, &delta, &geo).unwrap();
-        let eps = 1e-3f32;
-        let loss = |inp: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
-            conv2d_forward(inp, w, b, &geo).unwrap().data().iter().sum()
-        };
-        // dW check (a few random positions).
-        for &i in &[0usize, 7, 23, 53] {
-            let mut wp = weights.clone();
-            wp.data_mut()[i] += eps;
-            let mut wm = weights.clone();
-            wm.data_mut()[i] -= eps;
-            let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
-            assert!(
-                (num - dw.data()[i]).abs() < 0.05,
-                "dW[{i}]: numeric {num} vs analytic {}",
-                dw.data()[i]
-            );
-        }
-        // db check.
-        for f in 0..3 {
-            let mut bp = bias.clone();
-            bp.data_mut()[f] += eps;
-            let mut bm = bias.clone();
-            bm.data_mut()[f] -= eps;
-            let num = (loss(&input, &weights, &bp) - loss(&input, &weights, &bm)) / (2.0 * eps);
-            assert!((num - db.data()[f]).abs() < 0.05);
-        }
-        // dInput check.
-        for &i in &[0usize, 13, 31, 49] {
-            let mut ip = input.clone();
-            ip.data_mut()[i] += eps;
-            let mut im = input.clone();
-            im.data_mut()[i] -= eps;
-            let num = (loss(&ip, &weights, &bias) - loss(&im, &weights, &bias)) / (2.0 * eps);
-            assert!(
-                (num - dinput.data()[i]).abs() < 0.05,
-                "dInput[{i}]: numeric {num} vs analytic {}",
-                dinput.data()[i]
-            );
+        for backend in BackendKind::ALL {
+            let (dw, db, dinput) =
+                conv2d_backward_with(&input, &weights, &delta, &geo, backend).unwrap();
+            let eps = 1e-3f32;
+            let loss = |inp: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+                conv2d_forward_with(inp, w, b, &geo, backend)
+                    .unwrap()
+                    .data()
+                    .iter()
+                    .sum()
+            };
+            // dW check (a few random positions).
+            for &i in &[0usize, 7, 23, 53] {
+                let mut wp = weights.clone();
+                wp.data_mut()[i] += eps;
+                let mut wm = weights.clone();
+                wm.data_mut()[i] -= eps;
+                let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+                assert!(
+                    (num - dw.data()[i]).abs() < 0.05,
+                    "{backend} dW[{i}]: numeric {num} vs analytic {}",
+                    dw.data()[i]
+                );
+            }
+            // db check.
+            for f in 0..3 {
+                let mut bp = bias.clone();
+                bp.data_mut()[f] += eps;
+                let mut bm = bias.clone();
+                bm.data_mut()[f] -= eps;
+                let num = (loss(&input, &weights, &bp) - loss(&input, &weights, &bm)) / (2.0 * eps);
+                assert!((num - db.data()[f]).abs() < 0.05);
+            }
+            // dInput check.
+            for &i in &[0usize, 13, 31, 49] {
+                let mut ip = input.clone();
+                ip.data_mut()[i] += eps;
+                let mut im = input.clone();
+                im.data_mut()[i] -= eps;
+                let num = (loss(&ip, &weights, &bias) - loss(&im, &weights, &bias)) / (2.0 * eps);
+                assert!(
+                    (num - dinput.data()[i]).abs() < 0.05,
+                    "{backend} dInput[{i}]: numeric {num} vs analytic {}",
+                    dinput.data()[i]
+                );
+            }
         }
     }
 
@@ -661,25 +626,32 @@ mod tests {
         let input = init::uniform(&[n, 3, 16, 16], -1.0, 1.0, 70);
         let weights = init::uniform(&[6, 27], -0.5, 0.5, 71);
         let bias = init::uniform(&[6], -0.5, 0.5, 72);
-        let full = conv2d_forward(&input, &weights, &bias, &geo).unwrap();
-        for split in [1usize, 3, 5] {
-            let mut banded = vec![0.0f32; n * geo.out_len()];
-            let (lo, hi) = banded.split_at_mut(split * geo.out_len());
-            forward_band(
-                &input.data()[..split * geo.in_len()],
-                weights.data(),
-                bias.data(),
-                lo,
-                &geo,
-            );
-            forward_band(
-                &input.data()[split * geo.in_len()..],
-                weights.data(),
-                bias.data(),
-                hi,
-                &geo,
-            );
-            assert_eq!(full.data(), &banded[..], "split at {split} diverged");
+        for backend in BackendKind::ALL {
+            let kernels = backend.kernels();
+            let full = conv2d_forward_with(&input, &weights, &bias, &geo, backend).unwrap();
+            for split in [1usize, 3, 5] {
+                let mut banded = vec![0.0f32; n * geo.out_len()];
+                let (lo, hi) = banded.split_at_mut(split * geo.out_len());
+                kernels.conv2d_forward(
+                    &input.data()[..split * geo.in_len()],
+                    weights.data(),
+                    bias.data(),
+                    lo,
+                    &geo,
+                );
+                kernels.conv2d_forward(
+                    &input.data()[split * geo.in_len()..],
+                    weights.data(),
+                    bias.data(),
+                    hi,
+                    &geo,
+                );
+                assert_eq!(
+                    full.data(),
+                    &banded[..],
+                    "{backend} split at {split} diverged"
+                );
+            }
         }
     }
 
@@ -690,45 +662,49 @@ mod tests {
         let input = init::uniform(&[n, 2, 10, 10], -1.0, 1.0, 80);
         let weights = init::uniform(&[4, 18], -0.5, 0.5, 81);
         let delta = init::uniform(&[n, 4, geo.out_h, geo.out_w], -1.0, 1.0, 82);
-        let (dw, db, dinput) = conv2d_backward(&input, &weights, &delta, &geo).unwrap();
-        // Two hand-built bands: dInput slices are disjoint (bit-identical);
-        // dW/db partials reduced in band order agree to f32 rounding.
-        let split = 2usize;
-        let mut dw_a = vec![0.0f32; geo.weight_len()];
-        let mut db_a = vec![0.0f32; 4];
-        let mut di = vec![0.0f32; n * geo.in_len()];
-        let (di_lo, di_hi) = di.split_at_mut(split * geo.in_len());
-        backward_band(
-            &input.data()[..split * geo.in_len()],
-            weights.data(),
-            &delta.data()[..split * geo.out_len()],
-            &mut dw_a,
-            &mut db_a,
-            di_lo,
-            &geo,
-        );
-        let mut dw_b = vec![0.0f32; geo.weight_len()];
-        let mut db_b = vec![0.0f32; 4];
-        backward_band(
-            &input.data()[split * geo.in_len()..],
-            weights.data(),
-            &delta.data()[split * geo.out_len()..],
-            &mut dw_b,
-            &mut db_b,
-            di_hi,
-            &geo,
-        );
-        assert_eq!(dinput.data(), &di[..]);
-        for i in 0..dw_a.len() {
-            let reduced = dw_a[i] + dw_b[i];
-            assert!(
-                (reduced - dw.data()[i]).abs() <= 1e-4 * (1.0 + dw.data()[i].abs()),
-                "dW[{i}] {reduced} vs {}",
-                dw.data()[i]
+        for backend in BackendKind::ALL {
+            let kernels = backend.kernels();
+            let (dw, db, dinput) =
+                conv2d_backward_with(&input, &weights, &delta, &geo, backend).unwrap();
+            // Two hand-built bands: dInput slices are disjoint (bit-identical);
+            // dW/db partials reduced in band order agree to f32 rounding.
+            let split = 2usize;
+            let mut dw_a = vec![0.0f32; geo.weight_len()];
+            let mut db_a = vec![0.0f32; 4];
+            let mut di = vec![0.0f32; n * geo.in_len()];
+            let (di_lo, di_hi) = di.split_at_mut(split * geo.in_len());
+            kernels.conv2d_backward(
+                &input.data()[..split * geo.in_len()],
+                weights.data(),
+                &delta.data()[..split * geo.out_len()],
+                &mut dw_a,
+                &mut db_a,
+                di_lo,
+                &geo,
             );
-        }
-        for f in 0..4 {
-            assert!((db_a[f] + db_b[f] - db.data()[f]).abs() < 1e-4);
+            let mut dw_b = vec![0.0f32; geo.weight_len()];
+            let mut db_b = vec![0.0f32; 4];
+            kernels.conv2d_backward(
+                &input.data()[split * geo.in_len()..],
+                weights.data(),
+                &delta.data()[split * geo.out_len()..],
+                &mut dw_b,
+                &mut db_b,
+                di_hi,
+                &geo,
+            );
+            assert_eq!(dinput.data(), &di[..], "{backend} dInput diverged");
+            for i in 0..dw_a.len() {
+                let reduced = dw_a[i] + dw_b[i];
+                assert!(
+                    (reduced - dw.data()[i]).abs() <= 1e-4 * (1.0 + dw.data()[i].abs()),
+                    "{backend} dW[{i}] {reduced} vs {}",
+                    dw.data()[i]
+                );
+            }
+            for f in 0..4 {
+                assert!((db_a[f] + db_b[f] - db.data()[f]).abs() < 1e-4);
+            }
         }
     }
 

@@ -3,7 +3,13 @@
 //! These kernels cover the paper's Table 2 operations: the ordinary sums
 //! and the Hadamard product `∗` that appears in the backpropagation
 //! formulas `δ_l = (W_{l+1}·δ_{l+1}) ∗ f'_l(Z_l)`.
+//!
+//! The backend-routed variants ([`hadamard_with`], [`axpy_with`],
+//! [`scale_with`]) exist so layers dispatch *every* kernel in their hot
+//! path through one [`BackendKind`]; elementwise maps involve no
+//! reductions, so all backends produce bit-identical results here.
 
+use crate::backend::BackendKind;
 use crate::{Result, Tensor, TensorError};
 
 fn check_same(a: &Tensor, b: &Tensor, op: &'static str) -> Result<()> {
@@ -47,9 +53,30 @@ pub fn hadamard(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     a.zip_with(b, |x, y| x * y)
 }
 
+/// [`hadamard`] through an explicit backend.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn hadamard_with(a: &Tensor, b: &Tensor, backend: BackendKind) -> Result<Tensor> {
+    check_same(a, b, "hadamard")?;
+    let mut out = Tensor::zeros(a.dims());
+    backend
+        .kernels()
+        .hadamard(a.data(), b.data(), out.data_mut());
+    Ok(out)
+}
+
 /// Scales every element by `s`, producing a new tensor.
 pub fn scale(a: &Tensor, s: f32) -> Tensor {
     a.map(|x| x * s)
+}
+
+/// [`scale`] through an explicit backend.
+pub fn scale_with(a: &Tensor, s: f32, backend: BackendKind) -> Tensor {
+    let mut out = Tensor::zeros(a.dims());
+    backend.kernels().scale(s, a.data(), out.data_mut());
+    out
 }
 
 /// In-place `y ← y + alpha·x` (the BLAS `axpy` primitive; SGD's update rule
@@ -59,10 +86,17 @@ pub fn scale(a: &Tensor, s: f32) -> Tensor {
 ///
 /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
 pub fn axpy(alpha: f32, x: &Tensor, y: &mut Tensor) -> Result<()> {
+    axpy_with(alpha, x, y, BackendKind::Reference)
+}
+
+/// [`axpy`] through an explicit backend.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn axpy_with(alpha: f32, x: &Tensor, y: &mut Tensor, backend: BackendKind) -> Result<()> {
     check_same(x, y, "axpy")?;
-    for (yi, &xi) in y.data_mut().iter_mut().zip(x.data()) {
-        *yi += alpha * xi;
-    }
+    backend.kernels().axpy(alpha, x.data(), y.data_mut());
     Ok(())
 }
 
@@ -129,12 +163,32 @@ mod tests {
     }
 
     #[test]
+    fn backend_variants_are_bit_identical() {
+        // No reductions to reassociate: every backend must agree exactly.
+        let a = t(&[1.5, -2.25, 0.0, 4.0]);
+        let b = t(&[-0.5, 3.0, 7.0, 0.125]);
+        for backend in BackendKind::ALL {
+            assert_eq!(
+                hadamard_with(&a, &b, backend).unwrap().data(),
+                hadamard(&a, &b).unwrap().data()
+            );
+            assert_eq!(scale_with(&a, -1.5, backend).data(), scale(&a, -1.5).data());
+            let mut y = b.clone();
+            axpy_with(0.75, &a, &mut y, backend).unwrap();
+            let mut y_ref = b.clone();
+            axpy(0.75, &a, &mut y_ref).unwrap();
+            assert_eq!(y.data(), y_ref.data());
+        }
+    }
+
+    #[test]
     fn mismatched_shapes_error() {
         let a = t(&[1.0]);
         let b = t(&[1.0, 2.0]);
         assert!(add(&a, &b).is_err());
         assert!(sub(&a, &b).is_err());
         assert!(hadamard(&a, &b).is_err());
+        assert!(hadamard_with(&a, &b, BackendKind::Blocked).is_err());
         assert!(lerp(&a, &b, 0.5).is_err());
         let mut y = t(&[0.0, 0.0]);
         assert!(axpy(1.0, &a, &mut y).is_err());

@@ -7,18 +7,22 @@
 //! * `C = A·Bᵀ` — [`matmul_nt`] (used for `dW = δ·Aᵀ` style products),
 //! * `C = Aᵀ·B` — [`matmul_tn`] (used for `δ_in = Wᵀ·δ_out`).
 //!
-//! All three use a cache-blocked i-k-j kernel; [`matmul`] additionally
-//! splits row bands across scoped threads (crossbeam) when the output is
-//! large enough to amortize the spawn cost. AlexNet's 4096×4096 dense
-//! layers are intractable per-cycle without this.
+//! These functions are thin *dispatchers*: they validate shapes, allocate
+//! the output and hand the innermost loops to a
+//! [`TensorBackend`](crate::backend::TensorBackend) — the default
+//! [`BackendKind::Reference`] kernels for the plain entry points, or any
+//! backend via the `*_with` variants. [`matmul`] additionally splits row
+//! bands across scoped threads (crossbeam) when the output is large
+//! enough to amortize the spawn cost; each band is an independent kernel
+//! call over disjoint output rows, so the result is bit-identical under
+//! any banding whatever the backend. AlexNet's 4096×4096 dense layers are
+//! intractable per-cycle without this.
 
+use crate::backend::{BackendKind, TensorBackend};
 use crate::{Result, Tensor, TensorError};
 
 /// Outputs smaller than this (in elements) are computed single-threaded.
 const PARALLEL_THRESHOLD: usize = 64 * 64;
-
-/// Block edge for the cache-blocked kernel.
-const BLOCK: usize = 64;
 
 fn check2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.shape().ndim() != 2 {
@@ -31,7 +35,8 @@ fn check2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     Ok((t.dims()[0], t.dims()[1]))
 }
 
-/// Computes `C = A·B` for rank-2 tensors.
+/// Computes `C = A·B` for rank-2 tensors on the default
+/// ([`BackendKind::Reference`]) backend.
 ///
 /// # Errors
 ///
@@ -52,6 +57,15 @@ fn check2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_with(a, b, BackendKind::Reference)
+}
+
+/// [`matmul`] through an explicit backend.
+///
+/// # Errors
+///
+/// Same contract as [`matmul`].
+pub fn matmul_with(a: &Tensor, b: &Tensor, backend: BackendKind) -> Result<Tensor> {
     let (m, ka) = check2d(a, "matmul")?;
     let (kb, n) = check2d(b, "matmul")?;
     if ka != kb {
@@ -61,22 +75,32 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.dims().to_vec(),
         });
     }
+    let kernels = backend.kernels();
     let mut out = Tensor::zeros(&[m, n]);
     if m * n >= PARALLEL_THRESHOLD && m >= 4 {
-        matmul_parallel(a.data(), b.data(), out.data_mut(), m, ka, n);
+        matmul_parallel(kernels, a.data(), b.data(), out.data_mut(), m, ka, n);
     } else {
-        matmul_block(a.data(), b.data(), out.data_mut(), m, ka, n);
+        kernels.matmul(a.data(), b.data(), out.data_mut(), m, ka, n);
     }
     Ok(out)
 }
 
-/// Computes `C = A·Bᵀ`.
+/// Computes `C = A·Bᵀ` on the default backend.
 ///
 /// # Errors
 ///
 /// Same contract as [`matmul`]; the shared dimension is `A`'s columns and
 /// `B`'s columns.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_nt_with(a, b, BackendKind::Reference)
+}
+
+/// [`matmul_nt`] through an explicit backend.
+///
+/// # Errors
+///
+/// Same contract as [`matmul_nt`].
+pub fn matmul_nt_with(a: &Tensor, b: &Tensor, backend: BackendKind) -> Result<Tensor> {
     let (m, ka) = check2d(a, "matmul_nt")?;
     let (n, kb) = check2d(b, "matmul_nt")?;
     if ka != kb {
@@ -87,29 +111,28 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd, od) = (a.data(), b.data(), out.data_mut());
-    // C[i][j] = Σ_k A[i][k]·B[j][k]; contiguous in k for both operands.
-    for i in 0..m {
-        let arow = &ad[i * ka..(i + 1) * ka];
-        for j in 0..n {
-            let brow = &bd[j * kb..(j + 1) * kb];
-            let mut acc = 0.0f32;
-            for k in 0..ka {
-                acc += arow[k] * brow[k];
-            }
-            od[i * n + j] = acc;
-        }
-    }
+    backend
+        .kernels()
+        .matmul_nt(a.data(), b.data(), out.data_mut(), m, ka, n);
     Ok(out)
 }
 
-/// Computes `C = Aᵀ·B`.
+/// Computes `C = Aᵀ·B` on the default backend.
 ///
 /// # Errors
 ///
 /// Same contract as [`matmul`]; the shared dimension is the *rows* of both
 /// operands.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_tn_with(a, b, BackendKind::Reference)
+}
+
+/// [`matmul_tn`] through an explicit backend.
+///
+/// # Errors
+///
+/// Same contract as [`matmul_tn`].
+pub fn matmul_tn_with(a: &Tensor, b: &Tensor, backend: BackendKind) -> Result<Tensor> {
     let (ka, m) = check2d(a, "matmul_tn")?;
     let (kb, n) = check2d(b, "matmul_tn")?;
     if ka != kb {
@@ -120,32 +143,27 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd, od) = (a.data(), b.data(), out.data_mut());
-    // C[i][j] = Σ_k A[k][i]·B[k][j]: accumulate row-banded, k outermost so
-    // both reads stream contiguously.
-    for k in 0..ka {
-        let arow = &ad[k * m..(k + 1) * m];
-        let brow = &bd[k * n..(k + 1) * n];
-        for i in 0..m {
-            let aik = arow[i];
-            if aik == 0.0 {
-                continue;
-            }
-            let orow = &mut od[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += aik * brow[j];
-            }
-        }
-    }
+    backend
+        .kernels()
+        .matmul_tn(a.data(), b.data(), out.data_mut(), m, ka, n);
     Ok(out)
 }
 
-/// Computes the matrix–vector product `y = A·x`.
+/// Computes the matrix–vector product `y = A·x` on the default backend.
 ///
 /// # Errors
 ///
 /// Returns shape errors when `A` is not `m×k` with `x` of length `k`.
 pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    matvec_with(a, x, BackendKind::Reference)
+}
+
+/// [`matvec`] through an explicit backend.
+///
+/// # Errors
+///
+/// Same contract as [`matvec`].
+pub fn matvec_with(a: &Tensor, x: &Tensor, backend: BackendKind) -> Result<Tensor> {
     let (m, k) = check2d(a, "matvec")?;
     if x.shape().ndim() != 1 || x.dims()[0] != k {
         return Err(TensorError::ShapeMismatch {
@@ -155,47 +173,30 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m]);
-    let (ad, xd, od) = (a.data(), x.data(), out.data_mut());
-    for i in 0..m {
-        let row = &ad[i * k..(i + 1) * k];
-        od[i] = row.iter().zip(xd).map(|(&a, &b)| a * b).sum();
-    }
+    backend
+        .kernels()
+        .matvec(a.data(), x.data(), out.data_mut(), m, k);
     Ok(out)
 }
 
-/// Cache-blocked single-threaded `C += A·B` kernel over raw slices.
-fn matmul_block(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for ib in (0..m).step_by(BLOCK) {
-        let imax = (ib + BLOCK).min(m);
-        for kb in (0..k).step_by(BLOCK) {
-            let kmax = (kb + BLOCK).min(k);
-            for i in ib..imax {
-                let crow = &mut c[i * n..(i + 1) * n];
-                for kk in kb..kmax {
-                    let aik = a[i * k + kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[kk * n..(kk + 1) * n];
-                    for j in 0..n {
-                        crow[j] += aik * brow[j];
-                    }
-                }
-            }
-        }
-    }
-}
-
 /// Splits the rows of `C` into bands and computes each band on its own
-/// scoped thread.
-fn matmul_parallel(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+/// scoped thread through the same backend kernel.
+fn matmul_parallel(
+    kernels: &dyn TensorBackend,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(m)
         .max(1);
     if threads == 1 {
-        matmul_block(a, b, c, m, k, n);
+        kernels.matmul(a, b, c, m, k, n);
         return;
     }
     let rows_per = m.div_ceil(threads);
@@ -217,7 +218,7 @@ fn matmul_parallel(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
             let rows = band.len() / n;
             let asub = &a[row0 * k..(row0 + rows) * k];
             s.spawn(move |_| {
-                matmul_block(asub, b, band, rows, k, n);
+                kernels.matmul(asub, b, band, rows, k, n);
             });
         }
     })
@@ -274,46 +275,59 @@ mod tests {
         // 128x128 crosses PARALLEL_THRESHOLD.
         let a = init::uniform(&[128, 96], -1.0, 1.0, 10);
         let b = init::uniform(&[96, 128], -1.0, 1.0, 11);
-        let c = matmul(&a, &b).unwrap();
-        assert!(c.approx_eq(&naive(&a, &b), 1e-2));
+        for backend in BackendKind::ALL {
+            let c = matmul_with(&a, &b, backend).unwrap();
+            assert!(c.approx_eq(&naive(&a, &b), 1e-2), "{backend} diverged");
+        }
     }
 
     #[test]
     fn nt_variant_equals_explicit_transpose() {
         let a = init::uniform(&[9, 14], -1.0, 1.0, 20);
         let b = init::uniform(&[7, 14], -1.0, 1.0, 21);
-        let direct = matmul_nt(&a, &b).unwrap();
-        let explicit = matmul(&a, &b.transpose2d().unwrap()).unwrap();
-        assert!(direct.approx_eq(&explicit, 1e-4));
+        for backend in BackendKind::ALL {
+            let direct = matmul_nt_with(&a, &b, backend).unwrap();
+            let explicit = matmul_with(&a, &b.transpose2d().unwrap(), backend).unwrap();
+            assert!(direct.approx_eq(&explicit, 1e-4), "{backend} diverged");
+        }
     }
 
     #[test]
     fn tn_variant_equals_explicit_transpose() {
         let a = init::uniform(&[14, 9], -1.0, 1.0, 22);
         let b = init::uniform(&[14, 7], -1.0, 1.0, 23);
-        let direct = matmul_tn(&a, &b).unwrap();
-        let explicit = matmul(&a.transpose2d().unwrap(), &b).unwrap();
-        assert!(direct.approx_eq(&explicit, 1e-4));
+        for backend in BackendKind::ALL {
+            let direct = matmul_tn_with(&a, &b, backend).unwrap();
+            let explicit = matmul_with(&a.transpose2d().unwrap(), &b, backend).unwrap();
+            assert!(direct.approx_eq(&explicit, 1e-4), "{backend} diverged");
+        }
     }
 
     #[test]
     fn matvec_matches_matmul() {
         let a = init::uniform(&[6, 4], -1.0, 1.0, 30);
         let x = init::uniform(&[4], -1.0, 1.0, 31);
-        let y = matvec(&a, &x).unwrap();
-        let xm = x.reshape(&[4, 1]).unwrap();
-        let ym = matmul(&a, &xm).unwrap();
-        assert!(y.approx_eq(&ym.reshape(&[6]).unwrap(), 1e-5));
+        for backend in BackendKind::ALL {
+            let y = matvec_with(&a, &x, backend).unwrap();
+            let xm = x.reshape(&[4, 1]).unwrap();
+            let ym = matmul_with(&a, &xm, backend).unwrap();
+            assert!(
+                y.approx_eq(&ym.reshape(&[6]).unwrap(), 1e-5),
+                "{backend} diverged"
+            );
+        }
     }
 
     #[test]
     fn shape_errors() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 2]);
-        assert!(matmul(&a, &b).is_err());
-        assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
-        assert!(matmul_nt(&a, &Tensor::zeros(&[2, 4])).is_err());
-        assert!(matmul_tn(&a, &Tensor::zeros(&[3, 4])).is_err());
-        assert!(matvec(&a, &Tensor::zeros(&[2])).is_err());
+        for backend in BackendKind::ALL {
+            assert!(matmul_with(&a, &b, backend).is_err());
+            assert!(matmul_with(&a, &Tensor::zeros(&[3]), backend).is_err());
+            assert!(matmul_nt_with(&a, &Tensor::zeros(&[2, 4]), backend).is_err());
+            assert!(matmul_tn_with(&a, &Tensor::zeros(&[3, 4]), backend).is_err());
+            assert!(matvec_with(&a, &Tensor::zeros(&[2]), backend).is_err());
+        }
     }
 }

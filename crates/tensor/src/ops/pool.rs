@@ -3,8 +3,12 @@
 //! The paper's AlexNet variant (Table 4) uses `MP2` — 2×2 max pooling with
 //! stride 2 — fused after some convolutional layers. This module implements
 //! general square max pooling with argmax bookkeeping so the backward pass
-//! can route errors to the winning inputs only.
+//! can route errors to the winning inputs only. As elsewhere in `ops`, the
+//! functions here validate and allocate while the scan itself comes from a
+//! [`TensorBackend`](crate::backend::TensorBackend) (`*_with` variants;
+//! the plain entry points use [`BackendKind::Reference`]).
 
+use crate::backend::BackendKind;
 use crate::{Result, Tensor, TensorError};
 
 /// Validated pooling geometry.
@@ -81,6 +85,19 @@ impl PoolGeometry {
 ///
 /// Returns shape errors when `input` disagrees with `geo`.
 pub fn maxpool_forward(input: &Tensor, geo: &PoolGeometry) -> Result<(Tensor, Vec<u32>)> {
+    maxpool_forward_with(input, geo, BackendKind::Reference)
+}
+
+/// [`maxpool_forward`] through an explicit backend.
+///
+/// # Errors
+///
+/// Same contract as [`maxpool_forward`].
+pub fn maxpool_forward_with(
+    input: &Tensor,
+    geo: &PoolGeometry,
+    backend: BackendKind,
+) -> Result<(Tensor, Vec<u32>)> {
     let d = input.dims();
     if d.len() != 4 {
         return Err(TensorError::RankMismatch {
@@ -97,37 +114,12 @@ pub fn maxpool_forward(input: &Tensor, geo: &PoolGeometry) -> Result<(Tensor, Ve
         });
     }
     let n = d[0];
-    let in_img = geo.channels * geo.in_h * geo.in_w;
     let out_img = geo.channels * geo.out_h * geo.out_w;
     let mut out = Tensor::zeros(&[n, geo.channels, geo.out_h, geo.out_w]);
     let mut argmax = vec![0u32; n * out_img];
-    for img in 0..n {
-        let inp = &input.data()[img * in_img..(img + 1) * in_img];
-        let od = &mut out.data_mut()[img * out_img..(img + 1) * out_img];
-        let am = &mut argmax[img * out_img..(img + 1) * out_img];
-        for c in 0..geo.channels {
-            for oh in 0..geo.out_h {
-                for ow in 0..geo.out_w {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0usize;
-                    for wi in 0..geo.window {
-                        for wj in 0..geo.window {
-                            let ih = oh * geo.stride + wi;
-                            let iw = ow * geo.stride + wj;
-                            let idx = c * geo.in_h * geo.in_w + ih * geo.in_w + iw;
-                            if inp[idx] > best {
-                                best = inp[idx];
-                                best_idx = idx;
-                            }
-                        }
-                    }
-                    let o = c * geo.out_h * geo.out_w + oh * geo.out_w + ow;
-                    od[o] = best;
-                    am[o] = best_idx as u32;
-                }
-            }
-        }
-    }
+    backend
+        .kernels()
+        .maxpool_forward(input.data(), out.data_mut(), &mut argmax, n, geo);
     Ok((out, argmax))
 }
 
@@ -139,6 +131,20 @@ pub fn maxpool_forward(input: &Tensor, geo: &PoolGeometry) -> Result<(Tensor, Ve
 /// Returns shape errors when `delta_out` disagrees with `geo` or the argmax
 /// buffer has the wrong length.
 pub fn maxpool_backward(delta_out: &Tensor, argmax: &[u32], geo: &PoolGeometry) -> Result<Tensor> {
+    maxpool_backward_with(delta_out, argmax, geo, BackendKind::Reference)
+}
+
+/// [`maxpool_backward`] through an explicit backend.
+///
+/// # Errors
+///
+/// Same contract as [`maxpool_backward`].
+pub fn maxpool_backward_with(
+    delta_out: &Tensor,
+    argmax: &[u32],
+    geo: &PoolGeometry,
+    backend: BackendKind,
+) -> Result<Tensor> {
     let d = delta_out.dims();
     if d.len() != 4 || d[1] != geo.channels || d[2] != geo.out_h || d[3] != geo.out_w {
         return Err(TensorError::ShapeMismatch {
@@ -155,16 +161,10 @@ pub fn maxpool_backward(delta_out: &Tensor, argmax: &[u32], geo: &PoolGeometry) 
             actual: argmax.len(),
         });
     }
-    let in_img = geo.channels * geo.in_h * geo.in_w;
     let mut dinput = Tensor::zeros(&[n, geo.channels, geo.in_h, geo.in_w]);
-    for img in 0..n {
-        let dout = &delta_out.data()[img * out_img..(img + 1) * out_img];
-        let am = &argmax[img * out_img..(img + 1) * out_img];
-        let dinp = &mut dinput.data_mut()[img * in_img..(img + 1) * in_img];
-        for (o, &src) in am.iter().enumerate() {
-            dinp[src as usize] += dout[o];
-        }
-    }
+    backend
+        .kernels()
+        .maxpool_backward(delta_out.data(), argmax, dinput.data_mut(), n, geo);
     Ok(dinput)
 }
 
@@ -238,6 +238,22 @@ mod tests {
                 dinput.data()[i]
             );
         }
+    }
+
+    #[test]
+    fn backends_agree_bit_identically() {
+        // Pooling is memory-bound: the blocked backend deliberately reuses
+        // the reference scan, so outputs match exactly.
+        let geo = PoolGeometry::mp2(2, 4, 4).unwrap();
+        let input = init::uniform(&[2, 2, 4, 4], -1.0, 1.0, 71);
+        let (a, am_a) = maxpool_forward_with(&input, &geo, BackendKind::Reference).unwrap();
+        let (b, am_b) = maxpool_forward_with(&input, &geo, BackendKind::Blocked).unwrap();
+        assert_eq!(a.data(), b.data());
+        assert_eq!(am_a, am_b);
+        let delta = init::uniform(&[2, 2, 2, 2], -1.0, 1.0, 72);
+        let da = maxpool_backward_with(&delta, &am_a, &geo, BackendKind::Reference).unwrap();
+        let db = maxpool_backward_with(&delta, &am_b, &geo, BackendKind::Blocked).unwrap();
+        assert_eq!(da.data(), db.data());
     }
 
     #[test]
