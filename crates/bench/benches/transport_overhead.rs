@@ -18,16 +18,25 @@
 //! `ModelDownload` for the LeNet-5 global weights sent to a client that
 //! echoes an error (cheapest legal reply), which bounds the per-message
 //! framing + pipe cost alone.
+//!
+//! A final (non-criterion) probe scales the session count to 1k
+//! (`GRADSEC_MUX_SESSIONS` overrides; clamped to the descriptor limit)
+//! and times one full round over threaded TCP vs the multiplexed
+//! transport, contributing the `sessions_per_core` and
+//! `mux_vs_threaded` columns to the JSON summary — the same columns the
+//! `repro_rounds` mux gate exports (which overwrites this file in CI).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
 
-use gradsec_data::SyntheticCifar100;
-use gradsec_fl::config::{TrainingPlan, TransportKind};
+use gradsec_data::{SyntheticCifar100, SyntheticMicro};
+use gradsec_fl::config::{MuxOptions, TrainingPlan, TransportKind};
 use gradsec_fl::message::{encode, Envelope, MessageKind, ModelDownload};
 use gradsec_fl::runner::Federation;
 use gradsec_fl::transport::inprocess::channel_pair;
+use gradsec_fl::transport::poller::{fd_soft_limit, raise_fd_soft_limit};
 use gradsec_fl::transport::{tcp, ClientEndpoint, ServerEndpoint};
 use gradsec_nn::zoo;
 
@@ -54,6 +63,7 @@ fn bench_round(c: &mut Criterion) {
     for (name, transport) in [
         ("inprocess", TransportKind::InProcess),
         ("tcp", TransportKind::Tcp),
+        ("mux", TransportKind::TcpMux),
     ] {
         // One federation per transport, reused across samples (each
         // sample times one additional round), so TCP-only setup/teardown
@@ -131,6 +141,60 @@ fn bench_exchange(c: &mut Criterion) {
 
 criterion_group!(benches, bench_round, bench_exchange);
 
+/// Kilo-session scaling probe: one full round over threaded TCP vs the
+/// multiplexed transport at `sessions` clients (every client selected),
+/// timed wall-clock including fleet wiring — thread-per-connection pays
+/// its thousand spawns here, the mux its event-loop connects; that
+/// asymmetry is the measurement. Returns a JSON object for the summary.
+fn fleet_probe() -> String {
+    let requested = std::env::var("GRADSEC_MUX_SESSIONS")
+        .ok()
+        .and_then(|v| v.split(',').next().and_then(|t| t.trim().parse().ok()))
+        .unwrap_or(1_000usize);
+    let cap = raise_fd_soft_limit()
+        .or_else(fd_soft_limit)
+        .map(|fds| (fds.saturating_sub(64) / 2) as usize)
+        .unwrap_or(usize::MAX);
+    let sessions = requested.min(cap).max(1);
+    let run = |transport| {
+        let data = Arc::new(SyntheticMicro::new(2 * sessions, 2, 8, 5));
+        let start = Instant::now();
+        let mut fed = Federation::builder(TrainingPlan {
+            rounds: 1,
+            clients_per_round: sessions,
+            batches_per_cycle: 1,
+            batch_size: 2,
+            learning_rate: 0.05,
+            seed: 7,
+        })
+        .model(|| zoo::tiny_mlp(8, 4, 2, 13).expect("tiny MLP builds"))
+        .clients(sessions, data)
+        .transport(transport)
+        .build()
+        .expect("fleet builds");
+        fed.run().expect("round runs");
+        let wall = start.elapsed().as_secs_f64();
+        fed.shutdown().expect("clean teardown");
+        wall
+    };
+    eprintln!("fleet probe: {sessions} sessions over threaded TCP…");
+    let tcp_s = run(TransportKind::Tcp);
+    eprintln!("fleet probe: threaded {tcp_s:.3}s; multiplexed…");
+    let mux_s = run(TransportKind::TcpMux);
+    let loops = MuxOptions::default().effective_loops();
+    eprintln!(
+        "fleet probe: mux {mux_s:.3}s ({loops} event loops, {} sessions/core)",
+        sessions.div_ceil(loops)
+    );
+    format!(
+        "{{\"sessions\": {sessions}, \"event_loops\": {loops}, \"sessions_per_core\": {}, \
+         \"threaded_round_s\": {tcp_s:.6}, \"mux_round_s\": {mux_s:.6}, \
+         \"mux_vs_threaded\": {:.4}}}",
+        sessions.div_ceil(loops),
+        mux_s / tcp_s
+    )
+}
+
 /// Renders the JSON summary: median seconds per transport plus overhead
 /// of each transport over the in-process round.
 fn summary_json(c: &Criterion) -> String {
@@ -163,7 +227,11 @@ fn summary_json(c: &Criterion) -> String {
             )
         })
         .collect();
-    format!("{{\n  \"benchmarks\": [\n{}\n  ]\n}}\n", rows.join(",\n"))
+    format!(
+        "{{\n  \"benchmarks\": [\n{}\n  ],\n  \"fleet\": {}\n}}\n",
+        rows.join(",\n"),
+        fleet_probe()
+    )
 }
 
 fn main() {

@@ -1,32 +1,81 @@
 //! Runs a small protected federation and exports every round's report —
 //! participants, mean loss, protected layers and the TEE ledger — as JSON
 //! (`target/rounds.json` plus stdout), demonstrating the per-round export
-//! path repro pipelines consume.
+//! path repro pipelines consume. Then runs the **multiplexed-transport
+//! gate**: kilo-session (and, under `GRADSEC_FULL=1`, ~10k-session)
+//! loopback fleets where every `TransportKind::TcpMux` configuration —
+//! (1,2,4 workers) × (1,4 shards), plus a fixed-fault-seed run — must be
+//! bit-identical to the flat in-process reference and to threaded TCP,
+//! and the mux round must not fall below threaded-TCP throughput at the
+//! kilo-session tier. The gate table (wall clocks, `sessions_per_core`,
+//! mux-vs-threaded ratio) is written to `target/transport_overhead.json`
+//! — the same file the `transport_overhead` criterion bench writes for
+//! local runs; in CI this gate's table is the one that ships as the
+//! artifact (the repro_kernels/kernel_scaling precedent).
+//!
+//! Exits non-zero when any mux configuration diverges from the
+//! reference, when the faulted mux run diverges from faulted threaded
+//! TCP, or when the kilo-session mux round is slower than
+//! `GRADSEC_MUX_SLACK` × the threaded round.
 //!
 //! Environment:
 //!
-//! * `GRADSEC_TRANSPORT=tcp` — drive the rounds over loopback TCP instead
-//!   of the in-process transport (the JSON is bit-identical either way).
-//! * `GRADSEC_ROUNDS=n` — override the round count (default 5).
+//! * `GRADSEC_TRANSPORT=tcp|mux` — drive the export rounds over loopback
+//!   TCP (threaded or multiplexed) instead of the in-process transport
+//!   (the JSON is bit-identical any way).
+//! * `GRADSEC_ROUNDS=n` — override the export round count (default 5).
+//! * `GRADSEC_MUX_GATE=0` — skip the mux gate (export only).
+//! * `GRADSEC_MUX_SESSIONS=1000,10000` — override the gate fleet sizes
+//!   (each clamped to what `RLIMIT_NOFILE` can hold: two descriptors per
+//!   loopback session plus headroom).
+//! * `GRADSEC_MUX_SLACK=1.25` — throughput bar: the kilo-session mux
+//!   round may take at most this multiple of the threaded round.
+//!   Deliberately tolerant per push — shared CI runners compress
+//!   relative timings; tighten locally to compare architectures.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use gradsec_core::trainer::SecureTrainer;
 use gradsec_core::ProtectionPolicy;
-use gradsec_data::SyntheticCifar100;
+use gradsec_data::{SyntheticCifar100, SyntheticMicro};
 use gradsec_fl::config::{TrainingPlan, TransportKind};
-use gradsec_fl::runner::Federation;
+use gradsec_fl::runner::{Federation, FederationBuilder, FederationReport};
+use gradsec_fl::transport::poller::{fd_soft_limit, raise_fd_soft_limit};
+use gradsec_fl::{ExecutionEngine, FaultPlan, LatencyModel, MuxOptions};
+use gradsec_nn::model::ModelWeights;
 use gradsec_nn::zoo;
+use gradsec_tee::cost::json_number;
 
-fn main() {
-    let transport = match std::env::var("GRADSEC_TRANSPORT").as_deref() {
-        Ok("tcp") => TransportKind::Tcp,
-        _ => TransportKind::InProcess,
-    };
-    let rounds = std::env::var("GRADSEC_ROUNDS")
+const DIM: usize = 8;
+const FAULT_SEED: u64 = 0xFA417;
+const MUX_WORKERS: [usize; 3] = [1, 2, 4];
+const MUX_SHARDS: [usize; 2] = [1, 4];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(5);
+        .unwrap_or(default)
+}
+
+fn transport_name(transport: TransportKind) -> &'static str {
+    match transport {
+        TransportKind::InProcess => "in-process",
+        TransportKind::Tcp => "loopback-TCP",
+        TransportKind::TcpMux => "multiplexed-TCP",
+    }
+}
+
+/// The per-round export demo (unchanged shape: LeNet-5, protected
+/// layers, JSON to `target/rounds.json`).
+fn export_rounds() {
+    let transport = match std::env::var("GRADSEC_TRANSPORT").as_deref() {
+        Ok("tcp") => TransportKind::Tcp,
+        Ok("mux") => TransportKind::TcpMux,
+        _ => TransportKind::InProcess,
+    };
+    let rounds = env_u64("GRADSEC_ROUNDS", 5);
     let data = Arc::new(SyntheticCifar100::with_classes(96, 2, 5));
     let policy = ProtectionPolicy::static_layers(&[1, 4]).expect("valid layer set");
     let mut fed = Federation::builder(TrainingPlan {
@@ -46,22 +95,267 @@ fn main() {
     .expect("federation builds");
     eprintln!(
         "Running {rounds} protected rounds over the {} transport…",
-        match transport {
-            TransportKind::InProcess => "in-process",
-            TransportKind::Tcp => "loopback-TCP",
-        }
+        transport_name(transport)
     );
     let report = fed.run().expect("federation runs");
     fed.shutdown().expect("clean teardown");
     let json = report.to_json();
+    write_json("rounds.json", &json);
+    println!("{json}");
+}
+
+/// Gate fleet sizes: kilo-session per push, ~10k under `GRADSEC_FULL=1`,
+/// each clamped to what the file-descriptor limit can hold (a loopback
+/// session burns two descriptors — the mux socket and the server's
+/// accepted end — plus headroom for listeners, stdio and the allocator).
+fn gate_fleets() -> Vec<usize> {
+    let requested: Vec<usize> = std::env::var("GRADSEC_MUX_SESSIONS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| {
+            if gradsec_bench::Profile::from_env().is_full() {
+                vec![1_000, 10_000]
+            } else {
+                vec![1_000]
+            }
+        });
+    let cap = raise_fd_soft_limit()
+        .or_else(fd_soft_limit)
+        .map(|fds| (fds.saturating_sub(64) / 2) as usize)
+        .unwrap_or(usize::MAX);
+    requested
+        .into_iter()
+        .map(|n| {
+            let clamped = n.min(cap).max(1);
+            if clamped < n {
+                eprintln!(
+                    "clamping {n}-session tier to {clamped}: RLIMIT_NOFILE holds \
+                     {cap} loopback sessions"
+                );
+            }
+            clamped
+        })
+        .collect()
+}
+
+fn gate_builder(clients: usize) -> FederationBuilder {
+    let data = Arc::new(SyntheticMicro::new(2 * clients, 2, DIM, 5));
+    Federation::builder(TrainingPlan {
+        rounds: 1,
+        clients_per_round: clients,
+        batches_per_cycle: 1,
+        batch_size: 2,
+        learning_rate: 0.05,
+        seed: 7,
+    })
+    .model(|| zoo::tiny_mlp(DIM, 4, 2, 13).expect("tiny MLP builds"))
+    .clients(clients, data)
+}
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan::seeded(FAULT_SEED)
+        .dropout(0.10)
+        .drop_messages(0.05)
+        .garble_replies(0.02)
+        .latency(LatencyModel::Exponential { mean_s: 0.5 })
+        .spare(24)
+}
+
+/// A faulted gate round selects a sub-cohort so the over-provisioned
+/// selection has spares to promote when the seeded faults shed clients.
+fn faulted_builder(clients: usize) -> FederationBuilder {
+    let data = Arc::new(SyntheticMicro::new(2 * clients, 2, DIM, 5));
+    Federation::builder(TrainingPlan {
+        rounds: 1,
+        clients_per_round: (clients / 16).max(1),
+        batches_per_cycle: 1,
+        batch_size: 2,
+        learning_rate: 0.05,
+        seed: 7,
+    })
+    .model(|| zoo::tiny_mlp(DIM, 4, 2, 13).expect("tiny MLP builds"))
+    .clients(clients, data)
+    .faults(fault_plan())
+}
+
+fn finish(mut fed: Federation, start: Instant) -> (FederationReport, ModelWeights, f64) {
+    let report = fed.run().expect("gate round completes");
+    let wall = start.elapsed().as_secs_f64();
+    let weights = fed.server().global().clone();
+    fed.shutdown().expect("clean teardown");
+    (report, weights, wall)
+}
+
+fn run_flat(
+    builder: FederationBuilder,
+    transport: TransportKind,
+    workers: usize,
+) -> (FederationReport, ModelWeights, f64) {
+    let start = Instant::now();
+    let fed = builder
+        .transport(transport)
+        .engine(ExecutionEngine::new(workers))
+        .build()
+        .expect("gate fleet builds");
+    finish(fed, start)
+}
+
+struct MuxRow {
+    workers: usize,
+    shards: usize,
+    wall_s: f64,
+    identical: bool,
+}
+
+/// One gate tier: reference + threaded TCP + the mux matrix + the
+/// faulted pair. Returns the JSON row and whether everything held.
+fn gate_tier(sessions: usize, slack: f64) -> (String, bool, bool) {
+    eprintln!("{sessions}-session tier: flat in-process reference…");
+    let (ref_report, ref_weights, inproc_wall) =
+        run_flat(gate_builder(sessions), TransportKind::InProcess, 1);
+    eprintln!("  in-process: {inproc_wall:.3}s; threaded TCP…");
+    let (tcp_report, tcp_weights, tcp_wall) =
+        run_flat(gate_builder(sessions), TransportKind::Tcp, 1);
+    let tcp_identical = tcp_report == ref_report && tcp_weights == ref_weights;
+    eprintln!(
+        "  threaded TCP: {tcp_wall:.3}s ({})",
+        verdict(tcp_identical)
+    );
+
+    let mut all_identical = tcp_identical;
+    let mut rows: Vec<MuxRow> = Vec::new();
+    for workers in MUX_WORKERS {
+        for shards in MUX_SHARDS {
+            let start = Instant::now();
+            let mut fed = gate_builder(sessions)
+                .transport(TransportKind::TcpMux)
+                .shards(shards)
+                .engine(ExecutionEngine::new(workers))
+                .build_sharded()
+                .expect("mux fleet builds");
+            let report = fed.run().expect("mux round completes");
+            let wall_s = start.elapsed().as_secs_f64();
+            let identical = report == ref_report && fed.server().global() == &ref_weights;
+            fed.shutdown().expect("clean mux teardown");
+            all_identical &= identical;
+            eprintln!(
+                "  mux {workers} workers x {shards} shards: {wall_s:.3}s ({})",
+                verdict(identical)
+            );
+            rows.push(MuxRow {
+                workers,
+                shards,
+                wall_s,
+                identical,
+            });
+        }
+    }
+
+    // Fixed fault seed: the faulted mux round must match the faulted
+    // threaded round bit for bit (every fault decision is a pure
+    // function of seed/client/message, never of who drives the socket).
+    let (ftcp_report, ftcp_weights, _) = run_flat(faulted_builder(sessions), TransportKind::Tcp, 2);
+    let (fmux_report, fmux_weights, _) =
+        run_flat(faulted_builder(sessions), TransportKind::TcpMux, 2);
+    let faulted_identical = fmux_report == ftcp_report && fmux_weights == ftcp_weights;
+    all_identical &= faulted_identical;
+    eprintln!("  faulted mux vs threaded: {}", verdict(faulted_identical));
+
+    // Throughput bar: the flat 1-worker mux round vs its threaded twin.
+    let mux_flat_wall = rows
+        .iter()
+        .find(|r| r.workers == 1 && r.shards == 1)
+        .map(|r| r.wall_s)
+        .unwrap_or(f64::INFINITY);
+    let ratio = mux_flat_wall / tcp_wall;
+    let throughput_ok = ratio <= slack;
+    eprintln!(
+        "  mux/threaded wall ratio: {ratio:.3} (bar {slack:.2}) ({})",
+        if throughput_ok { "ok" } else { "TOO SLOW" }
+    );
+
+    let loops = MuxOptions::default().effective_loops();
+    let mux_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{"workers":{},"shards":{},"wall_s":{},"identical":{}}}"#,
+                r.workers,
+                r.shards,
+                json_number(r.wall_s),
+                r.identical
+            )
+        })
+        .collect();
+    let row = format!(
+        r#"{{"sessions":{sessions},"event_loops":{loops},"sessions_per_core":{},"inprocess_wall_s":{},"threaded_wall_s":{},"mux_flat_wall_s":{},"mux_vs_threaded":{},"threaded_identical":{tcp_identical},"faulted_identical":{faulted_identical},"mux":[{}]}}"#,
+        sessions.div_ceil(loops),
+        json_number(inproc_wall),
+        json_number(tcp_wall),
+        json_number(mux_flat_wall),
+        json_number(ratio),
+        mux_rows.join(",")
+    );
+    (row, all_identical, throughput_ok)
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "bit-identical"
+    } else {
+        "DIVERGED"
+    }
+}
+
+fn write_json(name: &str, json: &str) {
     let target = gradsec_bench::workspace_target();
-    let path = target.join("rounds.json");
+    let path = target.join(name);
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    match std::fs::write(&path, &json) {
+    match std::fs::write(&path, json) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+}
+
+fn main() {
+    export_rounds();
+    if std::env::var("GRADSEC_MUX_GATE").as_deref() == Ok("0") {
+        eprintln!("GRADSEC_MUX_GATE=0: skipping the multiplexed-transport gate");
+        return;
+    }
+    let slack = std::env::var("GRADSEC_MUX_SLACK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.25_f64);
+    let mut all_identical = true;
+    let mut throughput_ok = true;
+    let mut tiers = Vec::new();
+    for sessions in gate_fleets() {
+        let (row, identical, fast_enough) = gate_tier(sessions, slack);
+        all_identical &= identical;
+        // The throughput bar binds at the kilo-session tier and up;
+        // tinier (fd-clamped) tiers still gate bit-identity.
+        if sessions >= 1_000 {
+            throughput_ok &= fast_enough;
+        }
+        tiers.push(row);
+    }
+    let json = format!(
+        r#"{{"source":"repro_rounds mux gate","slack":{},"all_bit_identical":{all_identical},"throughput_ok":{throughput_ok},"fleets":[{}]}}"#,
+        json_number(slack),
+        tiers.join(",")
+    );
+    write_json("transport_overhead.json", &json);
     println!("{json}");
+    if !all_identical {
+        eprintln!("FAIL: a mux configuration diverged from the reference");
+        std::process::exit(1);
+    }
+    if !throughput_ok {
+        eprintln!("FAIL: the mux round fell below threaded-TCP throughput");
+        std::process::exit(1);
+    }
 }

@@ -57,9 +57,10 @@ impl TrainingPlan {
 
 /// Which transport a built federation wires its clients onto.
 ///
-/// Both transports speak the identical envelope protocol, so a run is
+/// Every transport speaks the identical envelope protocol, so a run is
 /// bit-identical whichever is chosen (asserted by
-/// `tests/integration_transport.rs` at the workspace root).
+/// `tests/integration_transport.rs` and `tests/integration_mux.rs` at the
+/// workspace root).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum TransportKind {
     /// Zero-copy in-process dispatch (the default): client cycles run on
@@ -69,6 +70,74 @@ pub enum TransportKind {
     /// Loopback TCP: one socket and one service thread per client, the
     /// round exchange crossing real sockets.
     Tcp,
+    /// Multiplexed loopback TCP: one socket per client, but client
+    /// sessions are served by a small fixed pool of event-loop threads
+    /// over nonblocking sockets (see `transport::mux`) — the fan-in shape
+    /// for tens of thousands of sessions on one host. Tuned via
+    /// [`MuxOptions`].
+    TcpMux,
+}
+
+/// Tuning knobs for the [`TransportKind::TcpMux`] transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MuxOptions {
+    /// Event-loop threads serving the fleet; `0` (the default) means one
+    /// per available core. Clamped to the session count.
+    pub loops: usize,
+    /// Bytes each event loop reads per nonblocking `read` call (the
+    /// shared read scratch size). Must be positive.
+    pub read_chunk: usize,
+    /// Per-session write-queue bound in bytes: while a session has at
+    /// least this many reply bytes queued, its reads pause until the
+    /// peer drains the queue (backpressure instead of unbounded
+    /// buffering). Must be positive and large enough for one encoded
+    /// reply to make progress — replies themselves are never split
+    /// across the bound, only delayed by it.
+    pub write_bound: usize,
+}
+
+impl Default for MuxOptions {
+    /// One loop per core, 64 KiB read chunks, 4 MiB write bound.
+    fn default() -> Self {
+        MuxOptions {
+            loops: 0,
+            read_chunk: 64 * 1024,
+            write_bound: 4 * 1024 * 1024,
+        }
+    }
+}
+
+impl MuxOptions {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::BadConfig`] for a zero read chunk or write
+    /// bound.
+    pub fn validate(&self) -> Result<()> {
+        if self.read_chunk == 0 {
+            return Err(FlError::BadConfig {
+                reason: "mux read_chunk must be positive".to_owned(),
+            });
+        }
+        if self.write_bound == 0 {
+            return Err(FlError::BadConfig {
+                reason: "mux write_bound must be positive".to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The configured loop count, with `0` resolved to one loop per
+    /// available core (at least one).
+    pub fn effective_loops(&self) -> usize {
+        if self.loops > 0 {
+            return self.loops;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
 }
 
 /// How a registered client fleet is partitioned across engine shards.
@@ -223,6 +292,33 @@ mod tests {
             restored.extend(locals.iter().map(|&i| i + l.range(s).start));
         }
         assert_eq!(restored, vec![0, 2, 3, 6, 8, 9]);
+    }
+
+    #[test]
+    fn mux_options_validate_and_resolve_loops() {
+        let defaults = MuxOptions::default();
+        defaults.validate().unwrap();
+        assert!(defaults.effective_loops() >= 1);
+        assert_eq!(
+            MuxOptions {
+                loops: 3,
+                ..defaults
+            }
+            .effective_loops(),
+            3
+        );
+        assert!(MuxOptions {
+            read_chunk: 0,
+            ..defaults
+        }
+        .validate()
+        .is_err());
+        assert!(MuxOptions {
+            write_bound: 0,
+            ..defaults
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

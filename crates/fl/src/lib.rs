@@ -55,7 +55,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the epoll wrapper in `transport::poller` is the
+// one sanctioned unsafe island (raw readiness syscalls behind a safe
+// facade) and opts back in with a module-level `allow`. Everything else
+// in the crate still fails to compile on `unsafe`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;
@@ -73,7 +77,7 @@ pub mod server;
 pub mod trainer;
 pub mod transport;
 
-pub use config::{ShardLayout, TransportKind};
+pub use config::{MuxOptions, ShardLayout, TransportKind};
 pub use engine::{ClientOutcome, ExecutionEngine};
 pub use error::FlError;
 pub use faults::{FaultPlan, FaultyEndpoint, LatencyModel};

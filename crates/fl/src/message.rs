@@ -257,6 +257,55 @@ pub const MAX_ENVELOPE_PAYLOAD: usize = 1024 * 1024 * 1024;
 /// transport never caps a message the plain transports carry fine.
 pub const SEAL_OVERHEAD: usize = ENVELOPE_HEADER_LEN + 115;
 
+/// A validated envelope header: everything a socket reader needs to pull
+/// the rest of the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvelopeHead {
+    /// Protocol version the sender stamped on the envelope.
+    pub version: u16,
+    /// What the payload will decode as.
+    pub kind: MessageKind,
+    /// How many payload bytes follow the header.
+    pub payload_len: usize,
+}
+
+/// Parses and validates one fixed-size envelope header from raw bytes —
+/// the single header decoder shared by the blocking socket reader, the
+/// mux frame reassembler and [`Envelope::decode_from`], so every path
+/// rejects bad magic and hostile lengths identically (and none of them
+/// allocates to do it).
+///
+/// # Errors
+///
+/// Returns [`FlError::Protocol`] on bad magic, an unknown kind tag, or a
+/// payload length beyond [`MAX_ENVELOPE_PAYLOAD`] +
+/// [`SEAL_OVERHEAD`]. The length bound is checked on the raw `u64` — a
+/// `usize` cast first would truncate on 32-bit targets and defeat the
+/// guard.
+pub fn parse_envelope_head(header: &[u8; ENVELOPE_HEADER_LEN]) -> Result<EnvelopeHead> {
+    let magic = u16::from_le_bytes([header[0], header[1]]);
+    if magic != ENVELOPE_MAGIC {
+        return Err(FlError::Protocol {
+            reason: format!("bad envelope magic {magic:#06x}"),
+        });
+    }
+    let version = u16::from_le_bytes([header[2], header[3]]);
+    let kind = MessageKind::from_u8(header[4])?;
+    let len = u64::from_le_bytes([
+        header[5], header[6], header[7], header[8], header[9], header[10], header[11], header[12],
+    ]);
+    if len > (MAX_ENVELOPE_PAYLOAD + SEAL_OVERHEAD) as u64 {
+        return Err(FlError::Protocol {
+            reason: format!("envelope payload length {len} exceeds protocol maximum"),
+        });
+    }
+    Ok(EnvelopeHead {
+        version,
+        kind,
+        payload_len: len as usize,
+    })
+}
+
 /// The typed, versioned wrapper every message travels in.
 ///
 /// Its binary layout — magic, version, kind, payload length, payload —
@@ -348,30 +397,15 @@ impl Wire for Envelope {
 
     fn decode_from(buf: &mut Bytes) -> Result<Self> {
         need(buf, ENVELOPE_HEADER_LEN, "envelope header")?;
-        let magic = buf.get_u16_le();
-        if magic != ENVELOPE_MAGIC {
-            return Err(FlError::Protocol {
-                reason: format!("bad envelope magic {magic:#06x}"),
-            });
-        }
-        let version = buf.get_u16_le();
-        let kind = MessageKind::from_u8(buf.get_u8())?;
-        // Bound the raw u64 before the usize cast (32-bit truncation
-        // would defeat the guard); sealed carriers get the documented
-        // slack on top of the plain maximum.
-        let len = buf.get_u64_le();
-        if len > (MAX_ENVELOPE_PAYLOAD + SEAL_OVERHEAD) as u64 {
-            return Err(FlError::Protocol {
-                reason: format!("envelope payload length {len} exceeds protocol maximum"),
-            });
-        }
-        let len = len as usize;
-        need(buf, len, "envelope payload")?;
-        let mut payload = vec![0u8; len];
+        let mut header = [0u8; ENVELOPE_HEADER_LEN];
+        buf.copy_to_slice(&mut header);
+        let head = parse_envelope_head(&header)?;
+        need(buf, head.payload_len, "envelope payload")?;
+        let mut payload = vec![0u8; head.payload_len];
         buf.copy_to_slice(&mut payload);
         Ok(Envelope {
-            version,
-            kind,
+            version: head.version,
+            kind: head.kind,
             payload,
         })
     }

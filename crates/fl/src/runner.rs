@@ -3,11 +3,12 @@
 //! The round exchange is driven exclusively through
 //! [`transport`](crate::transport) endpoints: the builder assembles the
 //! client fleet, wires each client onto the configured
-//! [`TransportKind`] (zero-copy in-process dispatch by default, loopback
-//! TCP with one service thread per client otherwise), handshakes every
-//! endpoint, and hands the resulting [`RemoteClient`]s to the server and
-//! engine. The same protocol bytes flow either way, so reports are
-//! bit-identical across transports.
+//! [`TransportKind`] (zero-copy in-process dispatch by default; loopback
+//! TCP with one service thread per client; or multiplexed loopback TCP
+//! with the whole fleet served by a small event-loop pool), handshakes
+//! every endpoint, and hands the resulting [`RemoteClient`]s to the
+//! server and engine. The same protocol bytes flow every way, so reports
+//! are bit-identical across transports.
 //!
 //! Two runners share that machinery:
 //!
@@ -33,13 +34,14 @@ use gradsec_tee::crypto::sha256::sha256;
 
 use crate::aggregate::PartialAggregate;
 use crate::client::{DeviceProfile, FlClient};
-use crate::config::{ShardLayout, TrainingPlan, TransportKind};
+use crate::config::{MuxOptions, ShardLayout, TrainingPlan, TransportKind};
 use crate::engine::{ClientOutcome, ExecutionEngine};
 use crate::faults::{FaultPlan, FaultyEndpoint};
 use crate::scheduler::{NoProtection, ProtectionScheduler};
 use crate::server::FlServer;
 use crate::trainer::{LocalTrainer, PlainSgdTrainer};
 use crate::transport::inprocess::LocalEndpoint;
+use crate::transport::mux::{MuxFleet, DEFAULT_JOIN_GRACE};
 use crate::transport::{tcp, ClientSession, RemoteClient, ServerEndpoint};
 use crate::{FlError, Result};
 
@@ -138,6 +140,7 @@ pub struct FederationBuilder {
     engine: ExecutionEngine,
     measurement: Measurement,
     transport: TransportKind,
+    mux: MuxOptions,
     shards: usize,
     faults: Option<Arc<FaultPlan>>,
     backend: BackendKind,
@@ -155,6 +158,7 @@ impl FederationBuilder {
             engine: ExecutionEngine::sequential(),
             measurement: Measurement(sha256(b"gradsec-ta-code-v1")),
             transport: TransportKind::InProcess,
+            mux: MuxOptions::default(),
             shards: 1,
             faults: None,
             backend: BackendKind::from_env(),
@@ -223,9 +227,19 @@ impl FederationBuilder {
 
     /// Selects the transport the fleet is wired onto (in-process by
     /// default; [`TransportKind::Tcp`] runs every client behind a
-    /// loopback socket with its own service thread).
+    /// loopback socket with its own service thread;
+    /// [`TransportKind::TcpMux`] multiplexes every client session onto a
+    /// small event-loop pool — see [`mux`](Self::mux) for its knobs).
     pub fn transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Tunes the [`TransportKind::TcpMux`] transport: event-loop count
+    /// (0 = one per core), read-chunk size and the per-session
+    /// write-queue bound. Ignored by the other transports.
+    pub fn mux(mut self, options: MuxOptions) -> Self {
+        self.mux = options;
         self
     }
 
@@ -370,7 +384,8 @@ impl FederationBuilder {
         if let Some(plan) = &self.faults {
             server.overprovision(plan.spare_count());
         }
-        let (clients, sessions) = wire_fleet(fleet, self.transport, self.faults.as_ref())?;
+        let (clients, sessions) =
+            wire_fleet(fleet, self.transport, &self.mux, self.faults.as_ref())?;
         Ok(AssembledFleet {
             server,
             clients,
@@ -387,26 +402,37 @@ impl FederationBuilder {
 struct AssembledFleet {
     server: FlServer,
     clients: Vec<RemoteClient>,
-    sessions: SessionHandles,
+    sessions: SessionBackend,
     scheduler: Arc<dyn ProtectionScheduler>,
     engine: ExecutionEngine,
     faults: Option<Arc<FaultPlan>>,
 }
 
-/// Client service threads spawned by socket-backed transports; each
-/// returns its `FlClient` when the session ends.
-type SessionHandles = Vec<JoinHandle<Result<FlClient>>>;
+/// The client-side machinery a socket-backed transport left running
+/// behind the handshaken endpoints — whatever teardown must reap.
+enum SessionBackend {
+    /// Thread-per-client service threads ([`TransportKind::Tcp`]); each
+    /// returns its `FlClient` when the session ends. The in-process
+    /// transport leaves this empty.
+    Threads(Vec<JoinHandle<Result<FlClient>>>),
+    /// The event-loop pool serving a multiplexed fleet
+    /// ([`TransportKind::TcpMux`]).
+    Mux(MuxFleet),
+}
 
 /// Wires a built fleet onto `transport`, returning the handshaken
-/// endpoints (id-ordered) plus any client service threads spawned. With
-/// a fault plan, every endpoint — whatever the backend — is wrapped in a
-/// [`FaultyEndpoint`] before the handshake, so transport faults inject
-/// identically over in-process pipes and real sockets.
+/// endpoints (id-ordered) plus the client-side session backend to reap
+/// at teardown. With a fault plan, every endpoint — whatever the
+/// backend — is wrapped in a [`FaultyEndpoint`] before the handshake, so
+/// transport faults inject identically over in-process pipes, threaded
+/// sockets and multiplexed sockets (the fault layer lives server-side,
+/// above the pipe).
 fn wire_fleet(
     fleet: Vec<FlClient>,
     transport: TransportKind,
+    mux: &MuxOptions,
     faults: Option<&Arc<FaultPlan>>,
-) -> Result<(Vec<RemoteClient>, SessionHandles)> {
+) -> Result<(Vec<RemoteClient>, SessionBackend)> {
     let wrap = move |endpoint: Box<dyn ServerEndpoint>| -> Box<dyn ServerEndpoint> {
         match faults {
             Some(plan) => Box::new(FaultyEndpoint::new(endpoint, plan.clone())),
@@ -419,13 +445,16 @@ fn wire_fleet(
                 .into_iter()
                 .map(|c| RemoteClient::connect(wrap(Box::new(LocalEndpoint::new(c)))))
                 .collect::<Result<Vec<_>>>()?;
-            Ok((remotes, Vec::new()))
+            Ok((remotes, SessionBackend::Threads(Vec::new())))
         }
         TransportKind::Tcp => {
             let listener = tcp::bind(("127.0.0.1", 0))?;
             let addr = listener.local_addr()?;
             let n = fleet.len();
-            let mut sessions: SessionHandles = fleet
+            // Every session thread connects at once; outgrow the std
+            // 128-slot backlog before the SYN storm starts.
+            listener.deepen_backlog(n as u32 + 128);
+            let mut sessions: Vec<JoinHandle<Result<FlClient>>> = fleet
                 .into_iter()
                 .map(|client| {
                     std::thread::spawn(move || {
@@ -467,7 +496,48 @@ fn wire_fleet(
             // Connections are accepted in arrival order; the handshake
             // told us who is who, so restore fleet order by id.
             remotes.sort_by_key(RemoteClient::id);
-            Ok((remotes, sessions))
+            Ok((remotes, SessionBackend::Threads(sessions)))
+        }
+        TransportKind::TcpMux => {
+            let listener = tcp::bind(("127.0.0.1", 0))?;
+            let addr = listener.local_addr()?;
+            let n = fleet.len();
+            // The event loops connect their whole share before the
+            // accepts below drain anything; outgrow the 128-slot
+            // backlog so no connect lands in kernel retry backoff.
+            listener.deepen_backlog(n as u32 + 128);
+            let fleet_handle = MuxFleet::launch(addr, fleet, mux)?;
+            // Accept ALL n connections before handshaking any of them.
+            // The event loops connect their whole share before they start
+            // polling, so a handshake attempted early would block on a
+            // session nobody is serving yet — while the un-accepted
+            // remainder overflows the listener backlog and stalls the
+            // loops' own connects: a deadlock. Draining the backlog first
+            // breaks the cycle.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            let mut endpoints = Vec::with_capacity(n);
+            while endpoints.len() < n {
+                match listener.try_accept()? {
+                    Some(endpoint) => endpoints.push(endpoint),
+                    None => {
+                        if let Some(e) = fleet_handle.take_early_error() {
+                            return Err(e);
+                        }
+                        if std::time::Instant::now() > deadline {
+                            return Err(FlError::disconnected(
+                                "waiting for mux client connections during federation build",
+                            ));
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+            }
+            let mut remotes = endpoints
+                .into_iter()
+                .map(|endpoint| RemoteClient::connect(wrap(Box::new(endpoint))))
+                .collect::<Result<Vec<_>>>()?;
+            remotes.sort_by_key(RemoteClient::id);
+            Ok((remotes, SessionBackend::Mux(fleet_handle)))
         }
     }
 }
@@ -479,7 +549,7 @@ pub struct Federation {
     clients: Vec<RemoteClient>,
     scheduler: Arc<dyn ProtectionScheduler>,
     engine: ExecutionEngine,
-    sessions: SessionHandles,
+    sessions: SessionBackend,
     faults: Option<Arc<FaultPlan>>,
 }
 
@@ -692,16 +762,20 @@ fn finish_round(
     })
 }
 
-/// Says goodbye over every endpoint, *drops* every endpoint, then joins
-/// any client service threads, returning the first failure encountered
-/// (both runners tear down this way).
+/// Says goodbye over every endpoint, *drops* every endpoint, then reaps
+/// the client-side session backend, returning the first failure
+/// encountered (both runners tear down this way).
 ///
 /// The order matters: dropping the server-side endpoints closes their
-/// sockets/channels before the joins below, so a session thread whose
-/// goodbye was lost (dead peer, injected fault, broken pipe) wakes from
-/// its blocking `recv` with a disconnect error and exits instead of
-/// hanging the join forever.
-fn teardown_fleet(clients: Vec<RemoteClient>, sessions: &mut SessionHandles) -> Result<()> {
+/// sockets/channels before the joins below, so a session whose goodbye
+/// was lost (dead peer, injected fault, broken pipe) observes a
+/// disconnect — the threaded path wakes from its blocking `recv`, the
+/// mux path sees EOF on its next readiness event — and exits instead of
+/// hanging the join forever. The mux join is additionally bounded by
+/// [`DEFAULT_JOIN_GRACE`] plus the loops' shutdown flag, the same
+/// watchdog discipline in a form one thread can apply to thousands of
+/// sessions.
+fn teardown_fleet(clients: Vec<RemoteClient>, sessions: &mut SessionBackend) -> Result<()> {
     let mut first_err = None;
     for mut client in clients {
         if let Err(e) = client.goodbye() {
@@ -709,16 +783,25 @@ fn teardown_fleet(clients: Vec<RemoteClient>, sessions: &mut SessionHandles) -> 
         }
         // `client` drops here, hanging up its transport.
     }
-    for session in sessions.drain(..) {
-        match session.join() {
-            Ok(Ok(_client)) => {}
-            Ok(Err(e)) => {
-                first_err.get_or_insert(e);
+    match sessions {
+        SessionBackend::Threads(handles) => {
+            for session in handles.drain(..) {
+                match session.join() {
+                    Ok(Ok(_client)) => {}
+                    Ok(Err(e)) => {
+                        first_err.get_or_insert(e);
+                    }
+                    Err(_) => {
+                        first_err.get_or_insert(FlError::Protocol {
+                            reason: "client session thread panicked".to_owned(),
+                        });
+                    }
+                }
             }
-            Err(_) => {
-                first_err.get_or_insert(FlError::Protocol {
-                    reason: "client session thread panicked".to_owned(),
-                });
+        }
+        SessionBackend::Mux(fleet) => {
+            if let Err(e) = fleet.join(DEFAULT_JOIN_GRACE) {
+                first_err.get_or_insert(e);
             }
         }
     }
@@ -747,7 +830,7 @@ pub struct ShardedFederation {
     layout: ShardLayout,
     scheduler: Arc<dyn ProtectionScheduler>,
     engine: ExecutionEngine,
-    sessions: SessionHandles,
+    sessions: SessionBackend,
     faults: Option<Arc<FaultPlan>>,
 }
 

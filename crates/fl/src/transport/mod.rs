@@ -10,7 +10,7 @@
 //! * [`ClientEndpoint`] — the client's side: block for the next request,
 //!   send the reply.
 //!
-//! Three backends implement the seam:
+//! Four backends implement the seam:
 //!
 //! * [`inprocess::LocalEndpoint`] — in-process dispatch, zero-copy in
 //!   flight (the envelope is moved between endpoints, never re-buffered;
@@ -19,7 +19,12 @@
 //! * [`inprocess::channel_pair`] — a channel-backed duplex for client
 //!   service threads inside one process.
 //! * [`tcp`] — the same envelopes over real sockets, the envelope header
-//!   doubling as the length-prefixed frame.
+//!   doubling as the length-prefixed frame; one blocking service thread
+//!   per client session.
+//! * [`mux`] — the same sockets, but client sessions multiplexed onto a
+//!   small fixed pool of event-loop threads via nonblocking readiness
+//!   polling ([`poller`]) — the fan-in shape for tens of thousands of
+//!   sessions on one host.
 //!
 //! [`sealed`] wraps any of the three in the trusted I/O path
 //! (`gradsec-tee::tiop`), sealing exactly the bytes that cross the wire.
@@ -31,6 +36,8 @@
 //! loop).
 
 pub mod inprocess;
+pub mod mux;
+pub mod poller;
 pub mod sealed;
 pub mod tcp;
 

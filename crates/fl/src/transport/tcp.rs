@@ -14,53 +14,52 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 
-use bytes::{Buf, Bytes};
+use bytes::BytesMut;
 
-use crate::message::{
-    encode, Envelope, MessageKind, ENVELOPE_HEADER_LEN, ENVELOPE_MAGIC, MAX_ENVELOPE_PAYLOAD,
-    SEAL_OVERHEAD,
-};
+use crate::message::{parse_envelope_head, Envelope, Wire, ENVELOPE_HEADER_LEN};
 use crate::transport::{ClientEndpoint, ServerEndpoint};
 use crate::{FlError, Result};
 
 /// Writes one envelope to a stream (header + payload, single buffer).
-fn write_envelope<W: Write>(w: &mut W, envelope: &Envelope, peer: &str) -> Result<()> {
-    let bytes = encode(envelope);
-    w.write_all(&bytes)
+///
+/// `scratch` is the endpoint's write buffer, reused across frames: the
+/// envelope is encoded into it in place and its capacity survives the
+/// call, so steady-state rounds do one allocation per *session*, not one
+/// (or, with the old `encode` → `to_vec` path, two) per envelope.
+fn write_envelope<W: Write>(
+    w: &mut W,
+    scratch: &mut BytesMut,
+    envelope: &Envelope,
+    peer: &str,
+) -> Result<()> {
+    scratch.clear();
+    envelope.encode_into(scratch);
+    w.write_all(scratch.as_slice())
         .and_then(|()| w.flush())
         .map_err(|e| FlError::transport(format!("writing envelope to {peer}"), e))
 }
 
-/// Reads one envelope from a stream: fixed header first, then the
-/// advertised payload length read directly into the envelope's buffer
-/// (no reassembly or second decode pass — this is the hot round path).
+/// Reads one envelope from a stream: fixed header first (parsed in place
+/// by [`parse_envelope_head`] — no buffer allocation), then the
+/// advertised payload length read directly into the envelope's own
+/// buffer (no reassembly or second decode pass — this is the hot round
+/// path, and the payload `Vec` is the envelope's storage, not scratch).
 fn read_envelope<R: Read>(r: &mut R, peer: &str) -> Result<Envelope> {
     let mut header = [0u8; ENVELOPE_HEADER_LEN];
     r.read_exact(&mut header)
         .map_err(|e| FlError::transport(format!("reading envelope header from {peer}"), e))?;
-    let mut cursor = Bytes::copy_from_slice(&header);
-    let magic = cursor.get_u16_le();
-    if magic != ENVELOPE_MAGIC {
-        return Err(FlError::Protocol {
-            reason: format!("bad envelope magic {magic:#06x} from {peer}"),
-        });
-    }
-    let version = cursor.get_u16_le();
-    let kind = MessageKind::from_u8(cursor.get_u8())?;
-    // Raw-u64 comparison (a usize cast first would truncate on 32-bit
-    // targets and defeat the guard); sealed carriers get their slack.
-    let len = cursor.get_u64_le();
-    if len > (MAX_ENVELOPE_PAYLOAD + SEAL_OVERHEAD) as u64 {
-        return Err(FlError::Protocol {
-            reason: format!("envelope payload length {len} from {peer} exceeds protocol maximum"),
-        });
-    }
-    let mut payload = vec![0u8; len as usize];
+    let head = parse_envelope_head(&header).map_err(|e| match e {
+        FlError::Protocol { reason } => FlError::Protocol {
+            reason: format!("{reason} (from {peer})"),
+        },
+        other => other,
+    })?;
+    let mut payload = vec![0u8; head.payload_len];
     r.read_exact(&mut payload)
         .map_err(|e| FlError::transport(format!("reading envelope payload from {peer}"), e))?;
     Ok(Envelope {
-        version,
-        kind,
+        version: head.version,
+        kind: head.kind,
         payload,
     })
 }
@@ -77,16 +76,18 @@ fn configure(stream: &TcpStream, peer: &str) -> Result<()> {
 pub struct TcpServerEndpoint {
     stream: TcpStream,
     peer: String,
+    /// Per-session write scratch (see [`write_envelope`]).
+    scratch: BytesMut,
 }
 
 impl ServerEndpoint for TcpServerEndpoint {
     fn exchange(&mut self, request: Envelope) -> Result<Envelope> {
-        write_envelope(&mut self.stream, &request, &self.peer)?;
+        write_envelope(&mut self.stream, &mut self.scratch, &request, &self.peer)?;
         read_envelope(&mut self.stream, &self.peer)
     }
 
     fn notify(&mut self, message: Envelope) -> Result<()> {
-        write_envelope(&mut self.stream, &message, &self.peer)
+        write_envelope(&mut self.stream, &mut self.scratch, &message, &self.peer)
     }
 
     fn descriptor(&self) -> String {
@@ -99,6 +100,8 @@ impl ServerEndpoint for TcpServerEndpoint {
 pub struct TcpClientEndpoint {
     stream: TcpStream,
     peer: String,
+    /// Per-session write scratch (see [`write_envelope`]).
+    scratch: BytesMut,
 }
 
 impl ClientEndpoint for TcpClientEndpoint {
@@ -107,7 +110,7 @@ impl ClientEndpoint for TcpClientEndpoint {
     }
 
     fn send(&mut self, reply: Envelope) -> Result<()> {
-        write_envelope(&mut self.stream, &reply, &self.peer)
+        write_envelope(&mut self.stream, &mut self.scratch, &reply, &self.peer)
     }
 
     fn descriptor(&self) -> String {
@@ -146,6 +149,16 @@ impl TcpListenerEndpoint {
         self.admit(stream, addr)
     }
 
+    /// Deepens the accept backlog toward `backlog` connections (best
+    /// effort — see
+    /// [`deepen_listen_backlog`](crate::transport::poller::deepen_listen_backlog)).
+    /// Call before wiring kilo-client fleets whose sessions all connect
+    /// at once: the std default backlog of 128 drops the overflow SYNs
+    /// into kernel retry backoff.
+    pub fn deepen_backlog(&self, backlog: u32) -> bool {
+        crate::transport::poller::deepen_listen_backlog(&self.listener, backlog)
+    }
+
     /// Polls for one client connection without blocking: `Ok(None)` when
     /// nobody is waiting. Callers that interleave accepting with other
     /// work (liveness checks, deadlines) use this instead of [`accept`].
@@ -182,7 +195,11 @@ impl TcpListenerEndpoint {
             .set_nonblocking(false)
             .map_err(|e| FlError::transport(format!("configuring socket to {peer}"), e))?;
         configure(&stream, &peer)?;
-        Ok(TcpServerEndpoint { stream, peer })
+        Ok(TcpServerEndpoint {
+            stream,
+            peer,
+            scratch: BytesMut::new(),
+        })
     }
 }
 
@@ -211,7 +228,11 @@ pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<TcpClientEndpoint> {
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "unknown".to_owned());
     configure(&stream, &peer)?;
-    Ok(TcpClientEndpoint { stream, peer })
+    Ok(TcpClientEndpoint {
+        stream,
+        peer,
+        scratch: BytesMut::new(),
+    })
 }
 
 #[cfg(test)]

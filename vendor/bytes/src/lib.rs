@@ -171,6 +171,23 @@ impl BytesMut {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// Empties the buffer, keeping its capacity — the reuse hook for
+    /// per-session encode scratch buffers.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// The accumulated bytes, borrowed (no copy).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
 }
 
 impl BufMut for BytesMut {
