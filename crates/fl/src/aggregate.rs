@@ -107,6 +107,13 @@ impl PartialAggregate {
         self.terms.extend(other.terms);
     }
 
+    /// The collected `(global slot, update)` terms, in push order (the
+    /// canonical ordering happens at [`finish`](Self::finish), not here).
+    /// This is the view the wire codec serialises.
+    pub fn terms(&self) -> &[(usize, UpdateUpload)] {
+        &self.terms
+    }
+
     /// Number of updates collected so far.
     pub fn len(&self) -> usize {
         self.terms.len()

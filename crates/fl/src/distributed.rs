@@ -1,0 +1,1287 @@
+//! Multi-process federation: shard-server processes driven by a mux
+//! coordinator.
+//!
+//! [`ShardedFederation`](crate::runner::ShardedFederation) scales the
+//! fleet across engine shards inside one process; this module promotes
+//! each shard to its own OS process. A [`DistributedCoordinator`] spawns
+//! `shard-server` children (the thin binary in `src/bin/shard_server.rs`
+//! over [`serve_shard`]), each hosting one contiguous
+//! [`ShardLayout`] client range behind the existing envelope protocol,
+//! and drives selection, screening and round execution over loopback
+//! TCP:
+//!
+//! ```text
+//!  coordinator process                    shard-server processes
+//!  ┌─────────────────────────┐   TCP     ┌───────────────────────────┐
+//!  │ FlServer (RNG, model,   │◄────────► │ shard 0: clients [0, a)   │
+//!  │ history, sampling)      │  envelope │   engine × W workers      │
+//!  │ ProtectionScheduler     │◄────────► │ shard 1: clients [a, b)   │
+//!  │ quote verification      │   one     │   engine × W workers      │
+//!  │ PartialAggregate fold   │◄────────► │ shard 2: clients [b, n)   │
+//!  │ RoundLedger merge       │  channel  │   engine × W workers      │
+//!  └─────────────────────────┘  per shard└───────────────────────────┘
+//! ```
+//!
+//! The determinism contract is unchanged: because every RNG consumption
+//! happens on the coordinator ([`FlServer::screen_plan`] draws the
+//! candidate sub-sample and the attestation nonces in global candidate
+//! order, [`FlServer::sample_screened`] does the single shuffle), because
+//! quote *verification* stays on the coordinator against its own
+//! provisioning registry, and because shard replies come back tagged with
+//! *global* selection slots folded in canonical order through the same
+//! [`finish_round`] the in-process runners use, a distributed run over
+//! `(S shard processes × W workers)` is bit-identical to the flat
+//! in-process reference — gated by `repro_distributed` and
+//! `tests/integration_distributed.rs`.
+//!
+//! Shard-failure semantics: a shard process that crashes, hangs past the
+//! reply deadline, or answers garbage is billed and excluded like a
+//! straggler cohort — its picked clients become failed outcomes with
+//! zero-cost ledger entries and the round commits from the surviving
+//! shards. [`FlError::RoundCollapsed`] is raised only when *nothing*
+//! commits. A dead shard stays dead (and is reaped at
+//! [`shutdown`](DistributedCoordinator::shutdown)); later rounds simply
+//! screen its clients as unreachable.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gradsec_data::{split, Dataset, SyntheticCifar100, SyntheticMicro};
+use gradsec_nn::{zoo, BackendKind, Sequential};
+use gradsec_tee::attestation::Measurement;
+use gradsec_tee::cost::{ClientCycleCost, RoundLedger};
+use gradsec_tee::crypto::sha256::sha256;
+
+use crate::aggregate::PartialAggregate;
+use crate::client::{DeviceProfile, FlClient};
+use crate::config::{ShardLayout, TrainingPlan};
+use crate::engine::{ClientOutcome, ExecutionEngine};
+use crate::faults::{FaultPlan, FaultyEndpoint};
+use crate::message::{
+    encode, negotiate_version, parse_envelope_head, DatasetSpec, Envelope, MessageKind, ModelSpec,
+    ScreenProbe, ShardConfig, ShardConfigAck, ShardHello, ShardHelloAck, ShardOutcome,
+    ShardOutcomeKind, ShardRound, ShardRoundReply, ShardScreen, ShardScreenReply,
+    ENVELOPE_HEADER_LEN, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+};
+use crate::runner::{finish_round, FederationReport, RoundReport};
+use crate::scheduler::{NoProtection, ProtectionScheduler};
+use crate::selection::{verify_evidence, ScreeningOutcome};
+use crate::server::FlServer;
+use crate::trainer::PlainSgdTrainer;
+use crate::transport::inprocess::LocalEndpoint;
+use crate::transport::mux::DEFAULT_JOIN_GRACE;
+use crate::transport::{RemoteClient, ServerEndpoint};
+use crate::{FlError, Result};
+
+/// How long `launch` waits for every spawned shard-server to connect
+/// back before declaring the fleet dead on arrival.
+const CONNECT_GRACE: Duration = Duration::from_secs(60);
+
+/// Environment variable overriding where the `shard-server` binary
+/// lives (used by CI and the repro gates to pin an already-built one).
+pub const SHARD_SERVER_ENV: &str = "GRADSEC_SHARD_SERVER";
+
+// ---------------------------------------------------------------------
+// Shard channel: blocking envelope I/O over one TCP stream.
+// ---------------------------------------------------------------------
+
+/// One framed envelope channel between the coordinator and a
+/// shard-server process: the envelope header doubles as the length
+/// prefix, exactly as on the per-client TCP transport. Counts bytes in
+/// both directions so the repro gates can report wire overhead, and
+/// supports a read deadline so a hung shard is detected rather than
+/// waited on forever.
+struct ShardChannel {
+    stream: TcpStream,
+    peer: String,
+    bytes_out: u64,
+    bytes_in: u64,
+}
+
+impl ShardChannel {
+    fn new(stream: TcpStream) -> Result<Self> {
+        stream
+            .set_nodelay(true)
+            .map_err(|e| FlError::transport("configuring shard channel", e))?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_owned());
+        Ok(ShardChannel {
+            stream,
+            peer,
+            bytes_out: 0,
+            bytes_in: 0,
+        })
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| FlError::transport("setting shard read deadline", e))
+    }
+
+    fn send(&mut self, envelope: &Envelope) -> Result<()> {
+        let bytes = encode(envelope);
+        self.stream
+            .write_all(&bytes)
+            .map_err(|e| FlError::transport(format!("sending to shard {}", self.peer), e))?;
+        self.bytes_out += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Envelope> {
+        let mut header = [0u8; ENVELOPE_HEADER_LEN];
+        self.stream.read_exact(&mut header).map_err(|e| {
+            FlError::transport(format!("reading header from shard {}", self.peer), e)
+        })?;
+        let head = parse_envelope_head(&header)?;
+        let mut payload = vec![0u8; head.payload_len];
+        self.stream.read_exact(&mut payload).map_err(|e| {
+            FlError::transport(format!("reading payload from shard {}", self.peer), e)
+        })?;
+        self.bytes_in += (ENVELOPE_HEADER_LEN + payload.len()) as u64;
+        Ok(Envelope {
+            version: head.version,
+            kind: head.kind,
+            payload,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard-server binary resolution.
+// ---------------------------------------------------------------------
+
+/// Finds the `shard-server` binary: the [`SHARD_SERVER_ENV`] override,
+/// then a sibling of the current executable (covers `cargo test`, whose
+/// harness binaries live next to — or in `deps/` under — the bin
+/// targets), and as a last resort a `cargo build` of the bin target
+/// (covers `cargo run -p` of another package, which never builds this
+/// crate's bins).
+fn resolve_shard_server() -> Result<PathBuf> {
+    if let Some(p) = std::env::var_os(SHARD_SERVER_ENV) {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Ok(p);
+        }
+        return Err(FlError::BadConfig {
+            reason: format!(
+                "{SHARD_SERVER_ENV} points at a missing file: {}",
+                p.display()
+            ),
+        });
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| FlError::transport("locating current executable", e))?;
+    let name = format!("shard-server{}", std::env::consts::EXE_SUFFIX);
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    if let Some(dir) = exe.parent() {
+        dirs.push(dir.to_path_buf());
+        // Test harness binaries live one level down, in target/<p>/deps.
+        if dir.file_name().is_some_and(|n| n == "deps") {
+            if let Some(parent) = dir.parent() {
+                dirs.push(parent.to_path_buf());
+            }
+        }
+    }
+    for dir in &dirs {
+        let candidate = dir.join(&name);
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+    }
+    // Not built yet: build it. Profile follows the caller's own build.
+    let release = exe.components().any(|c| c.as_os_str() == "release");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let mut cmd = Command::new(cargo);
+    cmd.args(["build", "-p", "gradsec-fl", "--bin", "shard-server"]);
+    if release {
+        cmd.arg("--release");
+    }
+    let status = cmd
+        .status()
+        .map_err(|e| FlError::transport("building shard-server", e))?;
+    if !status.success() {
+        return Err(FlError::BadConfig {
+            reason: format!("cargo build of shard-server failed: {status}"),
+        });
+    }
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .or_else(|| {
+            exe.ancestors()
+                .find(|a| a.file_name().is_some_and(|n| n == "target"))
+                .map(Path::to_path_buf)
+        })
+        .unwrap_or_else(|| PathBuf::from("target"));
+    let built = target
+        .join(if release { "release" } else { "debug" })
+        .join(&name);
+    if built.is_file() {
+        Ok(built)
+    } else {
+        Err(FlError::BadConfig {
+            reason: format!(
+                "built shard-server not found at {} (set {SHARD_SERVER_ENV} to its path)",
+                built.display()
+            ),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator.
+// ---------------------------------------------------------------------
+
+/// Configures and launches a [`DistributedCoordinator`].
+///
+/// Unlike [`FederationBuilder`](crate::runner::FederationBuilder) —
+/// whose model/trainer factories are arbitrary closures — the
+/// distributed builder takes *recipes* ([`DatasetSpec`], [`ModelSpec`])
+/// that travel over the wire, because a shard-server process must
+/// reconstruct the identical fleet from bytes alone. Shard servers
+/// provision all-TrustZone [`DeviceProfile`]s and the plain SGD trainer
+/// (the builder defaults); heterogeneous device mixes and custom
+/// trainers stay in-process for now.
+pub struct DistributedBuilder {
+    plan: TrainingPlan,
+    dataset: Option<DatasetSpec>,
+    model: Option<ModelSpec>,
+    clients: usize,
+    shards: usize,
+    workers: usize,
+    backend: BackendKind,
+    faults: Option<FaultPlan>,
+    screening_sample: Option<usize>,
+    scheduler: Arc<dyn ProtectionScheduler>,
+    measurement: Measurement,
+    reply_timeout: Option<Duration>,
+}
+
+impl DistributedBuilder {
+    /// Starts a builder for `plan`.
+    pub fn new(plan: TrainingPlan) -> Self {
+        DistributedBuilder {
+            plan,
+            dataset: None,
+            model: None,
+            clients: 0,
+            shards: 1,
+            workers: 1,
+            backend: BackendKind::from_env(),
+            faults: None,
+            screening_sample: None,
+            scheduler: Arc::new(NoProtection),
+            measurement: Measurement(sha256(b"gradsec-ta-code-v1")),
+            reply_timeout: None,
+        }
+    }
+
+    /// Sets the fleet: `n` clients sharing the dataset `spec` (sharded
+    /// by the same global `split::shard` the flat reference uses).
+    pub fn clients(mut self, n: usize, spec: DatasetSpec) -> Self {
+        self.clients = n;
+        self.dataset = Some(spec);
+        self
+    }
+
+    /// Sets the model recipe every process builds.
+    pub fn model(mut self, spec: ModelSpec) -> Self {
+        self.model = Some(spec);
+        self
+    }
+
+    /// Number of shard-server processes to spawn (clamped to the client
+    /// count, like [`ShardLayout::new`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Engine worker threads *per shard process* (`0` = one per core).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the kernel backend every shard process uses.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Installs a deterministic fault plan (shipped to every shard;
+    /// selection over-provisions by the plan's spare count, exactly as
+    /// in-process).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Caps per-round screening at `m` sub-sampled candidates (see
+    /// [`FlServer::set_screening_sample`]).
+    pub fn screening_sample(mut self, m: usize) -> Self {
+        self.screening_sample = Some(m);
+        self
+    }
+
+    /// Sets the protection scheduler driving every round's sheltered
+    /// layer set.
+    pub fn scheduler<S>(mut self, s: S) -> Self
+    where
+        S: ProtectionScheduler + 'static,
+    {
+        self.scheduler = Arc::new(s);
+        self
+    }
+
+    /// Overrides the whitelisted TA measurement.
+    pub fn measurement(mut self, m: Measurement) -> Self {
+        self.measurement = m;
+        self
+    }
+
+    /// Bounds how long the coordinator waits for any one shard reply; a
+    /// shard that blows the deadline is billed and excluded like a
+    /// crashed one. `None` (the default) waits indefinitely.
+    pub fn reply_timeout(mut self, timeout: Duration) -> Self {
+        self.reply_timeout = Some(timeout);
+        self
+    }
+
+    /// Spawns the shard-server processes, performs the shard-control
+    /// handshake and configuration, and returns the ready coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::BadConfig`] on invalid configuration,
+    /// [`FlError::Transport`] when spawning/connecting fails, and
+    /// [`FlError::Protocol`] on a handshake violation.
+    pub fn launch(self) -> Result<DistributedCoordinator> {
+        self.plan.validate()?;
+        if let Some(p) = &self.faults {
+            p.validate()?;
+        }
+        let dataset = self.dataset.ok_or(FlError::BadConfig {
+            reason: "distributed federation needs a dataset spec".to_owned(),
+        })?;
+        let model = self.model.ok_or(FlError::BadConfig {
+            reason: "distributed federation needs a model spec".to_owned(),
+        })?;
+        if self.clients == 0 {
+            return Err(FlError::BadConfig {
+                reason: "distributed federation needs at least one client".to_owned(),
+            });
+        }
+        let prototype = build_model(&model)?;
+        let n_layers = prototype.num_layers();
+        let init_weights = prototype.weights();
+        let mut server = FlServer::new(self.plan, init_weights.clone(), self.measurement)?;
+        if let Some(p) = &self.faults {
+            server.overprovision(p.spare_count());
+        }
+        server.set_screening_sample(self.screening_sample);
+        let layout = ShardLayout::new(self.clients, self.shards);
+
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| FlError::transport("binding coordinator listener", e))?;
+        let addr: SocketAddr = listener
+            .local_addr()
+            .map_err(|e| FlError::transport("reading coordinator address", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| FlError::transport("configuring coordinator listener", e))?;
+
+        let binary = resolve_shard_server()?;
+        let mut shards: Vec<ShardSlot> = Vec::with_capacity(layout.num_shards());
+        for _ in 0..layout.num_shards() {
+            let child = Command::new(&binary)
+                .arg(addr.to_string())
+                .stdin(Stdio::null())
+                .spawn()
+                .map_err(|e| FlError::transport(format!("spawning {}", binary.display()), e))?;
+            shards.push(ShardSlot {
+                channel: None,
+                child,
+                reaped: false,
+                deliberately_killed: false,
+            });
+        }
+        let mut coordinator = DistributedCoordinator {
+            server,
+            layout,
+            scheduler: self.scheduler,
+            faults: self.faults,
+            measurement: self.measurement,
+            n_layers,
+            reply_timeout: self.reply_timeout,
+            shards,
+            retired_bytes: (0, 0),
+            torn_down: false,
+        };
+        // Accept-and-handshake inside a closure so any failure still
+        // tears the children down via the coordinator's Drop.
+        let setup = (|| -> Result<()> {
+            // Accept one connection per shard; identity is assigned by
+            // arrival order (shard servers are symmetric until
+            // configured). Poll so a child that died before connecting
+            // fails the launch instead of hanging it.
+            let deadline = Instant::now() + CONNECT_GRACE;
+            for s in 0..coordinator.shards.len() {
+                let stream = loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => break stream,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            for slot in &mut coordinator.shards {
+                                if let Ok(Some(status)) = slot.child.try_wait() {
+                                    slot.reaped = true;
+                                    return Err(FlError::Protocol {
+                                        reason: format!(
+                                            "shard-server exited before connecting: {status}"
+                                        ),
+                                    });
+                                }
+                            }
+                            if Instant::now() > deadline {
+                                return Err(FlError::disconnected(
+                                    "waiting for shard-server connections",
+                                ));
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(e) => return Err(FlError::transport("accepting shard connection", e)),
+                    }
+                };
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| FlError::transport("configuring shard stream", e))?;
+                let mut channel = ShardChannel::new(stream)?;
+                let hello: ShardHello = channel.recv()?.open(MessageKind::ShardHello)?;
+                // Arrival order assigns shard identity, but the child
+                // handles sit in *spawn* order — pair each connection
+                // with its process via the hello's pid, or a later
+                // kill/teardown would target the wrong child. Slots
+                // before `s` are already paired, so only the tail is
+                // searched (and swapped while both channels are None).
+                let k = coordinator.shards[s..]
+                    .iter()
+                    .position(|slot| u64::from(slot.child.id()) == hello.pid)
+                    .map(|offset| s + offset)
+                    .ok_or(FlError::Protocol {
+                        reason: format!("connection from unknown shard-server pid {}", hello.pid),
+                    })?;
+                coordinator.shards.swap(s, k);
+                let version = negotiate_version(hello.min_version, hello.max_version).ok_or(
+                    FlError::Protocol {
+                        reason: format!(
+                            "shard-server speaks versions {}..={}, coordinator {}..={}",
+                            hello.min_version,
+                            hello.max_version,
+                            MIN_SUPPORTED_VERSION,
+                            PROTOCOL_VERSION
+                        ),
+                    },
+                )?;
+                channel.send(&Envelope::pack(
+                    MessageKind::ShardHelloAck,
+                    &ShardHelloAck {
+                        version,
+                        shard_index: s as u64,
+                    },
+                ))?;
+                coordinator.shards[s].channel = Some(channel);
+            }
+            // Configure all shards, then collect all acks: fleet wiring
+            // is the expensive part and this pipelines it across
+            // processes.
+            for s in 0..coordinator.shards.len() {
+                let range = coordinator.layout.range(s);
+                let config = ShardConfig {
+                    shard_index: s as u64,
+                    range_start: range.start as u64,
+                    range_end: range.end as u64,
+                    total_clients: coordinator.layout.num_clients() as u64,
+                    dataset,
+                    model,
+                    init_weights: init_weights.clone(),
+                    plan: coordinator.server.plan().to_owned(),
+                    backend: self.backend.name().to_owned(),
+                    workers: self.workers as u64,
+                    measurement: coordinator.measurement,
+                    faults: coordinator.faults.clone(),
+                };
+                coordinator.shards[s]
+                    .channel
+                    .as_mut()
+                    .expect("channel just installed")
+                    .send(&Envelope::pack(MessageKind::ShardConfig, &config))?;
+            }
+            for s in 0..coordinator.shards.len() {
+                let range = coordinator.layout.range(s);
+                let ack: ShardConfigAck = coordinator.shards[s]
+                    .channel
+                    .as_mut()
+                    .expect("channel just installed")
+                    .recv()?
+                    .open(MessageKind::ShardConfigAck)?;
+                if ack.clients != range.len() as u64 {
+                    return Err(FlError::Protocol {
+                        reason: format!(
+                            "shard {s} wired {} clients, expected {}",
+                            ack.clients,
+                            range.len()
+                        ),
+                    });
+                }
+            }
+            Ok(())
+        })();
+        match setup {
+            Ok(()) => Ok(coordinator),
+            Err(e) => {
+                let _ = coordinator.teardown();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// One shard-server process as the coordinator tracks it: the control
+/// channel (dropped once the shard is declared dead) and the child
+/// process handle.
+struct ShardSlot {
+    channel: Option<ShardChannel>,
+    child: Child,
+    reaped: bool,
+    deliberately_killed: bool,
+}
+
+/// Drives a fleet of `shard-server` processes through FL rounds — the
+/// multi-process counterpart of
+/// [`ShardedFederation`](crate::runner::ShardedFederation), with the
+/// identical determinism contract (see the [module docs](self)).
+pub struct DistributedCoordinator {
+    server: FlServer,
+    layout: ShardLayout,
+    scheduler: Arc<dyn ProtectionScheduler>,
+    faults: Option<FaultPlan>,
+    measurement: Measurement,
+    n_layers: usize,
+    reply_timeout: Option<Duration>,
+    shards: Vec<ShardSlot>,
+    /// Bytes (out, in) accumulated from channels already dropped.
+    retired_bytes: (u64, u64),
+    torn_down: bool,
+}
+
+impl std::fmt::Debug for DistributedCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedCoordinator")
+            .field("shards", &self.shards.len())
+            .field("clients", &self.layout.num_clients())
+            .field("round", &self.server.round())
+            .finish()
+    }
+}
+
+impl DistributedCoordinator {
+    /// Starts a builder.
+    pub fn builder(plan: TrainingPlan) -> DistributedBuilder {
+        DistributedBuilder::new(plan)
+    }
+
+    /// The server (model, history, round counter).
+    pub fn server(&self) -> &FlServer {
+        &self.server
+    }
+
+    /// The shard layout.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// Whether shard `s`'s process is still connected.
+    pub fn shard_alive(&self, s: usize) -> bool {
+        self.shards
+            .get(s)
+            .is_some_and(|slot| slot.channel.is_some())
+    }
+
+    /// Total envelope bytes `(sent, received)` across every shard
+    /// channel this coordinator has driven, dead ones included.
+    pub fn bytes_on_wire(&self) -> (u64, u64) {
+        let mut out = self.retired_bytes.0;
+        let mut inn = self.retired_bytes.1;
+        for slot in &self.shards {
+            if let Some(ch) = &slot.channel {
+                out += ch.bytes_out;
+                inn += ch.bytes_in;
+            }
+        }
+        (out, inn)
+    }
+
+    /// Kills shard `s`'s process outright (SIGKILL) — the fault the
+    /// stretch goal injects: the next round must bill and exclude the
+    /// shard's cohort rather than fail the federation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] when the kill itself fails.
+    pub fn kill_shard(&mut self, s: usize) -> Result<()> {
+        let slot = self.shards.get_mut(s).ok_or(FlError::BadConfig {
+            reason: format!("no shard {s}"),
+        })?;
+        slot.deliberately_killed = true;
+        slot.child
+            .kill()
+            .map_err(|e| FlError::transport(format!("killing shard {s}"), e))?;
+        // Reap now so the child never lingers as a zombie; the socket
+        // stays open until retired below.
+        let _ = slot.child.wait();
+        slot.reaped = true;
+        self.retire_channel(s);
+        Ok(())
+    }
+
+    /// Drops shard `s`'s channel, folding its byte counters into the
+    /// retired totals. Idempotent.
+    fn retire_channel(&mut self, s: usize) {
+        if let Some(ch) = self.shards[s].channel.take() {
+            self.retired_bytes.0 += ch.bytes_out;
+            self.retired_bytes.1 += ch.bytes_in;
+        }
+    }
+
+    /// Runs one FL cycle across the shard processes: screen (nonces
+    /// drawn here, evidence verified here), sample, broadcast the
+    /// download, fold the shard partials in canonical slot order, and
+    /// commit through the same [`finish_round`] as the in-process
+    /// runners.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selection and aggregation failures;
+    /// [`FlError::RoundCollapsed`] when every picked client (shard
+    /// deaths included) failed to commit.
+    pub fn run_round(&mut self) -> Result<RoundReport> {
+        let round = self.server.round();
+        let screen = self.server.screen_plan(self.layout.num_clients());
+        // Partition this round's candidates by owning shard, remembering
+        // each probe's position in the global candidate order so the
+        // outcome vector can be reassembled index-aligned.
+        let num_shards = self.shards.len();
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        let mut probes: Vec<Vec<ScreenProbe>> = vec![Vec::new(); num_shards];
+        for (ci, (&g, ch)) in screen
+            .candidates
+            .iter()
+            .zip(screen.challenges.iter())
+            .enumerate()
+        {
+            let s = self.layout.shard_of(g);
+            positions[s].push(ci);
+            probes[s].push(ScreenProbe {
+                local: (g - self.layout.range(s).start) as u64,
+                challenge: *ch,
+            });
+        }
+        // Candidates on a dead (or newly failing) shard screen as
+        // unreachable — the same verdict an in-process fleet gives a
+        // client whose endpoint is gone.
+        let mut outcomes = vec![ScreeningOutcome::Unreachable; screen.candidates.len()];
+        // Indexed loops throughout the fan-out: the body both reads the
+        // per-shard vectors and mutably re-borrows `self` (retiring dead
+        // channels), which an iterator over those vectors would pin.
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..num_shards {
+            if probes[s].is_empty() || self.shards[s].channel.is_none() {
+                continue;
+            }
+            let msg = Envelope::pack(
+                MessageKind::ShardScreen,
+                &ShardScreen {
+                    probes: std::mem::take(&mut probes[s]),
+                },
+            );
+            if self.shards[s]
+                .channel
+                .as_mut()
+                .expect("checked above")
+                .send(&msg)
+                .is_err()
+            {
+                self.retire_channel(s);
+            }
+        }
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..num_shards {
+            if positions[s].is_empty() || self.shards[s].channel.is_none() {
+                continue;
+            }
+            let reply = self.shard_reply::<ShardScreenReply>(s, MessageKind::ShardScreenReply);
+            match reply {
+                Ok(reply) if reply.evidence.len() == positions[s].len() => {
+                    for (&ci, evidence) in positions[s].iter().zip(reply.evidence) {
+                        let g = screen.candidates[ci];
+                        outcomes[ci] = match evidence {
+                            None => ScreeningOutcome::Unreachable,
+                            Some(resp) => verify_evidence(
+                                &DeviceProfile::provisioned_key(g as u64),
+                                resp.quote,
+                                self.measurement,
+                                &screen.challenges[ci],
+                            ),
+                        };
+                    }
+                }
+                _ => self.retire_channel(s),
+            }
+        }
+        let picked = self.server.sample_screened(&screen, &outcomes)?;
+
+        let mut protected = self.scheduler.layers_for_round(round);
+        protected.retain(|&l| l < self.n_layers);
+        let download = self.server.download(protected.clone());
+
+        // Fan the round out. With a contiguous layout and sorted picks,
+        // shard s's picks occupy the contiguous global slot range
+        // starting at the prefix count — that is each reply's slot_base.
+        let split = self.layout.split_picks(&picked);
+        let mut slot_base = vec![0usize; num_shards];
+        let mut at = 0usize;
+        for s in 0..num_shards {
+            slot_base[s] = at;
+            at += split[s].len();
+        }
+        let mut slots: Vec<Option<ClientOutcome>> = (0..picked.len()).map(|_| None).collect();
+        let mut ledger = RoundLedger::new();
+        let mut cohort_failed = false;
+        for s in 0..num_shards {
+            if split[s].is_empty() || self.shards[s].channel.is_none() {
+                continue;
+            }
+            let msg = Envelope::pack(
+                MessageKind::ShardRound,
+                &ShardRound {
+                    download: download.clone(),
+                    picks: split[s].iter().map(|&p| p as u64).collect(),
+                    slot_base: slot_base[s] as u64,
+                },
+            );
+            if self.shards[s]
+                .channel
+                .as_mut()
+                .expect("checked above")
+                .send(&msg)
+                .is_err()
+            {
+                self.retire_channel(s);
+            }
+        }
+        for s in 0..num_shards {
+            if split[s].is_empty() {
+                continue;
+            }
+            let applied = if self.shards[s].channel.is_some() {
+                match self.shard_reply::<ShardRoundReply>(s, MessageKind::ShardRoundReply) {
+                    Ok(reply) => apply_shard_reply(
+                        reply,
+                        slot_base[s],
+                        split[s].len(),
+                        &mut slots,
+                        &mut ledger,
+                    )
+                    .is_ok(),
+                    Err(_) => false,
+                }
+            } else {
+                false
+            };
+            if !applied {
+                // The whole cohort is billed and excluded, straggler
+                // style: failed outcomes with zero-cost ledger entries.
+                self.retire_channel(s);
+                cohort_failed = true;
+                let range = self.layout.range(s);
+                for (j, &local) in split[s].iter().enumerate() {
+                    let client = (range.start + local) as u64;
+                    ledger.record(ClientCycleCost::unbilled(client));
+                    slots[slot_base[s] + j] = Some(ClientOutcome::Failed {
+                        client,
+                        error: FlError::ClientFailure {
+                            client,
+                            reason: format!("shard {s} process failed mid-round"),
+                        },
+                    });
+                }
+            }
+        }
+        let outcomes: Vec<ClientOutcome> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(slot, o)| {
+                o.unwrap_or_else(|| {
+                    let client = picked[slot] as u64;
+                    ledger.record(ClientCycleCost::unbilled(client));
+                    ClientOutcome::Failed {
+                        client,
+                        error: FlError::ClientFailure {
+                            client,
+                            reason: "coordinator lost the client's outcome".to_owned(),
+                        },
+                    }
+                })
+            })
+            .collect();
+        // A shard-process death is tolerated like a straggler cohort
+        // even without a fault plan; the round errs only when nothing
+        // committed (RoundCollapsed inside finish_round).
+        let tolerate = self.faults.is_some() || cohort_failed;
+        finish_round(
+            &mut self.server,
+            round,
+            picked,
+            outcomes,
+            ledger,
+            protected,
+            tolerate,
+        )
+    }
+
+    /// Receives shard `s`'s reply under the configured deadline and
+    /// opens it as `T`. Does *not* retire the channel on failure — the
+    /// caller decides how a failure is billed.
+    fn shard_reply<T: crate::message::Wire>(&mut self, s: usize, expect: MessageKind) -> Result<T> {
+        let timeout = self.reply_timeout;
+        let channel = self.shards[s]
+            .channel
+            .as_mut()
+            .ok_or_else(|| FlError::disconnected(format!("shard {s} channel already retired")))?;
+        channel.set_read_timeout(timeout)?;
+        let reply = channel.recv();
+        let _ = channel.set_read_timeout(None);
+        reply?.open(expect)
+    }
+
+    /// Runs the full plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round failures.
+    pub fn run(&mut self) -> Result<FederationReport> {
+        let mut report = FederationReport::default();
+        for _ in 0..self.server.plan().rounds {
+            let r = self.run_round()?;
+            report.rounds.push(r);
+            report.rounds_completed += 1;
+        }
+        Ok(report)
+    }
+
+    /// Tears the fleet down: sends every live shard a Goodbye, drops the
+    /// channels (so a shard that lost the goodbye observes EOF), then
+    /// waits for the child processes under the same watchdog discipline
+    /// as `MuxFleet::join` — bounded by [`DEFAULT_JOIN_GRACE`],
+    /// kill-on-timeout, first error surfaced. Called automatically on
+    /// drop (best effort); call explicitly to observe teardown errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first goodbye/exit failure encountered (deliberately
+    /// killed shards excepted).
+    pub fn shutdown(mut self) -> Result<()> {
+        self.teardown()
+    }
+
+    fn teardown(&mut self) -> Result<()> {
+        if self.torn_down {
+            return Ok(());
+        }
+        self.torn_down = true;
+        let mut first_err: Option<FlError> = None;
+        for s in 0..self.shards.len() {
+            if let Some(ch) = self.shards[s].channel.as_mut() {
+                if let Err(e) = ch.send(&Envelope::control(MessageKind::Goodbye)) {
+                    first_err.get_or_insert(e);
+                }
+            }
+            // Dropping the channel closes the socket: a shard whose
+            // goodbye was lost sees EOF and exits instead of hanging
+            // the wait below.
+            self.retire_channel(s);
+        }
+        let deadline = Instant::now() + DEFAULT_JOIN_GRACE;
+        loop {
+            let mut all_done = true;
+            for slot in &mut self.shards {
+                if slot.reaped {
+                    continue;
+                }
+                match slot.child.try_wait() {
+                    Ok(Some(status)) => {
+                        slot.reaped = true;
+                        if !status.success() && !slot.deliberately_killed {
+                            first_err.get_or_insert(FlError::Protocol {
+                                reason: format!("shard-server exited with {status}"),
+                            });
+                        }
+                    }
+                    Ok(None) => all_done = false,
+                    Err(e) => {
+                        slot.reaped = true;
+                        first_err.get_or_insert(FlError::transport("waiting for shard-server", e));
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            if Instant::now() > deadline {
+                for slot in &mut self.shards {
+                    if slot.reaped {
+                        continue;
+                    }
+                    let _ = slot.child.kill();
+                    let _ = slot.child.wait();
+                    slot.reaped = true;
+                    if !slot.deliberately_killed {
+                        first_err.get_or_insert(FlError::Protocol {
+                            reason: "shard-server ignored goodbye past the join grace; killed"
+                                .to_owned(),
+                        });
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for DistributedCoordinator {
+    fn drop(&mut self) {
+        let _ = self.teardown();
+    }
+}
+
+/// Validates and applies one shard's round reply: every slot must fall
+/// in the shard's `[slot_base, slot_base + picks)` window exactly once
+/// (full coverage — the shard accounts every pick, success or not).
+/// Nothing is written to `slots`/`ledger` unless the whole reply
+/// validates, so a garbled reply degrades to a clean cohort failure.
+fn apply_shard_reply(
+    reply: ShardRoundReply,
+    slot_base: usize,
+    picks: usize,
+    slots: &mut [Option<ClientOutcome>],
+    ledger: &mut RoundLedger,
+) -> Result<()> {
+    let mut seen = vec![false; picks];
+    let mut mark = |slot: usize| -> Result<()> {
+        let local =
+            slot.checked_sub(slot_base)
+                .filter(|&l| l < picks)
+                .ok_or(FlError::Protocol {
+                    reason: format!(
+                        "shard reply slot {slot} outside [{slot_base}, {})",
+                        slot_base + picks
+                    ),
+                })?;
+        if std::mem::replace(&mut seen[local], true) {
+            return Err(FlError::Protocol {
+                reason: format!("shard reply repeats slot {slot}"),
+            });
+        }
+        Ok(())
+    };
+    for (slot, _) in reply.partial.terms() {
+        mark(*slot)?;
+    }
+    for o in &reply.others {
+        mark(o.slot as usize)?;
+    }
+    if !seen.iter().all(|&s| s) {
+        return Err(FlError::Protocol {
+            reason: "shard reply does not account every pick".to_owned(),
+        });
+    }
+    for (slot, upload) in reply.partial.terms() {
+        slots[*slot] = Some(ClientOutcome::Completed(upload.clone()));
+    }
+    for o in reply.others {
+        let outcome = match o.kind {
+            ShardOutcomeKind::Straggler { elapsed_s } => ClientOutcome::Straggler {
+                client: o.client,
+                elapsed_s,
+            },
+            ShardOutcomeKind::Failed { reason } => ClientOutcome::Failed {
+                client: o.client,
+                error: FlError::ClientFailure {
+                    client: o.client,
+                    reason,
+                },
+            },
+        };
+        slots[o.slot as usize] = Some(outcome);
+    }
+    ledger.merge(&reply.ledger);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Shard-server side.
+// ---------------------------------------------------------------------
+
+/// Entry point for the `shard-server` binary: connects back to the
+/// coordinator address in `args` and serves one shard until Goodbye.
+///
+/// # Errors
+///
+/// Returns [`FlError::BadConfig`] without an address argument and
+/// propagates every serve failure.
+pub fn shard_server_main(mut args: impl Iterator<Item = String>) -> Result<()> {
+    let addr = args.next().ok_or(FlError::BadConfig {
+        reason: "usage: shard-server <coordinator-addr>".to_owned(),
+    })?;
+    let stream = TcpStream::connect(&addr)
+        .map_err(|e| FlError::transport(format!("connecting to coordinator {addr}"), e))?;
+    serve_shard(stream)
+}
+
+/// The wired state one [`ShardConfig`] produces: the shard's handshaken
+/// client endpoints (global ids), its engine and its fault plan.
+struct ShardState {
+    remotes: Vec<RemoteClient>,
+    engine: ExecutionEngine,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// Serves one shard over an established coordinator connection:
+/// handshake, configuration, then screen/round requests until Goodbye.
+/// This is the whole shard-server process in library form — the binary
+/// only parses its address argument.
+///
+/// # Errors
+///
+/// Propagates handshake, configuration and transport failures (the
+/// binary turns them into a nonzero exit, which the coordinator's
+/// teardown surfaces).
+pub fn serve_shard(stream: TcpStream) -> Result<()> {
+    let mut channel = ShardChannel::new(stream)?;
+    channel.send(&Envelope::pack(
+        MessageKind::ShardHello,
+        &ShardHello::current(),
+    ))?;
+    let ack: ShardHelloAck = channel.recv()?.open(MessageKind::ShardHelloAck)?;
+    if !(MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION).contains(&ack.version) {
+        return Err(FlError::Protocol {
+            reason: format!("coordinator negotiated unsupported version {}", ack.version),
+        });
+    }
+    let config: ShardConfig = match channel.recv()?.open(MessageKind::ShardConfig) {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = channel.send(&Envelope::error(e.to_string()));
+            return Err(e);
+        }
+    };
+    let mut state = match wire_shard(&config) {
+        Ok(state) => state,
+        Err(e) => {
+            let _ = channel.send(&Envelope::error(e.to_string()));
+            return Err(e);
+        }
+    };
+    channel.send(&Envelope::pack(
+        MessageKind::ShardConfigAck,
+        &ShardConfigAck {
+            clients: state.remotes.len() as u64,
+        },
+    ))?;
+    loop {
+        let request = channel.recv()?;
+        match request.kind {
+            MessageKind::ShardScreen => {
+                let screen: ShardScreen = request.open(MessageKind::ShardScreen)?;
+                let evidence = screen
+                    .probes
+                    .iter()
+                    .map(|probe| {
+                        state
+                            .remotes
+                            .get_mut(probe.local as usize)
+                            .and_then(|client| client.attest(&probe.challenge).ok())
+                    })
+                    .collect();
+                channel.send(&Envelope::pack(
+                    MessageKind::ShardScreenReply,
+                    &ShardScreenReply { evidence },
+                ))?;
+            }
+            MessageKind::ShardRound => {
+                let round: ShardRound = request.open(MessageKind::ShardRound)?;
+                let reply = match run_shard_round(&mut state, &round) {
+                    Ok(reply) => reply,
+                    Err(e) => {
+                        let _ = channel.send(&Envelope::error(e.to_string()));
+                        return Err(e);
+                    }
+                };
+                channel.send(&Envelope::pack(MessageKind::ShardRoundReply, &reply))?;
+            }
+            MessageKind::Goodbye => {
+                // Mirror the in-process teardown: goodbye every client
+                // endpoint before exiting.
+                for client in &mut state.remotes {
+                    let _ = client.goodbye();
+                }
+                return Ok(());
+            }
+            other => {
+                let e = FlError::Protocol {
+                    reason: format!("unexpected {other:?} on shard control channel"),
+                };
+                let _ = channel.send(&Envelope::error(e.to_string()));
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Materialises a [`DatasetSpec`] — both sides construct the identical
+/// deterministic dataset from the recipe, so no sample crosses the wire.
+fn build_dataset(spec: &DatasetSpec) -> Arc<dyn Dataset> {
+    match *spec {
+        DatasetSpec::Micro {
+            len,
+            classes,
+            dim,
+            seed,
+        } => Arc::new(SyntheticMicro::new(
+            len as usize,
+            classes as usize,
+            dim as usize,
+            seed,
+        )),
+        DatasetSpec::Cifar { len, classes, seed } => Arc::new(SyntheticCifar100::with_classes(
+            len as usize,
+            classes as usize,
+            seed,
+        )),
+    }
+}
+
+/// Materialises a [`ModelSpec`].
+fn build_model(spec: &ModelSpec) -> Result<Sequential> {
+    Ok(match *spec {
+        ModelSpec::TinyMlp {
+            inputs,
+            hidden,
+            outputs,
+            seed,
+        } => zoo::tiny_mlp(inputs as usize, hidden as usize, outputs as usize, seed)?,
+        ModelSpec::LeNet5 { classes, seed } => zoo::lenet5_with(classes as usize, seed)?,
+    })
+}
+
+/// Builds and handshakes the shard's client fleet from its config:
+/// the *global* data partition re-derived and sub-ranged (so every
+/// client's local dataset is bit-identical to the flat reference),
+/// global client ids, all-TrustZone devices, plain SGD trainers, and the
+/// fault wrapper installed before the handshake exactly as
+/// `wire_fleet` does in-process.
+fn wire_shard(config: &ShardConfig) -> Result<ShardState> {
+    if config.range_start > config.range_end || config.range_end > config.total_clients {
+        return Err(FlError::BadConfig {
+            reason: format!(
+                "shard range [{}, {}) outside fleet of {}",
+                config.range_start, config.range_end, config.total_clients
+            ),
+        });
+    }
+    let backend = BackendKind::parse(&config.backend).ok_or_else(|| FlError::BadConfig {
+        reason: format!("unknown kernel backend {:?}", config.backend),
+    })?;
+    let dataset = build_dataset(&config.dataset);
+    let mut prototype = build_model(&config.model)?;
+    prototype.set_backend(backend);
+    prototype.set_weights(&config.init_weights)?;
+    let mut partition = split::shard(
+        dataset.len(),
+        config.total_clients as usize,
+        config.plan.seed,
+    );
+    let faults = config.faults.clone().map(Arc::new);
+    let mut remotes = Vec::with_capacity((config.range_end - config.range_start) as usize);
+    for g in config.range_start..config.range_end {
+        let shard_data = std::mem::take(&mut partition[g as usize]);
+        let client = FlClient::new(
+            g,
+            DeviceProfile::trustzone(g),
+            dataset.clone(),
+            shard_data,
+            prototype.replicate(),
+            Box::new(PlainSgdTrainer),
+        );
+        let endpoint: Box<dyn ServerEndpoint> = Box::new(LocalEndpoint::new(client));
+        let endpoint: Box<dyn ServerEndpoint> = match &faults {
+            Some(plan) => Box::new(FaultyEndpoint::new(endpoint, plan.clone())),
+            None => endpoint,
+        };
+        remotes.push(RemoteClient::connect(endpoint)?);
+    }
+    Ok(ShardState {
+        remotes,
+        engine: ExecutionEngine::new(config.workers as usize),
+        faults,
+    })
+}
+
+/// Executes one round request on the shard's engine and repackages the
+/// outcomes at their *global* slots: completed updates into the
+/// [`PartialAggregate`], stragglers/failures into the tagged overflow
+/// list, the shard ledger as-is.
+fn run_shard_round(state: &mut ShardState, round: &ShardRound) -> Result<ShardRoundReply> {
+    let picks: Vec<usize> = round.picks.iter().map(|&p| p as usize).collect();
+    let (outcomes, ledger) = state.engine.execute_cycles_with(
+        &mut state.remotes,
+        &picks,
+        &round.download,
+        state.faults.as_deref(),
+    )?;
+    let mut partial = PartialAggregate::new();
+    let mut others = Vec::new();
+    for (j, outcome) in outcomes.into_iter().enumerate() {
+        let slot = round.slot_base as usize + j;
+        match outcome {
+            ClientOutcome::Completed(upload) => partial.push(slot, upload),
+            ClientOutcome::Straggler { client, elapsed_s } => others.push(ShardOutcome {
+                slot: slot as u64,
+                client,
+                kind: ShardOutcomeKind::Straggler { elapsed_s },
+            }),
+            ClientOutcome::Failed { client, error } => others.push(ShardOutcome {
+                slot: slot as u64,
+                client,
+                kind: ShardOutcomeKind::Failed {
+                    reason: error.to_string(),
+                },
+            }),
+        }
+    }
+    Ok(ShardRoundReply {
+        partial,
+        others,
+        ledger,
+    })
+}

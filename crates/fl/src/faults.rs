@@ -29,11 +29,12 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::message::{Envelope, HelloAck, MessageKind};
+use crate::message::{decode_len, need, Envelope, HelloAck, MessageKind, Wire};
 use crate::transport::ServerEndpoint;
 use crate::{FlError, Result};
 
@@ -325,6 +326,151 @@ impl FaultPlan {
             && self.round_deadline_s.is_none()
             && self.latency == LatencyModel::None
             && self.client_latency.is_empty()
+    }
+}
+
+impl Wire for LatencyModel {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        match *self {
+            LatencyModel::None => buf.put_u8(0),
+            LatencyModel::Fixed(s) => {
+                buf.put_u8(1);
+                buf.put_f64_le(s);
+            }
+            LatencyModel::Uniform { min_s, max_s } => {
+                buf.put_u8(2);
+                buf.put_f64_le(min_s);
+                buf.put_f64_le(max_s);
+            }
+            LatencyModel::Exponential { mean_s } => {
+                buf.put_u8(3);
+                buf.put_f64_le(mean_s);
+            }
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 1, "latency model tag")?;
+        let model = match buf.get_u8() {
+            0 => LatencyModel::None,
+            1 => {
+                need(buf, 8, "fixed latency")?;
+                LatencyModel::Fixed(buf.get_f64_le())
+            }
+            2 => {
+                need(buf, 16, "uniform latency")?;
+                LatencyModel::Uniform {
+                    min_s: buf.get_f64_le(),
+                    max_s: buf.get_f64_le(),
+                }
+            }
+            3 => {
+                need(buf, 8, "exponential latency")?;
+                LatencyModel::Exponential {
+                    mean_s: buf.get_f64_le(),
+                }
+            }
+            other => {
+                return Err(FlError::BadConfig {
+                    reason: format!("unknown latency model tag {other}"),
+                })
+            }
+        };
+        model.validate()?;
+        Ok(model)
+    }
+}
+
+/// Entry-count bound for the plan's per-client maps on the wire — far
+/// above any legitimate plan, far below an allocation attack.
+const MAX_PLAN_ENTRIES: usize = 1 << 20;
+
+impl Wire for FaultPlan {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.seed);
+        self.latency.encode_into(buf);
+        buf.put_u64_le(self.client_latency.len() as u64);
+        for (&client, model) in &self.client_latency {
+            buf.put_u64_le(client);
+            model.encode_into(buf);
+        }
+        buf.put_f64_le(self.dropout);
+        buf.put_u64_le(self.crash_at.len() as u64);
+        for (&client, &round) in &self.crash_at {
+            buf.put_u64_le(client);
+            buf.put_u64_le(round);
+        }
+        buf.put_f64_le(self.drop_prob);
+        buf.put_f64_le(self.garble_prob);
+        match self.round_deadline_s {
+            Some(d) => {
+                buf.put_u8(1);
+                buf.put_f64_le(d);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u64_le(self.spare as u64);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 8, "fault plan seed")?;
+        let seed = buf.get_u64_le();
+        let latency = LatencyModel::decode_from(buf)?;
+        let n = decode_len(buf, "client latency count")?;
+        if n > MAX_PLAN_ENTRIES {
+            return Err(FlError::BadConfig {
+                reason: format!("client latency count {n} exceeds protocol maximum"),
+            });
+        }
+        let mut client_latency = BTreeMap::new();
+        for _ in 0..n {
+            need(buf, 8, "client latency id")?;
+            let client = buf.get_u64_le();
+            client_latency.insert(client, LatencyModel::decode_from(buf)?);
+        }
+        need(buf, 8, "dropout probability")?;
+        let dropout = buf.get_f64_le();
+        let n = decode_len(buf, "crash entry count")?;
+        if n > MAX_PLAN_ENTRIES {
+            return Err(FlError::BadConfig {
+                reason: format!("crash entry count {n} exceeds protocol maximum"),
+            });
+        }
+        need(buf, 16 * n, "crash entries")?;
+        let mut crash_at = BTreeMap::new();
+        for _ in 0..n {
+            let client = buf.get_u64_le();
+            crash_at.insert(client, buf.get_u64_le());
+        }
+        need(buf, 8 + 8 + 1, "fault plan probabilities")?;
+        let drop_prob = buf.get_f64_le();
+        let garble_prob = buf.get_f64_le();
+        let round_deadline_s = match buf.get_u8() {
+            0 => None,
+            1 => {
+                need(buf, 8, "round deadline")?;
+                Some(buf.get_f64_le())
+            }
+            other => {
+                return Err(FlError::BadConfig {
+                    reason: format!("bad deadline presence flag {other}"),
+                })
+            }
+        };
+        let spare = decode_len(buf, "spare count")?;
+        let plan = FaultPlan {
+            seed,
+            latency,
+            client_latency,
+            dropout,
+            crash_at,
+            drop_prob,
+            garble_prob,
+            round_deadline_s,
+            spare,
+        };
+        plan.validate()?;
+        Ok(plan)
     }
 }
 

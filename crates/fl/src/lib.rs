@@ -19,9 +19,11 @@
 //!    ([`aggregate`]) and the global snapshot history is recorded for the
 //!    long-term DPIA attacker ([`history`]).
 //!
-//! Rounds run on a flat fleet ([`runner::Federation`]) or, for 10⁴+
+//! Rounds run on a flat fleet ([`runner::Federation`]); for 10⁴+
 //! simulated clients, on a fleet partitioned across independent engine
-//! shards ([`runner::ShardedFederation`]) — same results bit-for-bit,
+//! shards ([`runner::ShardedFederation`]); or across real OS processes,
+//! with a [`distributed::DistributedCoordinator`] driving `shard-server`
+//! children over the envelope protocol — same results bit-for-bit,
 //! scaled-out wall clock. Imperfect fleets — stragglers, dropouts,
 //! crashes, lossy links — are simulated by the seeded, deterministic
 //! [`faults`] layer, with over-provisioned selection keeping faulted
@@ -65,6 +67,7 @@
 pub mod aggregate;
 pub mod client;
 pub mod config;
+pub mod distributed;
 pub mod engine;
 mod error;
 pub mod faults;
@@ -78,6 +81,7 @@ pub mod trainer;
 pub mod transport;
 
 pub use config::{MuxOptions, ShardLayout, TransportKind};
+pub use distributed::DistributedCoordinator;
 pub use engine::{ClientOutcome, ExecutionEngine};
 pub use error::FlError;
 pub use faults::{FaultPlan, FaultyEndpoint, LatencyModel};

@@ -17,20 +17,26 @@ use serde::{Deserialize, Serialize};
 
 use gradsec_nn::model::{LayerWeights, ModelWeights};
 use gradsec_tee::attestation::{Challenge, Measurement, Quote};
-use gradsec_tee::cost::{ClientCycleCost, TimeBreakdown};
+use gradsec_tee::cost::{ClientCycleCost, RoundLedger, TimeBreakdown};
 use gradsec_tee::ta::Uuid;
 use gradsec_tee::tiop::Frame;
 use gradsec_tensor::Tensor;
 
+use crate::aggregate::PartialAggregate;
 use crate::config::TrainingPlan;
+use crate::faults::FaultPlan;
 use crate::{FlError, Result};
 
 /// The newest protocol version this build speaks.
 ///
 /// Version 1 was the pre-envelope framing (raw message bytes, in-process
 /// only); version 2 introduced the [`Envelope`] header and the TEE cost
-/// accounting carried on [`UpdateUpload`]. Version 1 is no longer spoken.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// accounting carried on [`UpdateUpload`]; version 3 added the
+/// shard-control messages (`Shard*`) a distributed coordinator speaks to
+/// `shard-server` processes. Version 1 is no longer spoken; version 2
+/// peers interoperate on the client protocol (the shard-control kinds
+/// are new in 3, so a v2 peer never sees them).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// The oldest protocol version this build still accepts.
 pub const MIN_SUPPORTED_VERSION: u16 = 2;
@@ -166,7 +172,7 @@ pub fn decode<T: Wire>(bytes: &[u8]) -> Result<T> {
     Ok(v)
 }
 
-fn need(buf: &Bytes, n: usize, what: &str) -> Result<()> {
+pub(crate) fn need(buf: &Bytes, n: usize, what: &str) -> Result<()> {
     if buf.remaining() < n {
         return Err(FlError::BadConfig {
             reason: format!("truncated message: need {n} bytes for {what}"),
@@ -179,7 +185,7 @@ fn need(buf: &Bytes, n: usize, what: &str) -> Result<()> {
 /// protocol legitimately exceeds 256 MiB.
 const MAX_FIELD: usize = 256 * 1024 * 1024;
 
-fn decode_len(buf: &mut Bytes, what: &str) -> Result<usize> {
+pub(crate) fn decode_len(buf: &mut Bytes, what: &str) -> Result<usize> {
     need(buf, 8, what)?;
     // Bound the raw u64 *before* casting: on 32-bit targets a
     // `as usize` cast truncates, which would let a hostile 2^32+k
@@ -216,6 +222,30 @@ pub enum MessageKind {
     /// A [`gradsec_tee::tiop::Frame`] sealing a whole inner envelope
     /// (the trusted I/O path; see `transport::sealed`).
     Sealed = 8,
+    /// [`ShardHello`] — shard-server → coordinator session opener
+    /// (protocol v3, the shard-control plane).
+    ShardHello = 9,
+    /// [`ShardHelloAck`] — coordinator → shard-server: negotiated version
+    /// plus the shard index this connection will serve.
+    ShardHelloAck = 10,
+    /// [`ShardConfig`] — coordinator → shard-server: everything the shard
+    /// needs to host its client range deterministically.
+    ShardConfig = 11,
+    /// [`ShardConfigAck`] — shard-server → coordinator: ready report.
+    ShardConfigAck = 12,
+    /// [`ShardScreen`] — coordinator → shard-server: this round's
+    /// attestation fan-out for the shard's screening candidates.
+    ShardScreen = 13,
+    /// [`ShardScreenReply`] — shard-server → coordinator: raw attestation
+    /// evidence, index-aligned with the request (verification stays on
+    /// the coordinator).
+    ShardScreenReply = 14,
+    /// [`ShardRound`] — coordinator → shard-server: one round's model
+    /// download plus the shard's local pick list.
+    ShardRound = 15,
+    /// [`ShardRoundReply`] — shard-server → coordinator: slot-tagged
+    /// partial aggregate, non-completed outcomes and the shard ledger.
+    ShardRoundReply = 16,
 }
 
 impl MessageKind {
@@ -230,6 +260,14 @@ impl MessageKind {
             6 => MessageKind::Goodbye,
             7 => MessageKind::Error,
             8 => MessageKind::Sealed,
+            9 => MessageKind::ShardHello,
+            10 => MessageKind::ShardHelloAck,
+            11 => MessageKind::ShardConfig,
+            12 => MessageKind::ShardConfigAck,
+            13 => MessageKind::ShardScreen,
+            14 => MessageKind::ShardScreenReply,
+            15 => MessageKind::ShardRound,
+            16 => MessageKind::ShardRoundReply,
             other => {
                 return Err(FlError::Protocol {
                     reason: format!("unknown message kind {other}"),
@@ -777,6 +815,674 @@ impl Wire for Frame {
             seq,
             ciphertext,
             mac,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-control plane (protocol v3)
+// ---------------------------------------------------------------------------
+
+/// Item-count bound for the shard-control list fields (candidate lists,
+/// pick lists, aggregate terms, ledger entries): no shard legitimately
+/// hosts more than a million clients, so a larger prefix is hostile.
+const MAX_ITEMS: usize = 1 << 20;
+
+fn decode_count(buf: &mut Bytes, what: &str) -> Result<usize> {
+    let n = decode_len(buf, what)?;
+    if n > MAX_ITEMS {
+        return Err(FlError::BadConfig {
+            reason: format!("{what} {n} exceeds protocol maximum"),
+        });
+    }
+    Ok(n)
+}
+
+fn encode_str(s: &str, buf: &mut BytesMut) {
+    buf.put_u64_le(s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn decode_str(buf: &mut Bytes, what: &str) -> Result<String> {
+    let n = decode_len(buf, what)?;
+    need(buf, n, what)?;
+    let mut bytes = vec![0u8; n];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| FlError::Protocol {
+        reason: format!("{what} is not valid UTF-8"),
+    })
+}
+
+/// Shard-server → coordinator: opens the shard-control channel with the
+/// server's supported version range plus its OS process id (diagnostics
+/// only — never an input to any fault or selection decision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardHello {
+    /// Oldest protocol version the shard server accepts.
+    pub min_version: u16,
+    /// Newest protocol version the shard server speaks.
+    pub max_version: u16,
+    /// The shard server's process id.
+    pub pid: u64,
+}
+
+impl ShardHello {
+    /// The ShardHello this build sends.
+    pub fn current() -> Self {
+        ShardHello {
+            min_version: MIN_SUPPORTED_VERSION,
+            max_version: PROTOCOL_VERSION,
+            pid: u64::from(std::process::id()),
+        }
+    }
+}
+
+/// Coordinator → shard-server: the negotiated version and the shard
+/// index this connection will serve (assigned by connection-arrival
+/// order — shard servers are symmetric until configured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardHelloAck {
+    /// The version the coordinator chose from the shard's range.
+    pub version: u16,
+    /// The shard index this channel serves.
+    pub shard_index: u64,
+}
+
+/// Which synthetic dataset a shard server materialises for its clients.
+///
+/// The spec is the *recipe*, not the bytes: both sides construct the
+/// identical deterministic dataset from `(len, classes, dim, seed)`, so a
+/// shard config stays kilobytes even for million-sample fleets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetSpec {
+    /// [`gradsec_data::SyntheticMicro`].
+    Micro {
+        /// Total samples across the whole (global) fleet dataset.
+        len: u64,
+        /// Class count.
+        classes: u64,
+        /// Feature dimension.
+        dim: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// [`gradsec_data::SyntheticCifar100`] (via `with_classes`).
+    Cifar {
+        /// Total samples across the whole (global) fleet dataset.
+        len: u64,
+        /// Class count.
+        classes: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// Which model architecture a shard server builds before installing the
+/// coordinator's initial weights. The seed only matters for layer
+/// construction scratch (the shipped weights overwrite initialisation),
+/// but carrying it keeps construction bit-reproducible anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// [`gradsec_nn::zoo::tiny_mlp`].
+    TinyMlp {
+        /// Input features.
+        inputs: u64,
+        /// Hidden width.
+        hidden: u64,
+        /// Output classes.
+        outputs: u64,
+        /// Initialisation seed.
+        seed: u64,
+    },
+    /// [`gradsec_nn::zoo::lenet5_with`].
+    LeNet5 {
+        /// Output classes.
+        classes: u64,
+        /// Initialisation seed.
+        seed: u64,
+    },
+}
+
+/// Coordinator → shard-server: everything the shard needs to host its
+/// contiguous client range deterministically — the global fleet shape
+/// (so data sharding reproduces the flat reference), the model recipe
+/// plus initial weights, the training plan, the kernel backend, the
+/// engine worker count, the attestation whitelist and the fault plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// The shard index this config provisions (echoes the hello ack).
+    pub shard_index: u64,
+    /// First global client id this shard hosts (inclusive).
+    pub range_start: u64,
+    /// One past the last global client id this shard hosts.
+    pub range_end: u64,
+    /// Total clients across the whole fleet — the shard reproduces the
+    /// *global* `split::shard` data partition and takes its sub-range,
+    /// which is what keeps every client's local dataset bit-identical to
+    /// the flat reference.
+    pub total_clients: u64,
+    /// The dataset recipe.
+    pub dataset: DatasetSpec,
+    /// The model recipe.
+    pub model: ModelSpec,
+    /// The initial global weights (installed over the recipe's
+    /// initialisation, so bit-identity never depends on init code).
+    pub init_weights: ModelWeights,
+    /// The training plan.
+    pub plan: TrainingPlan,
+    /// Kernel backend name ([`gradsec_tensor::BackendKind::parse`]).
+    pub backend: String,
+    /// Engine worker threads the shard runs (`0` = one per core).
+    pub workers: u64,
+    /// The whitelisted TA measurement.
+    pub measurement: Measurement,
+    /// The fault plan, when the run injects faults.
+    pub faults: Option<FaultPlan>,
+}
+
+/// Shard-server → coordinator: configuration applied, fleet wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardConfigAck {
+    /// How many clients the shard wired (must equal the config's range).
+    pub clients: u64,
+}
+
+/// One screening probe: a shard-local client index and the challenge the
+/// coordinator drew for it (nonces are drawn on the coordinator, in
+/// global candidate order — the shard never touches the selection RNG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScreenProbe {
+    /// Shard-local client index.
+    pub local: u64,
+    /// The attestation challenge to send.
+    pub challenge: Challenge,
+}
+
+/// Coordinator → shard-server: this round's screening fan-out for the
+/// shard's slice of the candidate set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardScreen {
+    /// The probes, in global candidate order.
+    pub probes: Vec<ScreenProbe>,
+}
+
+/// Shard-server → coordinator: raw attestation evidence, index-aligned
+/// with the request's probes. `None` means the exchange itself failed
+/// (transport error or injected fault) — the coordinator screens it as
+/// unreachable. Quote *verification* stays on the coordinator, against
+/// its own provisioning registry, so a shard process can not vouch for
+/// its clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardScreenReply {
+    /// Per-probe evidence.
+    pub evidence: Vec<Option<AttestationResponse>>,
+}
+
+/// Coordinator → shard-server: execute one round's cycles for the
+/// shard's picks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardRound {
+    /// The round's model download (identical on every shard).
+    pub download: ModelDownload,
+    /// Shard-local indices of this shard's picked clients, in global
+    /// selection order.
+    pub picks: Vec<u64>,
+    /// Global selection slot of the first pick: with a contiguous layout
+    /// a shard's picks are contiguous in the sorted global pick list, so
+    /// pick `j` occupies global slot `slot_base + j`.
+    pub slot_base: u64,
+}
+
+/// How a non-completed cycle ended on a shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ShardOutcomeKind {
+    /// The client blew the round deadline on the simulated clock.
+    Straggler {
+        /// Simulated elapsed seconds.
+        elapsed_s: f64,
+    },
+    /// The exchange failed (transport fault, training error, panic).
+    Failed {
+        /// Rendered failure reason.
+        reason: String,
+    },
+}
+
+/// One non-completed outcome, tagged with its global selection slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardOutcome {
+    /// Global selection slot.
+    pub slot: u64,
+    /// Global client id.
+    pub client: u64,
+    /// What happened.
+    pub kind: ShardOutcomeKind,
+}
+
+/// Shard-server → coordinator: one round's results — the completed
+/// updates as a [`PartialAggregate`] tagged with *global* slots, the
+/// stragglers/failures, and the shard's cost ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardRoundReply {
+    /// Completed updates at their global selection slots.
+    pub partial: PartialAggregate,
+    /// Stragglers and failures, also at global slots.
+    pub others: Vec<ShardOutcome>,
+    /// The shard's round ledger (completed and billed-failed cycles).
+    pub ledger: RoundLedger,
+}
+
+impl Wire for ShardHello {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(self.min_version);
+        buf.put_u16_le(self.max_version);
+        buf.put_u64_le(self.pid);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 12, "shard hello")?;
+        Ok(ShardHello {
+            min_version: buf.get_u16_le(),
+            max_version: buf.get_u16_le(),
+            pid: buf.get_u64_le(),
+        })
+    }
+}
+
+impl Wire for ShardHelloAck {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(self.version);
+        buf.put_u64_le(self.shard_index);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 10, "shard hello ack")?;
+        Ok(ShardHelloAck {
+            version: buf.get_u16_le(),
+            shard_index: buf.get_u64_le(),
+        })
+    }
+}
+
+impl Wire for DatasetSpec {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        match *self {
+            DatasetSpec::Micro {
+                len,
+                classes,
+                dim,
+                seed,
+            } => {
+                buf.put_u8(0);
+                buf.put_u64_le(len);
+                buf.put_u64_le(classes);
+                buf.put_u64_le(dim);
+                buf.put_u64_le(seed);
+            }
+            DatasetSpec::Cifar { len, classes, seed } => {
+                buf.put_u8(1);
+                buf.put_u64_le(len);
+                buf.put_u64_le(classes);
+                buf.put_u64_le(seed);
+            }
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 1, "dataset spec tag")?;
+        match buf.get_u8() {
+            0 => {
+                need(buf, 32, "micro dataset spec")?;
+                Ok(DatasetSpec::Micro {
+                    len: buf.get_u64_le(),
+                    classes: buf.get_u64_le(),
+                    dim: buf.get_u64_le(),
+                    seed: buf.get_u64_le(),
+                })
+            }
+            1 => {
+                need(buf, 24, "cifar dataset spec")?;
+                Ok(DatasetSpec::Cifar {
+                    len: buf.get_u64_le(),
+                    classes: buf.get_u64_le(),
+                    seed: buf.get_u64_le(),
+                })
+            }
+            other => Err(FlError::BadConfig {
+                reason: format!("unknown dataset spec tag {other}"),
+            }),
+        }
+    }
+}
+
+impl Wire for ModelSpec {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        match *self {
+            ModelSpec::TinyMlp {
+                inputs,
+                hidden,
+                outputs,
+                seed,
+            } => {
+                buf.put_u8(0);
+                buf.put_u64_le(inputs);
+                buf.put_u64_le(hidden);
+                buf.put_u64_le(outputs);
+                buf.put_u64_le(seed);
+            }
+            ModelSpec::LeNet5 { classes, seed } => {
+                buf.put_u8(1);
+                buf.put_u64_le(classes);
+                buf.put_u64_le(seed);
+            }
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 1, "model spec tag")?;
+        match buf.get_u8() {
+            0 => {
+                need(buf, 32, "tiny-mlp spec")?;
+                Ok(ModelSpec::TinyMlp {
+                    inputs: buf.get_u64_le(),
+                    hidden: buf.get_u64_le(),
+                    outputs: buf.get_u64_le(),
+                    seed: buf.get_u64_le(),
+                })
+            }
+            1 => {
+                need(buf, 16, "lenet-5 spec")?;
+                Ok(ModelSpec::LeNet5 {
+                    classes: buf.get_u64_le(),
+                    seed: buf.get_u64_le(),
+                })
+            }
+            other => Err(FlError::BadConfig {
+                reason: format!("unknown model spec tag {other}"),
+            }),
+        }
+    }
+}
+
+impl Wire for ShardConfig {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.shard_index);
+        buf.put_u64_le(self.range_start);
+        buf.put_u64_le(self.range_end);
+        buf.put_u64_le(self.total_clients);
+        self.dataset.encode_into(buf);
+        self.model.encode_into(buf);
+        self.init_weights.encode_into(buf);
+        self.plan.encode_into(buf);
+        encode_str(&self.backend, buf);
+        buf.put_u64_le(self.workers);
+        buf.put_slice(&self.measurement.0);
+        match &self.faults {
+            Some(p) => {
+                buf.put_u8(1);
+                p.encode_into(buf);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 32, "shard config header")?;
+        let shard_index = buf.get_u64_le();
+        let range_start = buf.get_u64_le();
+        let range_end = buf.get_u64_le();
+        let total_clients = buf.get_u64_le();
+        if range_start > range_end || range_end > total_clients {
+            return Err(FlError::BadConfig {
+                reason: format!(
+                    "shard range [{range_start}, {range_end}) out of order or beyond \
+                     {total_clients} clients"
+                ),
+            });
+        }
+        let dataset = DatasetSpec::decode_from(buf)?;
+        let model = ModelSpec::decode_from(buf)?;
+        let init_weights = ModelWeights::decode_from(buf)?;
+        let plan = TrainingPlan::decode_from(buf)?;
+        let backend = decode_str(buf, "backend name")?;
+        need(buf, 8 + 32 + 1, "shard config footer")?;
+        let workers = buf.get_u64_le();
+        let mut m = [0u8; 32];
+        buf.copy_to_slice(&mut m);
+        let faults = match buf.get_u8() {
+            0 => None,
+            1 => Some(FaultPlan::decode_from(buf)?),
+            other => {
+                return Err(FlError::BadConfig {
+                    reason: format!("bad fault plan presence flag {other}"),
+                })
+            }
+        };
+        Ok(ShardConfig {
+            shard_index,
+            range_start,
+            range_end,
+            total_clients,
+            dataset,
+            model,
+            init_weights,
+            plan,
+            backend,
+            workers,
+            measurement: Measurement(m),
+            faults,
+        })
+    }
+}
+
+impl Wire for ShardConfigAck {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.clients);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 8, "shard config ack")?;
+        Ok(ShardConfigAck {
+            clients: buf.get_u64_le(),
+        })
+    }
+}
+
+impl Wire for ShardScreen {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.probes.len() as u64);
+        for p in &self.probes {
+            buf.put_u64_le(p.local);
+            p.challenge.encode_into(buf);
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        let n = decode_count(buf, "screen probe count")?;
+        let mut probes = Vec::with_capacity(n);
+        for _ in 0..n {
+            need(buf, 8, "probe local index")?;
+            let local = buf.get_u64_le();
+            let challenge = Challenge::decode_from(buf)?;
+            probes.push(ScreenProbe { local, challenge });
+        }
+        Ok(ShardScreen { probes })
+    }
+}
+
+impl Wire for ShardScreenReply {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.evidence.len() as u64);
+        for e in &self.evidence {
+            match e {
+                Some(resp) => {
+                    buf.put_u8(1);
+                    resp.encode_into(buf);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        let n = decode_count(buf, "screen evidence count")?;
+        let mut evidence = Vec::with_capacity(n);
+        for _ in 0..n {
+            need(buf, 1, "evidence presence flag")?;
+            evidence.push(match buf.get_u8() {
+                0 => None,
+                1 => Some(AttestationResponse::decode_from(buf)?),
+                other => {
+                    return Err(FlError::BadConfig {
+                        reason: format!("bad evidence presence flag {other}"),
+                    })
+                }
+            });
+        }
+        Ok(ShardScreenReply { evidence })
+    }
+}
+
+impl Wire for ShardRound {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        self.download.encode_into(buf);
+        buf.put_u64_le(self.slot_base);
+        buf.put_u64_le(self.picks.len() as u64);
+        for &p in &self.picks {
+            buf.put_u64_le(p);
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        let download = ModelDownload::decode_from(buf)?;
+        need(buf, 8, "slot base")?;
+        let slot_base = buf.get_u64_le();
+        let n = decode_count(buf, "pick count")?;
+        need(buf, 8 * n, "pick list")?;
+        let mut picks = Vec::with_capacity(n);
+        for _ in 0..n {
+            picks.push(buf.get_u64_le());
+        }
+        Ok(ShardRound {
+            download,
+            picks,
+            slot_base,
+        })
+    }
+}
+
+impl Wire for ShardOutcomeKind {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            ShardOutcomeKind::Straggler { elapsed_s } => {
+                buf.put_u8(0);
+                buf.put_f64_le(*elapsed_s);
+            }
+            ShardOutcomeKind::Failed { reason } => {
+                buf.put_u8(1);
+                encode_str(reason, buf);
+            }
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 1, "outcome kind tag")?;
+        match buf.get_u8() {
+            0 => {
+                need(buf, 8, "straggler elapsed")?;
+                Ok(ShardOutcomeKind::Straggler {
+                    elapsed_s: buf.get_f64_le(),
+                })
+            }
+            1 => Ok(ShardOutcomeKind::Failed {
+                reason: decode_str(buf, "failure reason")?,
+            }),
+            other => Err(FlError::BadConfig {
+                reason: format!("unknown outcome kind tag {other}"),
+            }),
+        }
+    }
+}
+
+impl Wire for ShardOutcome {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.slot);
+        buf.put_u64_le(self.client);
+        self.kind.encode_into(buf);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 16, "outcome header")?;
+        Ok(ShardOutcome {
+            slot: buf.get_u64_le(),
+            client: buf.get_u64_le(),
+            kind: ShardOutcomeKind::decode_from(buf)?,
+        })
+    }
+}
+
+impl Wire for PartialAggregate {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.terms().len() as u64);
+        for (slot, upload) in self.terms() {
+            buf.put_u64_le(*slot as u64);
+            upload.encode_into(buf);
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        let n = decode_count(buf, "aggregate term count")?;
+        let mut partial = PartialAggregate::new();
+        for _ in 0..n {
+            need(buf, 8, "term slot")?;
+            let slot = buf.get_u64_le() as usize;
+            let upload = UpdateUpload::decode_from(buf)?;
+            partial.push(slot, upload);
+        }
+        Ok(partial)
+    }
+}
+
+impl Wire for RoundLedger {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.entries().len() as u64);
+        for e in self.entries() {
+            e.encode_into(buf);
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        let n = decode_count(buf, "ledger entry count")?;
+        let mut ledger = RoundLedger::new();
+        for _ in 0..n {
+            ledger.record(ClientCycleCost::decode_from(buf)?);
+        }
+        Ok(ledger)
+    }
+}
+
+impl Wire for ShardRoundReply {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        self.partial.encode_into(buf);
+        buf.put_u64_le(self.others.len() as u64);
+        for o in &self.others {
+            o.encode_into(buf);
+        }
+        self.ledger.encode_into(buf);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        let partial = PartialAggregate::decode_from(buf)?;
+        let n = decode_count(buf, "outcome count")?;
+        let mut others = Vec::with_capacity(n);
+        for _ in 0..n {
+            others.push(ShardOutcome::decode_from(buf)?);
+        }
+        let ledger = RoundLedger::decode_from(buf)?;
+        Ok(ShardRoundReply {
+            partial,
+            others,
+            ledger,
         })
     }
 }

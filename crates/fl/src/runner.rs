@@ -144,6 +144,7 @@ pub struct FederationBuilder {
     shards: usize,
     faults: Option<Arc<FaultPlan>>,
     backend: BackendKind,
+    screening_sample: Option<usize>,
 }
 
 impl FederationBuilder {
@@ -162,6 +163,7 @@ impl FederationBuilder {
             shards: 1,
             faults: None,
             backend: BackendKind::from_env(),
+            screening_sample: None,
         }
     }
 
@@ -280,6 +282,19 @@ impl FederationBuilder {
         self
     }
 
+    /// Caps per-round screening at `m` uniformly-sampled candidates
+    /// instead of the whole fleet (see
+    /// [`FlServer::set_screening_sample`]), so per-round selection cost
+    /// stops being O(fleet). The default — no cap — screens everyone
+    /// with an RNG stream bit-identical to pre-cap builds. Runs with the
+    /// same cap are bit-identical across shards, workers, transports and
+    /// process boundaries; changing the cap changes which clients are
+    /// screened, so it is part of the run's reproducibility key.
+    pub fn screening_sample(mut self, m: usize) -> Self {
+        self.screening_sample = Some(m);
+        self
+    }
+
     /// Assembles a flat (single-shard) federation: builds the fleet,
     /// wires it onto the configured transport and handshakes every
     /// endpoint.
@@ -384,6 +399,7 @@ impl FederationBuilder {
         if let Some(plan) = &self.faults {
             server.overprovision(plan.spare_count());
         }
+        server.set_screening_sample(self.screening_sample);
         let (clients, sessions) =
             wire_fleet(fleet, self.transport, &self.mux, self.faults.as_ref())?;
         Ok(AssembledFleet {
@@ -700,7 +716,7 @@ impl Drop for Federation {
 /// failure in selection order — the strict contract healthy fleets always
 /// had. With tolerance, failures and stragglers are merely recorded, and
 /// the round only errors when *no* update committed.
-fn finish_round(
+pub(crate) fn finish_round(
     server: &mut FlServer,
     round: u64,
     picked: Vec<usize>,

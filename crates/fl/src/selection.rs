@@ -37,6 +37,47 @@ pub enum ScreeningOutcome {
     Unreachable,
 }
 
+/// Screens one client against an already-drawn challenge (the
+/// coordinator-side half of the attestation exchange). Pure with respect
+/// to the server RNG: challenge drawing and screening are split so that
+/// sub-sampled and distributed screening consume the selection RNG
+/// stream identically to the flat reference.
+pub fn screen_one(
+    client: &mut RemoteClient,
+    expected: Measurement,
+    challenge: &Challenge,
+) -> ScreeningOutcome {
+    let response = match client.attest(challenge) {
+        Ok(r) => r,
+        Err(_) => return ScreeningOutcome::Unreachable,
+    };
+    verify_evidence(
+        client.attestation_key(),
+        response.quote,
+        expected,
+        challenge,
+    )
+}
+
+/// Turns raw attestation evidence into a screening verdict, verifying the
+/// quote against the provisioning registry's key for the device. This is
+/// the same judgement for an in-process client and for evidence relayed
+/// by a shard-server process — verification always happens server-side.
+pub fn verify_evidence(
+    key: &[u8],
+    quote: Option<gradsec_tee::attestation::Quote>,
+    expected: Measurement,
+    challenge: &Challenge,
+) -> ScreeningOutcome {
+    match quote {
+        None => ScreeningOutcome::NoTee,
+        Some(quote) => match verify_quote(key, &quote, expected, challenge) {
+            Ok(()) => ScreeningOutcome::Eligible,
+            Err(_) => ScreeningOutcome::FailedAttestation,
+        },
+    }
+}
+
 /// Screens every client with a fresh challenge and returns the verdicts,
 /// index-aligned with `clients`.
 ///
@@ -51,24 +92,55 @@ pub fn screen_clients(
     clients
         .iter_mut()
         .map(|c| {
-            let mut nonce = [0u8; 16];
-            rng.fill(&mut nonce[..]);
-            let challenge = Challenge::new(nonce);
-            let response = match c.attest(&challenge) {
-                Ok(r) => r,
-                Err(_) => return ScreeningOutcome::Unreachable,
-            };
-            match response.quote {
-                None => ScreeningOutcome::NoTee,
-                Some(quote) => {
-                    match verify_quote(c.attestation_key(), &quote, expected, &challenge) {
-                        Ok(()) => ScreeningOutcome::Eligible,
-                        Err(_) => ScreeningOutcome::FailedAttestation,
-                    }
-                }
-            }
+            let challenge = draw_challenge(rng);
+            screen_one(c, expected, &challenge)
         })
         .collect()
+}
+
+/// Draws one 16-byte attestation nonce — the single point every
+/// screening path consumes the selection RNG through, so nonce streams
+/// cannot drift between flat, sharded and distributed runs.
+pub fn draw_challenge(rng: &mut StdRng) -> Challenge {
+    let mut nonce = [0u8; 16];
+    rng.fill(&mut nonce[..]);
+    Challenge::new(nonce)
+}
+
+/// Samples `m` distinct indices from `0..n` uniformly without
+/// replacement (Floyd's algorithm), returned sorted. `m >= n` returns
+/// every index without consuming the RNG — the sub-sampled screening
+/// path degrades to full screening with an untouched stream.
+pub fn sample_indices(n: usize, m: usize, rng: &mut StdRng) -> Vec<usize> {
+    if m >= n {
+        return (0..n).collect();
+    }
+    let mut chosen = std::collections::BTreeSet::new();
+    for i in (n - m)..n {
+        // The vendored RNG only samples half-open ranges; `i + 1` cannot
+        // overflow because `i < n <= usize::MAX - 1` (a fleet of
+        // usize::MAX clients is unrepresentable in memory).
+        let j = rng.random_range(0..i + 1);
+        if !chosen.insert(j) {
+            chosen.insert(i);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+/// One round's screening plan: which global client indices to challenge
+/// (sorted — global client order) and the challenge each gets,
+/// index-aligned. Built by
+/// [`FlServer::screen_plan`](crate::server::FlServer::screen_plan); with
+/// full screening the candidates are simply `0..n`, with sub-sampled
+/// screening they are a uniform sample, so per-round selection cost is
+/// O(candidates), not O(fleet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScreenPlan {
+    /// Global client indices to screen, sorted ascending.
+    pub candidates: Vec<usize>,
+    /// The challenge for each candidate, index-aligned.
+    pub challenges: Vec<Challenge>,
 }
 
 /// Validates a round schedule before it reaches the engine: every index

@@ -10,7 +10,9 @@ use crate::aggregate::fedavg;
 use crate::config::TrainingPlan;
 use crate::history::SnapshotHistory;
 use crate::message::{ModelDownload, UpdateUpload};
-use crate::selection::{sample_eligible, screen_clients, ScreeningOutcome};
+use crate::selection::{
+    draw_challenge, sample_indices, screen_clients, screen_one, ScreenPlan, ScreeningOutcome,
+};
 use crate::{FlError, Result};
 
 /// The central FL server: owns the global model, screens and samples
@@ -24,6 +26,7 @@ pub struct FlServer {
     rng: StdRng,
     round: u64,
     spare: usize,
+    screening_sample: Option<usize>,
 }
 
 impl FlServer {
@@ -52,6 +55,7 @@ impl FlServer {
             expected_measurement,
             round: 0,
             spare: 0,
+            screening_sample: None,
         })
     }
 
@@ -67,6 +71,20 @@ impl FlServer {
     /// The configured selection spare count.
     pub fn spare(&self) -> usize {
         self.spare
+    }
+
+    /// Caps per-round screening at `m` uniformly-sampled candidates
+    /// instead of the whole fleet, so selection cost stops being
+    /// O(fleet). `None` (the default) or `m >= fleet` restores full
+    /// screening with a bit-identical RNG stream — the sub-sample draw
+    /// consumes nothing in that case.
+    pub fn set_screening_sample(&mut self, m: Option<usize>) {
+        self.screening_sample = m;
+    }
+
+    /// The configured screening sample cap, if any.
+    pub fn screening_sample(&self) -> Option<usize> {
+        self.screening_sample
     }
 
     /// The training plan.
@@ -89,6 +107,63 @@ impl FlServer {
         self.round
     }
 
+    /// Draws this round's screening plan for a fleet of `n` clients: the
+    /// candidate set (all of `0..n`, or a uniform sub-sample when
+    /// [`set_screening_sample`](Self::set_screening_sample) caps it) plus
+    /// one challenge per candidate, in global candidate order.
+    ///
+    /// With full screening no sub-sample draw happens and the nonce
+    /// stream is exactly what [`select`](Self::select) always consumed,
+    /// so existing flat/sharded runs stay bit-identical; with a cap, the
+    /// same plan drives flat and distributed runs alike, so they cannot
+    /// drift from each other.
+    pub fn screen_plan(&mut self, n: usize) -> ScreenPlan {
+        let candidates = match self.screening_sample {
+            Some(m) if m < n => sample_indices(n, m, &mut self.rng),
+            _ => (0..n).collect(),
+        };
+        let challenges = candidates
+            .iter()
+            .map(|_| draw_challenge(&mut self.rng))
+            .collect();
+        ScreenPlan {
+            candidates,
+            challenges,
+        }
+    }
+
+    /// The sampling tail every selection path shares — keeping it single
+    /// is part of the flat/sharded/distributed bit-identity guarantee.
+    /// `outcomes` is index-aligned with the plan's candidates; samples
+    /// `clients_per_round + spare` eligible *global* indices, returned in
+    /// canonical (sorted) order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::NoEligibleClients`] when nobody passes.
+    pub fn sample_screened(
+        &mut self,
+        plan: &ScreenPlan,
+        outcomes: &[ScreeningOutcome],
+    ) -> Result<Vec<usize>> {
+        use rand::seq::SliceRandom;
+        let k = self.plan.clients_per_round + self.spare;
+        let mut eligible: Vec<usize> = plan
+            .candidates
+            .iter()
+            .zip(outcomes.iter())
+            .filter(|(_, o)| **o == ScreeningOutcome::Eligible)
+            .map(|(&g, _)| g)
+            .collect();
+        eligible.shuffle(&mut self.rng);
+        eligible.truncate(k);
+        eligible.sort_unstable();
+        if eligible.is_empty() {
+            return Err(FlError::NoEligibleClients { round: self.round });
+        }
+        Ok(eligible)
+    }
+
     /// Screens all clients over their endpoints and samples this round's
     /// participants (Figure 2-➊).
     ///
@@ -96,26 +171,20 @@ impl FlServer {
     ///
     /// Returns [`FlError::NoEligibleClients`] when nobody passes.
     pub fn select(&mut self, clients: &mut [crate::transport::RemoteClient]) -> Result<Vec<usize>> {
-        let outcomes = screen_clients(clients, self.expected_measurement, &mut self.rng);
-        self.sample_from(&outcomes)
-    }
-
-    /// The sampling tail both selection paths share — keeping it single
-    /// is part of the flat/sharded bit-identity guarantee. Samples
-    /// `clients_per_round + spare` so over-provisioned fleets carry the
-    /// slack faulted rounds commit from.
-    fn sample_from(&mut self, outcomes: &[ScreeningOutcome]) -> Result<Vec<usize>> {
-        let k = self.plan.clients_per_round + self.spare;
-        let picked = sample_eligible(outcomes, k, &mut self.rng);
-        if picked.is_empty() {
-            return Err(FlError::NoEligibleClients { round: self.round });
-        }
-        Ok(picked)
+        let plan = self.screen_plan(clients.len());
+        let expected = self.expected_measurement;
+        let outcomes: Vec<ScreeningOutcome> = plan
+            .candidates
+            .iter()
+            .zip(plan.challenges.iter())
+            .map(|(&i, ch)| screen_one(&mut clients[i], expected, ch))
+            .collect();
+        self.sample_screened(&plan, &outcomes)
     }
 
     /// Screens and samples a *sharded* fleet (Figure 2-➊ at fleet scale).
     ///
-    /// Shards are walked in order, so with the contiguous
+    /// Candidates are walked in global order, so with the contiguous
     /// [`ShardLayout`](crate::config::ShardLayout) the server's RNG
     /// consumes nonces in exactly the global client order — the returned
     /// pick set (global indices, sorted) is bit-identical to
@@ -128,15 +197,28 @@ impl FlServer {
         &mut self,
         shards: &mut [Vec<crate::transport::RemoteClient>],
     ) -> Result<Vec<usize>> {
-        let mut outcomes = Vec::with_capacity(shards.iter().map(Vec::len).sum());
-        for shard in shards.iter_mut() {
-            outcomes.extend(screen_clients(
-                shard,
-                self.expected_measurement,
-                &mut self.rng,
-            ));
+        let total = shards.iter().map(Vec::len).sum();
+        let plan = self.screen_plan(total);
+        let mut offsets = Vec::with_capacity(shards.len() + 1);
+        let mut at = 0usize;
+        offsets.push(at);
+        for shard in shards.iter() {
+            at += shard.len();
+            offsets.push(at);
         }
-        self.sample_from(&outcomes)
+        let expected = self.expected_measurement;
+        let outcomes: Vec<ScreeningOutcome> = plan
+            .candidates
+            .iter()
+            .zip(plan.challenges.iter())
+            .map(|(&g, ch)| {
+                // partition_point (not binary_search) so empty shards'
+                // duplicated offsets can never misroute a candidate.
+                let s = offsets.partition_point(|&o| o <= g) - 1;
+                screen_one(&mut shards[s][g - offsets[s]], expected, ch)
+            })
+            .collect();
+        self.sample_screened(&plan, &outcomes)
     }
 
     /// Screens all clients, returning the per-client verdicts (used by
@@ -293,6 +375,89 @@ mod tests {
         let picked = server.select(&mut clients).unwrap();
         assert_eq!(picked.len(), 3);
         assert!(picked.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn screening_sample_at_or_above_fleet_matches_full_screening() {
+        // A cap that doesn't bind must consume the exact same RNG stream
+        // as no cap at all — the sub-sample draw is skipped entirely — so
+        // legacy runs and capped runs stay bit-identical.
+        let model = zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap();
+        let devices = || (0..5).map(DeviceProfile::trustzone).collect::<Vec<_>>();
+        let mut reference = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+        let reference_picked = reference.select(&mut make_clients(devices())).unwrap();
+        for cap in [5usize, 6, 64] {
+            let mut server = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+            server.set_screening_sample(Some(cap));
+            assert_eq!(server.screening_sample(), Some(cap));
+            let picked = server.select(&mut make_clients(devices())).unwrap();
+            assert_eq!(picked, reference_picked, "cap {cap} diverged from full");
+        }
+    }
+
+    #[test]
+    fn screening_sample_caps_candidates_and_picks_within_them() {
+        let model = zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap();
+        let mut server = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+        server.set_screening_sample(Some(3));
+        let plan = server.screen_plan(64);
+        assert_eq!(plan.candidates.len(), 3);
+        assert_eq!(plan.challenges.len(), 3);
+        // Candidates are a sorted subset of the fleet (global order).
+        assert!(plan.candidates.windows(2).all(|w| w[0] < w[1]));
+        assert!(plan.candidates.iter().all(|&g| g < 64));
+        // Picks can only come from the screened candidates.
+        let outcomes = vec![ScreeningOutcome::Eligible; 3];
+        let picked = server.sample_screened(&plan, &outcomes).unwrap();
+        assert!(picked.iter().all(|g| plan.candidates.contains(g)));
+    }
+
+    #[test]
+    fn screen_plan_is_deterministic_across_servers() {
+        // Same seed + same cap => same candidates and the same nonce for
+        // each — the property the distributed coordinator leans on to
+        // keep remote screening bit-identical to the flat reference.
+        let model = zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap();
+        for cap in [None, Some(7), Some(100)] {
+            let mut a = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+            let mut b = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+            a.set_screening_sample(cap);
+            b.set_screening_sample(cap);
+            assert_eq!(a.screen_plan(40), b.screen_plan(40), "cap {cap:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_selection_matches_flat_under_screening_cap() {
+        // The binding cap routes only the sampled candidates to their
+        // shards; the pick set must still match the flat fleet's.
+        let model = zoo::tiny_mlp(3 * 32 * 32, 4, 2, 100).unwrap();
+        let devices = || {
+            (0..8)
+                .map(|i| {
+                    if i == 2 {
+                        DeviceProfile::legacy(i)
+                    } else {
+                        DeviceProfile::trustzone(i)
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut flat_server = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+        flat_server.set_screening_sample(Some(5));
+        let flat_picked = flat_server.select(&mut make_clients(devices())).unwrap();
+        for cuts in [vec![4usize, 4], vec![2, 3, 3], vec![8]] {
+            let mut server = FlServer::new(plan(), model.weights(), measurement()).unwrap();
+            server.set_screening_sample(Some(5));
+            let mut clients = make_clients(devices());
+            let mut shards: Vec<Vec<RemoteClient>> = Vec::new();
+            for n in cuts {
+                let rest = clients.split_off(n);
+                shards.push(std::mem::replace(&mut clients, rest));
+            }
+            let picked = server.select_sharded(&mut shards).unwrap();
+            assert_eq!(picked, flat_picked);
+        }
     }
 
     #[test]

@@ -4,15 +4,18 @@
 //! transport uses: encode → wrap in an [`Envelope`] → encode the envelope
 //! (the TCP frame) → decode the envelope → open the payload.
 
-use gradsec_fl::aggregate::fedavg;
+use gradsec_fl::aggregate::{fedavg, PartialAggregate};
 use gradsec_fl::config::TrainingPlan;
+use gradsec_fl::faults::{FaultPlan, LatencyModel};
 use gradsec_fl::message::{
-    decode, encode, AttestationRequest, AttestationResponse, Envelope, ErrorReply, Hello, HelloAck,
-    MessageKind, ModelDownload, UpdateUpload, Wire, ENVELOPE_MAGIC,
+    decode, encode, AttestationRequest, AttestationResponse, DatasetSpec, Envelope, ErrorReply,
+    Hello, HelloAck, MessageKind, ModelDownload, ModelSpec, ScreenProbe, ShardConfig,
+    ShardConfigAck, ShardHello, ShardHelloAck, ShardOutcome, ShardOutcomeKind, ShardRound,
+    ShardRoundReply, ShardScreen, ShardScreenReply, UpdateUpload, Wire, ENVELOPE_MAGIC,
 };
 use gradsec_nn::model::{LayerWeights, ModelWeights};
 use gradsec_tee::attestation::{sign_quote, Challenge, Measurement};
-use gradsec_tee::cost::{ClientCycleCost, TimeBreakdown};
+use gradsec_tee::cost::{ClientCycleCost, RoundLedger, TimeBreakdown};
 use gradsec_tee::ta::Uuid;
 use gradsec_tee::tiop::{Frame, SecureChannel};
 use gradsec_tensor::{init, Tensor};
@@ -39,6 +42,112 @@ fn cost(client_id: u64, scale: f64, crossings: u64, peak: usize) -> ClientCycleC
         },
         crossings,
         tee_peak_bytes: peak,
+    }
+}
+
+fn upload(id: u64, seed: u64) -> UpdateUpload {
+    UpdateUpload {
+        client_id: id,
+        round: 1,
+        weights: weights(2, 3, seed),
+        num_samples: 4 + id as usize,
+        train_loss: 0.25,
+        cost: cost(id, 1.0, 3, 2048),
+    }
+}
+
+/// An arbitrary-but-valid latency model from primitive draws (`a`, `b`
+/// nonnegative): the vendored proptest has no combinators, so variants
+/// are selected by tag in the test body.
+fn latency_from(tag: u8, a: f64, b: f64) -> LatencyModel {
+    match tag % 4 {
+        0 => LatencyModel::None,
+        1 => LatencyModel::Fixed(a),
+        2 => LatencyModel::Uniform {
+            min_s: a.min(b),
+            max_s: a.max(b),
+        },
+        _ => LatencyModel::Exponential { mean_s: a + 0.01 },
+    }
+}
+
+/// An arbitrary-but-valid fault plan exercising every encoded field
+/// (validated on decode, so every knob stays in its legal range).
+#[allow(clippy::too_many_arguments)]
+fn fault_plan_from(
+    seed: u64,
+    lat: LatencyModel,
+    dropout: f64,
+    drop: f64,
+    garble: f64,
+    deadline: Option<f64>,
+    spare: usize,
+    crashes: &[(u64, u64)],
+    overrides: &[(u64, u8, f64, f64)],
+) -> FaultPlan {
+    let mut plan = FaultPlan::seeded(seed)
+        .latency(lat)
+        .dropout(dropout)
+        .drop_messages(drop)
+        .garble_replies(garble)
+        .spare(spare);
+    if let Some(d) = deadline {
+        plan = plan.deadline_s(d);
+    }
+    for &(client, round) in crashes {
+        plan = plan.crash_at(client, round);
+    }
+    for &(client, tag, a, b) in overrides {
+        plan = plan.client_latency(client, latency_from(tag, a, b));
+    }
+    plan
+}
+
+fn dataset_spec_from(tag: u8, len: u64, classes: u64, dim: u64, seed: u64) -> DatasetSpec {
+    if tag.is_multiple_of(2) {
+        DatasetSpec::Micro {
+            len,
+            classes,
+            dim,
+            seed,
+        }
+    } else {
+        DatasetSpec::Cifar { len, classes, seed }
+    }
+}
+
+fn model_spec_from(tag: u8, a: u64, b: u64, c: u64, seed: u64) -> ModelSpec {
+    if tag.is_multiple_of(2) {
+        ModelSpec::TinyMlp {
+            inputs: a,
+            hidden: b,
+            outputs: c,
+            seed,
+        }
+    } else {
+        ModelSpec::LeNet5 { classes: c, seed }
+    }
+}
+
+fn shard_config(
+    dataset: DatasetSpec,
+    model: ModelSpec,
+    range: (u64, u64, u64),
+    faults: Option<FaultPlan>,
+) -> ShardConfig {
+    ShardConfig {
+        shard_index: 2,
+        range_start: range.0,
+        range_end: range.1,
+        total_clients: range.2,
+        dataset,
+        model,
+        init_weights: weights(2, 3, 11),
+        plan: TrainingPlan::default(),
+        backend: "reference".to_owned(),
+        workers: 4,
+        measurement: Measurement([9u8; 32]),
+        faults,
     }
 }
 
@@ -220,5 +329,203 @@ proptest! {
         let v = agg.layer(0).unwrap().w.data()[0];
         let (lo, hi) = (wa.min(wb), wa.max(wb));
         prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5, "{v} outside [{lo}, {hi}]");
+    }
+}
+
+// Shard-control plane (protocol v3): every message the distributed
+// coordinator speaks round-trips through the full envelope path, and the
+// usual hostile-bytes properties (truncation, garbling, validation)
+// hold for the new payloads too.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shard_handshake_wire_roundtrip(min in 0u16..100, span in 0u16..100, pid in any::<u64>(), version in 0u16..100, index in 0u64..64) {
+        let hello = ShardHello { min_version: min, max_version: min.saturating_add(span), pid };
+        prop_assert_eq!(hello, through_envelope(MessageKind::ShardHello, &hello));
+        let ack = ShardHelloAck { version, shard_index: index };
+        prop_assert_eq!(ack, through_envelope(MessageKind::ShardHelloAck, &ack));
+    }
+
+    #[test]
+    fn shard_config_wire_roundtrip(
+        ds in (0u8..2, 1u64..2048, 1u64..16, 1u64..64, any::<u64>()),
+        md in (0u8..2, 1u64..256, 1u64..32, 1u64..16, any::<u64>()),
+        start in 0u64..50,
+        len in 0u64..50,
+        faulty in (any::<bool>(), any::<u64>(), 0u8..4, 0.0f64..10.0, 0.0f64..1.0),
+        clients in 0u64..64,
+    ) {
+        let faults = faulty.0.then(|| {
+            fault_plan_from(
+                faulty.1,
+                latency_from(faulty.2, faulty.3, faulty.3 * 0.5),
+                faulty.4,
+                faulty.4,
+                faulty.4,
+                Some(1.0 + faulty.3),
+                2,
+                &[(3, 1)],
+                &[],
+            )
+        });
+        let config = shard_config(
+            dataset_spec_from(ds.0, ds.1, ds.2, ds.3, ds.4),
+            model_spec_from(md.0, md.1, md.2, md.3, md.4),
+            (start, start + len, start + len + 8),
+            faults,
+        );
+        let back = through_envelope(MessageKind::ShardConfig, &config);
+        prop_assert_eq!(config, back);
+        let ack = ShardConfigAck { clients };
+        prop_assert_eq!(ack, through_envelope(MessageKind::ShardConfigAck, &ack));
+    }
+
+    #[test]
+    fn fault_plan_wire_roundtrip(
+        seed in any::<u64>(),
+        lat in (0u8..4, 0.0f64..10.0, 0.0f64..10.0),
+        probs in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+        deadline_on in any::<bool>(),
+        deadline in 0.5f64..100.0,
+        spare in 0usize..16,
+        crashes in proptest::collection::vec((0u64..64, 0u64..10), 0..4),
+        overrides in proptest::collection::vec((0u64..64, 0u8..4, 0.0f64..10.0, 0.0f64..10.0), 0..4),
+    ) {
+        let plan = fault_plan_from(
+            seed,
+            latency_from(lat.0, lat.1, lat.2),
+            probs.0,
+            probs.1,
+            probs.2,
+            deadline_on.then_some(deadline),
+            spare,
+            &crashes,
+            &overrides,
+        );
+        let back: FaultPlan = decode(&encode(&plan)).unwrap();
+        prop_assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn shard_config_decode_rejects_inverted_ranges(start in 1u64..100, shrink in 1u64..50) {
+        // An inverted or fleet-overflowing range encodes fine (the
+        // struct is plain data) but must never decode: the shard server
+        // would index out of the global partition.
+        let inverted = shard_config(
+            DatasetSpec::Micro { len: 8, classes: 2, dim: 4, seed: 1 },
+            ModelSpec::TinyMlp { inputs: 4, hidden: 2, outputs: 2, seed: 1 },
+            (start, start - shrink.min(start), start + 8),
+            None,
+        );
+        prop_assert!(decode::<ShardConfig>(&encode(&inverted)).is_err());
+        let overflowing = shard_config(
+            DatasetSpec::Micro { len: 8, classes: 2, dim: 4, seed: 1 },
+            ModelSpec::TinyMlp { inputs: 4, hidden: 2, outputs: 2, seed: 1 },
+            (start, start + shrink, start),
+            None,
+        );
+        prop_assert!(decode::<ShardConfig>(&encode(&overflowing)).is_err());
+    }
+
+    #[test]
+    fn shard_screen_wire_roundtrip(probes in proptest::collection::vec((0u64..512, any::<[u8; 16]>()), 0..8), with_quote in proptest::collection::vec(any::<bool>(), 0..8)) {
+        let screen = ShardScreen {
+            probes: probes
+                .iter()
+                .map(|&(local, nonce)| ScreenProbe { local, challenge: Challenge::new(nonce) })
+                .collect(),
+        };
+        prop_assert_eq!(&screen, &through_envelope(MessageKind::ShardScreen, &screen));
+        let reply = ShardScreenReply {
+            evidence: with_quote
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| {
+                    q.then(|| AttestationResponse {
+                        quote: Some(sign_quote(
+                            b"key",
+                            Uuid::from_name("ta"),
+                            Measurement([i as u8; 32]),
+                            &Challenge::new([i as u8; 16]),
+                        )),
+                    })
+                })
+                .collect(),
+        };
+        prop_assert_eq!(&reply, &through_envelope(MessageKind::ShardScreenReply, &reply));
+    }
+
+    #[test]
+    fn shard_round_wire_roundtrip(picks in proptest::collection::vec(0u64..512, 0..8), slot_base in 0u64..64, round in 0u64..100) {
+        let msg = ShardRound {
+            download: ModelDownload {
+                round,
+                weights: weights(2, 3, round),
+                plan: TrainingPlan::default(),
+                protected_layers: vec![0],
+            },
+            picks,
+            slot_base,
+        };
+        prop_assert_eq!(&msg, &through_envelope(MessageKind::ShardRound, &msg));
+    }
+
+    #[test]
+    fn shard_round_reply_wire_roundtrip(n_done in 0usize..5, n_others in 0usize..5, slot_base in 0usize..32, seed in any::<u64>()) {
+        let mut partial = PartialAggregate::new();
+        let mut ledger = RoundLedger::new();
+        for j in 0..n_done {
+            let id = (slot_base + j) as u64;
+            partial.push(slot_base + j, upload(id, seed ^ id));
+            ledger.record(cost(id, 1.0, 2, 512));
+        }
+        let others: Vec<ShardOutcome> = (0..n_others)
+            .map(|j| {
+                let slot = (slot_base + n_done + j) as u64;
+                ledger.record(ClientCycleCost::unbilled(slot));
+                ShardOutcome {
+                    slot,
+                    client: slot,
+                    kind: if j % 2 == 0 {
+                        ShardOutcomeKind::Straggler { elapsed_s: 12.5 + j as f64 }
+                    } else {
+                        ShardOutcomeKind::Failed { reason: format!("injected failure {j}") }
+                    },
+                }
+            })
+            .collect();
+        let reply = ShardRoundReply { partial, others, ledger };
+        prop_assert_eq!(&reply, &through_envelope(MessageKind::ShardRoundReply, &reply));
+    }
+
+    #[test]
+    fn truncated_shard_messages_never_panic(cut in 0usize..400) {
+        let config = shard_config(
+            DatasetSpec::Cifar { len: 64, classes: 4, seed: 3 },
+            ModelSpec::LeNet5 { classes: 4, seed: 5 },
+            (0, 8, 16),
+            Some(FaultPlan::seeded(9).dropout(0.1).deadline_s(10.0).spare(2)),
+        );
+        let mut bytes = encode(&Envelope::pack(MessageKind::ShardConfig, &config));
+        bytes.truncate(cut.min(bytes.len().saturating_sub(1)));
+        prop_assert!(decode::<Envelope>(&bytes).is_err());
+    }
+
+    #[test]
+    fn garbled_shard_replies_never_panic(pos in 0usize..256, byte in any::<u8>()) {
+        let mut partial = PartialAggregate::new();
+        partial.push(3, upload(7, 1));
+        let mut ledger = RoundLedger::new();
+        ledger.record(cost(7, 1.0, 2, 512));
+        let reply = ShardRoundReply { partial, others: vec![], ledger };
+        let mut bytes = encode(&Envelope::pack(MessageKind::ShardRoundReply, &reply));
+        if pos < bytes.len() {
+            bytes[pos] = byte;
+        }
+        // Either decodes to something or errors — no panic, no OOM.
+        if let Ok(env) = decode::<Envelope>(&bytes) {
+            let _ = env.open::<ShardRoundReply>(MessageKind::ShardRoundReply);
+        }
     }
 }
