@@ -26,7 +26,7 @@ use gradsec_fl::config::TrainingPlan;
 use gradsec_fl::distributed::DistributedBuilder;
 use gradsec_fl::message::{DatasetSpec, ModelSpec};
 use gradsec_fl::runner::{Federation, FederationBuilder, FederationReport};
-use gradsec_fl::{DistributedCoordinator, FaultPlan, LatencyModel};
+use gradsec_fl::{CodecKind, DistributedCoordinator, FaultPlan, LatencyModel};
 use gradsec_nn::model::ModelWeights;
 use gradsec_nn::zoo;
 use gradsec_tee::cost::json_number;
@@ -35,6 +35,9 @@ const DIM: usize = 8;
 const FAULT_SEED: u64 = 0xFA417;
 const PROCS: [usize; 3] = [1, 2, 4];
 const WORKERS: [usize; 3] = [1, 2, 4];
+/// Codec-row model width (wide enough that tensor metadata cannot mask
+/// the lossy codecs' byte reduction — mirrors the `repro_rounds` gate).
+const CODEC_DIM: usize = 32;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -201,6 +204,73 @@ fn screening_identical(clients: usize) -> bool {
     identical
 }
 
+/// Per-codec cross-deployment rows: with the *same* codec — identity or
+/// lossy — a distributed run must stay bit-identical to the flat run
+/// with that codec, ledger byte columns included (the wire bill is a
+/// pure function of the exchanged weights). The steady-state
+/// bytes-per-round and compression ratio ride along into the artifact.
+fn codec_rows(clients: usize) -> (String, bool) {
+    let cohort = (clients / 16).max(1);
+    let run_plan = plan(cohort, 2);
+    let mut ok = true;
+    let mut rows = Vec::new();
+    for codec in [CodecKind::Identity, CodecKind::Int8, CodecKind::DeltaTopK] {
+        let data = Arc::new(SyntheticMicro::new(2 * clients, 2, CODEC_DIM, 5));
+        let flat = Federation::builder(run_plan)
+            .model(|| zoo::tiny_mlp(CODEC_DIM, 16, 2, 13).expect("tiny MLP builds"))
+            .clients(clients, data)
+            .codec(codec);
+        let (ref_report, ref_weights) = run_flat(flat);
+        let mut coord = DistributedCoordinator::builder(run_plan)
+            .clients(
+                clients,
+                DatasetSpec::Micro {
+                    len: 2 * clients as u64,
+                    classes: 2,
+                    dim: CODEC_DIM as u64,
+                    seed: 5,
+                },
+            )
+            .model(ModelSpec::TinyMlp {
+                inputs: CODEC_DIM as u64,
+                hidden: 16,
+                outputs: 2,
+                seed: 13,
+            })
+            .codec(codec)
+            .shards(2)
+            .workers(2)
+            .launch()
+            .expect("codec fleet launches");
+        let report = coord.run().expect("codec rounds complete");
+        let identical = report == ref_report && coord.server().global() == &ref_weights;
+        coord.shutdown().expect("clean codec teardown");
+        ok &= identical;
+        let wire = report
+            .rounds
+            .last()
+            .expect("codec run completed rounds")
+            .ledger
+            .total_wire();
+        eprintln!(
+            "  codec {}: last-round {}B encoded / {}B dense ({:.2}x) ({})",
+            codec.name(),
+            wire.encoded_bytes(),
+            wire.raw_bytes(),
+            wire.compression_ratio(),
+            verdict(identical)
+        );
+        rows.push(format!(
+            r#"{{"codec":"{}","last_round_encoded_bytes":{},"last_round_raw_bytes":{},"compression_ratio":{},"identical":{identical}}}"#,
+            codec.name(),
+            wire.encoded_bytes(),
+            wire.raw_bytes(),
+            json_number(wire.compression_ratio()),
+        ));
+    }
+    (rows.join(","), ok)
+}
+
 /// The stretch fault: SIGKILL one shard process between rounds. The
 /// next round must commit from the surviving shard with the dead
 /// shard's clients excluded — never a process-wide failure.
@@ -275,6 +345,7 @@ fn main() {
     let (rows, matrix_ok) = identity_matrix(clients);
     let faulted_ok = faulted_identical(clients);
     let screening_ok = screening_identical(clients);
+    let (codec_json, codec_ok) = codec_rows(clients);
     let kill_ok = killed_shard_survives(clients);
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -294,12 +365,12 @@ fn main() {
         })
         .collect();
     let row = format!(
-        r#"{{"sessions":{clients},"host_cores":{cores},"all_bit_identical":{matrix_ok},"faulted_identical":{faulted_ok},"screening_identical":{screening_ok},"killed_shard_survives":{kill_ok},"matrix":[{}]}}"#,
+        r#"{{"sessions":{clients},"host_cores":{cores},"all_bit_identical":{matrix_ok},"faulted_identical":{faulted_ok},"screening_identical":{screening_ok},"codec_identical":{codec_ok},"killed_shard_survives":{kill_ok},"codecs":[{codec_json}],"matrix":[{}]}}"#,
         json_rows.join(",")
     );
     splice_into_overhead(&row);
     println!("{row}");
-    if !(matrix_ok && faulted_ok && screening_ok) {
+    if !(matrix_ok && faulted_ok && screening_ok && codec_ok) {
         eprintln!("FAIL: a distributed configuration diverged from the flat reference");
         std::process::exit(1);
     }

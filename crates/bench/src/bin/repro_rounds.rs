@@ -13,10 +13,19 @@
 //! local runs; in CI this gate's table is the one that ships as the
 //! artifact (the repro_kernels/kernel_scaling precedent).
 //!
+//! A **codec gate** follows: the identity codec must keep the encoded
+//! payload path bit-identical to the dense reference (including over the
+//! mux transport), and the lossy codecs (`int8`, `delta-topk`) must
+//! shrink the steady-state round's bytes at least 3× while their final
+//! weights stay within pinned divergence bounds of the identity run.
+//! Per-codec bytes-per-round and compression ratios are spliced into
+//! `target/transport_overhead.json` as the `codecs` column.
+//!
 //! Exits non-zero when any mux configuration diverges from the
 //! reference, when the faulted mux run diverges from faulted threaded
-//! TCP, or when the kilo-session mux round is slower than
-//! `GRADSEC_MUX_SLACK` × the threaded round.
+//! TCP, when the kilo-session mux round is slower than
+//! `GRADSEC_MUX_SLACK` × the threaded round, or when a codec breaks
+//! bit-identity, the byte bar or its error bound.
 //!
 //! Environment:
 //!
@@ -42,7 +51,7 @@ use gradsec_data::{SyntheticCifar100, SyntheticMicro};
 use gradsec_fl::config::{TrainingPlan, TransportKind};
 use gradsec_fl::runner::{Federation, FederationBuilder, FederationReport};
 use gradsec_fl::transport::poller::{fd_soft_limit, raise_fd_soft_limit};
-use gradsec_fl::{ExecutionEngine, FaultPlan, LatencyModel, MuxOptions};
+use gradsec_fl::{CodecKind, ExecutionEngine, FaultPlan, LatencyModel, MuxOptions};
 use gradsec_nn::model::ModelWeights;
 use gradsec_nn::zoo;
 use gradsec_tee::cost::json_number;
@@ -51,6 +60,24 @@ const DIM: usize = 8;
 const FAULT_SEED: u64 = 0xFA417;
 const MUX_WORKERS: [usize; 3] = [1, 2, 4];
 const MUX_SHARDS: [usize; 2] = [1, 4];
+
+/// The codec gate's model width: wide enough that per-tensor metadata
+/// (dims, scales, indices) cannot mask the 3× byte reduction the lossy
+/// codecs must deliver.
+const CODEC_DIM: usize = 32;
+/// Rounds per codec-gate run: the delta codec's first exchange is dense
+/// (no committed view yet), so the byte bar is measured on the *last*
+/// round, in steady state.
+const CODEC_ROUNDS: u64 = 3;
+/// Byte bar: lossy codecs must shrink the last round's payload at least
+/// this factor vs. the dense column.
+const CODEC_MIN_RATIO: f64 = 3.0;
+/// Pinned compression-error bounds: max |w - w_ref| between a lossy
+/// run's final global weights and the identity reference, after
+/// `CODEC_ROUNDS` seeded rounds. Deterministic per seed; bounds carry
+/// ~2× slack over the observed divergence.
+const INT8_MAX_DIVERGENCE: f32 = 0.02;
+const TOPK_MAX_DIVERGENCE: f32 = 0.10;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -300,6 +327,120 @@ fn gate_tier(sessions: usize, slack: f64) -> (String, bool, bool) {
     (row, all_identical, throughput_ok)
 }
 
+fn codec_builder(clients: usize, codec: CodecKind) -> FederationBuilder {
+    let data = Arc::new(SyntheticMicro::new(2 * clients, 2, CODEC_DIM, 5));
+    Federation::builder(TrainingPlan {
+        rounds: CODEC_ROUNDS,
+        clients_per_round: clients,
+        batches_per_cycle: 1,
+        batch_size: 2,
+        learning_rate: 0.05,
+        seed: 7,
+    })
+    .model(|| zoo::tiny_mlp(CODEC_DIM, 16, 2, 13).expect("tiny MLP builds"))
+    .clients(clients, data)
+    .codec(codec)
+}
+
+fn max_abs_diff(a: &ModelWeights, b: &ModelWeights) -> f32 {
+    a.iter()
+        .zip(b.iter())
+        .flat_map(|(x, y)| {
+            x.w.data()
+                .iter()
+                .zip(y.w.data())
+                .chain(x.b.data().iter().zip(y.b.data()))
+        })
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f32, f32::max)
+}
+
+/// The update-codec gate: identity stays bit-identical to the dense
+/// reference across transports, and each lossy codec must shrink the
+/// steady-state round by [`CODEC_MIN_RATIO`] while its final weights
+/// stay within the pinned divergence bound. Returns the JSON rows and
+/// whether every bar held.
+fn codec_gate(sessions: usize) -> (String, bool) {
+    eprintln!("codec gate ({sessions} clients, {CODEC_ROUNDS} rounds)…");
+    let start = Instant::now();
+    let (ref_report, ref_weights, _) = finish(
+        codec_builder(sessions, CodecKind::Identity)
+            .build()
+            .expect("identity fleet builds"),
+        start,
+    );
+    let ref_wire = ref_report
+        .rounds
+        .last()
+        .expect("reference ran rounds")
+        .ledger
+        .total_wire();
+
+    // Identity over the mux transport: the encoded path must keep the
+    // byte-for-byte report/weight identity every other gate relies on.
+    let start = Instant::now();
+    let (mux_report, mux_weights, _) = finish(
+        codec_builder(sessions, CodecKind::Identity)
+            .transport(TransportKind::TcpMux)
+            .build()
+            .expect("identity mux fleet builds"),
+        start,
+    );
+    let identity_identical = mux_report == ref_report
+        && mux_weights == ref_weights
+        && ref_wire.encoded_bytes() == ref_wire.raw_bytes();
+    eprintln!("  identity over mux: {}", verdict(identity_identical));
+
+    let mut ok = identity_identical;
+    let mut rows = vec![format!(
+        r#"{{"codec":"identity","last_round_encoded_bytes":{},"last_round_raw_bytes":{},"compression_ratio":{},"divergence":0,"ok":{identity_identical}}}"#,
+        ref_wire.encoded_bytes(),
+        ref_wire.raw_bytes(),
+        json_number(ref_wire.compression_ratio()),
+    )];
+    for (codec, bound) in [
+        (CodecKind::Int8, INT8_MAX_DIVERGENCE),
+        (CodecKind::DeltaTopK, TOPK_MAX_DIVERGENCE),
+    ] {
+        let start = Instant::now();
+        let (report, weights, _) = finish(
+            codec_builder(sessions, codec)
+                .build()
+                .expect("lossy fleet builds"),
+            start,
+        );
+        let wire = report
+            .rounds
+            .last()
+            .expect("lossy run completed rounds")
+            .ledger
+            .total_wire();
+        let ratio = wire.compression_ratio();
+        let divergence = max_abs_diff(&weights, &ref_weights);
+        let row_ok = report.rounds_completed == ref_report.rounds_completed
+            && ratio >= CODEC_MIN_RATIO
+            && divergence <= bound;
+        ok &= row_ok;
+        eprintln!(
+            "  {}: last-round bytes {} vs {} dense ({ratio:.2}x, bar {CODEC_MIN_RATIO:.1}x), \
+             divergence {divergence:.5} (bound {bound}) ({})",
+            codec.name(),
+            wire.encoded_bytes(),
+            wire.raw_bytes(),
+            if row_ok { "ok" } else { "FAILED" }
+        );
+        rows.push(format!(
+            r#"{{"codec":"{}","last_round_encoded_bytes":{},"last_round_raw_bytes":{},"compression_ratio":{},"divergence":{},"ok":{row_ok}}}"#,
+            codec.name(),
+            wire.encoded_bytes(),
+            wire.raw_bytes(),
+            json_number(ratio),
+            json_number(divergence as f64),
+        ));
+    }
+    (rows.join(","), ok)
+}
+
 fn verdict(ok: bool) -> &'static str {
     if ok {
         "bit-identical"
@@ -333,7 +474,8 @@ fn main() {
     let mut all_identical = true;
     let mut throughput_ok = true;
     let mut tiers = Vec::new();
-    for sessions in gate_fleets() {
+    let fleets = gate_fleets();
+    for &sessions in &fleets {
         let (row, identical, fast_enough) = gate_tier(sessions, slack);
         all_identical &= identical;
         // The throughput bar binds at the kilo-session tier and up;
@@ -343,8 +485,9 @@ fn main() {
         }
         tiers.push(row);
     }
+    let (codec_rows, codec_ok) = codec_gate(fleets.first().copied().unwrap_or(1_000));
     let json = format!(
-        r#"{{"source":"repro_rounds mux gate","slack":{},"all_bit_identical":{all_identical},"throughput_ok":{throughput_ok},"fleets":[{}]}}"#,
+        r#"{{"source":"repro_rounds mux gate","slack":{},"all_bit_identical":{all_identical},"throughput_ok":{throughput_ok},"codec_gate_ok":{codec_ok},"codecs":[{codec_rows}],"fleets":[{}]}}"#,
         json_number(slack),
         tiers.join(",")
     );
@@ -356,6 +499,10 @@ fn main() {
     }
     if !throughput_ok {
         eprintln!("FAIL: the mux round fell below threaded-TCP throughput");
+        std::process::exit(1);
+    }
+    if !codec_ok {
+        eprintln!("FAIL: a codec broke bit-identity, the byte bar or its error bound");
         std::process::exit(1);
     }
 }

@@ -1,0 +1,774 @@
+//! Pluggable update codecs for the model payload path.
+//!
+//! Every round ships model weights both directions; for a fleet of
+//! millions of clients the dominant cost is those bytes, not cycles.
+//! This module defines the codec layer the transport speaks at protocol
+//! v4: the server proposes a [`CodecKind`] in its `Hello`, the client
+//! echoes acceptance in the `HelloAck`, and from then on downloads and
+//! uploads carry [`EncodedWeights`] instead of raw `ModelWeights` —
+//! opaque bytes to every transport backend (in-process, mpsc, TCP,
+//! TcpMux and the tiop-sealed wrapper alike).
+//!
+//! Three codecs ship:
+//!
+//! * [`CodecKind::Identity`] — dense f32 tensors, bit-identical to the
+//!   raw payload. The default; every bit-identity gate in the repo runs
+//!   over it unchanged.
+//! * [`CodecKind::Int8`] — per-tensor affine quantization: each tensor
+//!   is mapped to `q = round((x - zero) / scale)` over 256 levels, so a
+//!   coefficient costs 1 byte instead of 4. Lossy, with a per-tensor
+//!   error bound of `scale / 2` (pinned by the `repro_rounds` gate the
+//!   way `Blocked` pins 1e-5 kernel parity).
+//! * [`CodecKind::DeltaTopK`] — top-k sparsified delta against the
+//!   previous committed round: both sides keep a reference *view* of
+//!   the model per client epoch, only the largest [`TOPK_DENSITY`]
+//!   fraction of per-tensor delta coefficients cross the wire, and the
+//!   receiver reconstructs `view + delta`. The first exchange (no
+//!   committed view) and any tensor whose sparse form would not save
+//!   bytes fall back to dense absolute values.
+//!
+//! **Determinism.** Encoding is a pure function of `(codec, weights,
+//! reference)` — no RNG, no wall clock — so a flat, sharded or
+//! distributed run over any transport produces bit-identical encoded
+//! frames, and the lossy codecs' reconstruction error is a seeded,
+//! reproducible quantity. The delta codec's epoch handshake recovers
+//! deterministically too: a client that lost its reference view (e.g. a
+//! garbled upload made the server withhold its commit) answers with a
+//! typed error containing [`BASE_MISMATCH`], and the server re-sends
+//! that one download dense.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use gradsec_nn::model::{LayerWeights, ModelWeights};
+use gradsec_tensor::Tensor;
+
+use crate::message::{decode_len, limits, need, Wire};
+use crate::{FlError, Result};
+
+/// Environment variable selecting the fleet codec
+/// ([`CodecKind::from_env`]), mirroring `GRADSEC_BACKEND` for kernels.
+pub const CODEC_ENV: &str = "GRADSEC_CODEC";
+
+/// Fraction of per-tensor delta coefficients [`CodecKind::DeltaTopK`]
+/// keeps (at least one per tensor).
+pub const TOPK_DENSITY: f64 = 0.1;
+
+/// Marker embedded in the typed error a client returns when a delta
+/// download references a base epoch the client no longer holds. The
+/// server detects it and retries that download once, dense.
+pub const BASE_MISMATCH: &str = "codec base mismatch";
+
+/// Which update codec a session speaks, negotiated at Hello/HelloAck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CodecKind {
+    /// Dense f32 payloads — bit-identical, the default.
+    #[default]
+    Identity,
+    /// Per-tensor affine int8 quantization (lossy, 4× smaller bodies).
+    Int8,
+    /// Top-k sparsified delta vs. the previous committed round (lossy).
+    DeltaTopK,
+}
+
+impl CodecKind {
+    /// Canonical name, as accepted by [`CodecKind::parse`] and carried
+    /// in a `ShardConfig`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CodecKind::Identity => "identity",
+            CodecKind::Int8 => "int8",
+            CodecKind::DeltaTopK => "delta-topk",
+        }
+    }
+
+    /// Parses a codec name (case-insensitive; `delta-topk`, `delta_topk`
+    /// and `deltatopk` are all accepted).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "identity" => Some(CodecKind::Identity),
+            "int8" => Some(CodecKind::Int8),
+            "delta-topk" | "delta_topk" | "deltatopk" => Some(CodecKind::DeltaTopK),
+            _ => None,
+        }
+    }
+
+    /// The codec selected by the [`CODEC_ENV`] environment variable, or
+    /// `Identity` when unset/unknown.
+    pub fn from_env() -> Self {
+        std::env::var(CODEC_ENV)
+            .ok()
+            .and_then(|v| CodecKind::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// The wire tag.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            CodecKind::Identity => 0,
+            CodecKind::Int8 => 1,
+            CodecKind::DeltaTopK => 2,
+        }
+    }
+
+    /// Decodes a wire tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Protocol`] on an unknown tag.
+    pub fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(CodecKind::Identity),
+            1 => Ok(CodecKind::Int8),
+            2 => Ok(CodecKind::DeltaTopK),
+            other => Err(FlError::Protocol {
+                reason: format!("unknown codec tag {other}"),
+            }),
+        }
+    }
+
+    /// Whether decode reconstructs the exact input bits.
+    pub fn is_lossy(&self) -> bool {
+        !matches!(self, CodecKind::Identity)
+    }
+}
+
+/// One encoded tensor body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EncodedBody {
+    /// Dense absolute f32 values (Identity, and the lossless fallback
+    /// every lossy codec uses when its form would not save bytes).
+    Dense(Vec<f32>),
+    /// Affine-quantized absolute values: `x ≈ zero + scale * q`.
+    Int8 {
+        /// The dequantization offset (the tensor's minimum).
+        zero: f32,
+        /// The dequantization step (`(max - min) / 255`, or 1 for a
+        /// constant tensor).
+        scale: f32,
+        /// One quantized byte per coefficient.
+        q: Vec<u8>,
+    },
+    /// Sparse delta vs. the reference view: `x[i] = ref[i]` everywhere,
+    /// plus `values[j]` added at `indices[j]`. Indices are strictly
+    /// increasing and in-bounds by construction (and re-validated on
+    /// decode).
+    TopK {
+        /// Kept coefficient positions, strictly increasing.
+        indices: Vec<u32>,
+        /// The delta value at each kept position.
+        values: Vec<f32>,
+    },
+}
+
+/// One encoded tensor: its shape plus the codec body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedTensor {
+    /// Tensor dimensions.
+    pub dims: Vec<usize>,
+    /// The encoded coefficients.
+    pub body: EncodedBody,
+}
+
+/// A whole model's weights in encoded form — the payload the v4
+/// `EncodedModelDownload`/`EncodedUpdateUpload` messages carry. Tensors
+/// are the model's layers flattened `[w0, b0, w1, b1, …]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedWeights {
+    /// The codec that produced (and decodes) this payload.
+    pub codec: CodecKind,
+    /// The sender's epoch stamp for this payload (drives the delta
+    /// codec's reference handshake; informational for stateless codecs).
+    pub epoch: u64,
+    /// For delta payloads: the epoch of the reference view the deltas
+    /// were taken against. `None` means every body is self-contained.
+    pub base_epoch: Option<u64>,
+    /// The encoded tensors, `2 × num_layers` of them.
+    pub tensors: Vec<EncodedTensor>,
+}
+
+impl EncodedWeights {
+    /// Exact wire size of this payload in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.len() as u64
+    }
+}
+
+/// Exact wire size of `weights` encoded dense (the raw-bytes column the
+/// compression-ratio report divides by).
+pub fn dense_wire_bytes(weights: &ModelWeights) -> u64 {
+    let mut buf = BytesMut::new();
+    weights.encode_into(&mut buf);
+    buf.len() as u64
+}
+
+/// The model's layers flattened to `[w0, b0, w1, b1, …]`.
+fn flatten(weights: &ModelWeights) -> Vec<&Tensor> {
+    weights.iter().flat_map(|l| [&l.w, &l.b]).collect()
+}
+
+/// Whether two models have identical tensor shapes (the precondition
+/// for delta coding one against the other).
+fn shapes_match(a: &ModelWeights, b: &ModelWeights) -> bool {
+    a.num_layers() == b.num_layers()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.w.dims() == y.w.dims() && x.b.dims() == y.b.dims())
+}
+
+fn encode_dense(t: &Tensor) -> EncodedTensor {
+    EncodedTensor {
+        dims: t.dims().to_vec(),
+        body: EncodedBody::Dense(t.data().to_vec()),
+    }
+}
+
+fn encode_int8(t: &Tensor) -> EncodedTensor {
+    let data = t.data();
+    let (min, max) = data
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        });
+    let (zero, scale) = if data.is_empty() || !min.is_finite() || max <= min {
+        (if min.is_finite() { min } else { 0.0 }, 1.0)
+    } else {
+        (min, (max - min) / 255.0)
+    };
+    let q = data
+        .iter()
+        .map(|&x| ((x - zero) / scale).round().clamp(0.0, 255.0) as u8)
+        .collect();
+    EncodedTensor {
+        dims: t.dims().to_vec(),
+        body: EncodedBody::Int8 { zero, scale, q },
+    }
+}
+
+fn encode_topk(t: &Tensor, reference: &Tensor) -> EncodedTensor {
+    let n = t.numel();
+    let k = ((n as f64 * TOPK_DENSITY).ceil() as usize).clamp(1, n.max(1));
+    // A sparse entry costs 8 bytes (u32 index + f32 value); dense costs
+    // 4 per coefficient. When sparsity would not save bytes, ship dense
+    // absolute values (also the n == 0 case).
+    if n == 0 || 8 * k >= 4 * n {
+        return encode_dense(t);
+    }
+    let data = t.data();
+    let ref_data = reference.data();
+    let delta: Vec<f32> = data.iter().zip(ref_data).map(|(&x, &r)| x - r).collect();
+    // Top-k by |delta|, ties broken by index so the selection is a pure
+    // function of the inputs. select_nth keeps this O(n) + O(k log k).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let rank = |&a: &u32, &b: &u32| {
+        delta[b as usize]
+            .abs()
+            .total_cmp(&delta[a as usize].abs())
+            .then(a.cmp(&b))
+    };
+    order.select_nth_unstable_by(k - 1, rank);
+    let mut indices: Vec<u32> = order[..k].to_vec();
+    indices.sort_unstable();
+    let values = indices.iter().map(|&i| delta[i as usize]).collect();
+    EncodedTensor {
+        dims: t.dims().to_vec(),
+        body: EncodedBody::TopK { indices, values },
+    }
+}
+
+/// Encodes `weights` under `codec`, stamped with `epoch`.
+///
+/// `reference` is the committed view a delta codec diffs against (with
+/// its own epoch); stateless codecs ignore it, and `DeltaTopK` falls
+/// back to a dense, self-contained payload when no shape-compatible
+/// reference exists (the first exchange of a session).
+pub fn encode_weights(
+    codec: CodecKind,
+    epoch: u64,
+    weights: &ModelWeights,
+    reference: Option<(u64, &ModelWeights)>,
+) -> EncodedWeights {
+    let (base_epoch, tensors) = match codec {
+        CodecKind::Identity => (
+            None,
+            flatten(weights).into_iter().map(encode_dense).collect(),
+        ),
+        CodecKind::Int8 => (
+            None,
+            flatten(weights).into_iter().map(encode_int8).collect(),
+        ),
+        CodecKind::DeltaTopK => match reference {
+            Some((base, ref_w)) if shapes_match(weights, ref_w) => {
+                let tensors = flatten(weights)
+                    .into_iter()
+                    .zip(flatten(ref_w))
+                    .map(|(t, r)| encode_topk(t, r))
+                    .collect();
+                (Some(base), tensors)
+            }
+            _ => (
+                None,
+                flatten(weights).into_iter().map(encode_dense).collect(),
+            ),
+        },
+    };
+    EncodedWeights {
+        codec,
+        epoch,
+        base_epoch,
+        tensors,
+    }
+}
+
+/// Decodes an encoded payload back into model weights.
+///
+/// `reference` must be the view `enc.base_epoch` names whenever the
+/// payload carries delta bodies — callers validate the epoch; this
+/// function validates shapes.
+///
+/// # Errors
+///
+/// Returns [`FlError::Protocol`] on structural violations: an odd
+/// tensor count, a delta body without (or against a mismatched)
+/// reference, out-of-bounds indices, or body/shape length disagreement.
+pub fn decode_weights(
+    enc: &EncodedWeights,
+    reference: Option<&ModelWeights>,
+) -> Result<ModelWeights> {
+    let bad = |reason: String| FlError::Protocol { reason };
+    if !enc.tensors.len().is_multiple_of(2) {
+        return Err(bad(format!(
+            "encoded payload has odd tensor count {}",
+            enc.tensors.len()
+        )));
+    }
+    let ref_flat: Option<Vec<&Tensor>> = reference.map(flatten);
+    if let Some(r) = &ref_flat {
+        if r.len() != enc.tensors.len() {
+            return Err(bad(format!(
+                "reference has {} tensors, payload {}",
+                r.len(),
+                enc.tensors.len()
+            )));
+        }
+    }
+    let mut decoded = Vec::with_capacity(enc.tensors.len());
+    for (i, t) in enc.tensors.iter().enumerate() {
+        let n = t
+            .dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| bad("encoded tensor dims overflow".to_owned()))?;
+        let data: Vec<f32> = match &t.body {
+            EncodedBody::Dense(v) => {
+                if v.len() != n {
+                    return Err(bad(format!(
+                        "dense body has {} values for {n}-element tensor",
+                        v.len()
+                    )));
+                }
+                v.clone()
+            }
+            EncodedBody::Int8 { zero, scale, q } => {
+                if q.len() != n {
+                    return Err(bad(format!(
+                        "int8 body has {} values for {n}-element tensor",
+                        q.len()
+                    )));
+                }
+                q.iter().map(|&b| zero + scale * f32::from(b)).collect()
+            }
+            EncodedBody::TopK { indices, values } => {
+                let r = ref_flat
+                    .as_ref()
+                    .and_then(|f| f.get(i))
+                    .ok_or_else(|| bad("delta body without a reference view".to_owned()))?;
+                if r.numel() != n {
+                    return Err(bad(format!(
+                        "reference tensor has {} elements, payload {n}",
+                        r.numel()
+                    )));
+                }
+                if indices.len() != values.len() {
+                    return Err(bad("sparse index/value length mismatch".to_owned()));
+                }
+                let mut out = r.data().to_vec();
+                let mut prev: Option<u32> = None;
+                for (&idx, &v) in indices.iter().zip(values) {
+                    if prev.is_some_and(|p| idx <= p) {
+                        return Err(bad("sparse indices not strictly increasing".to_owned()));
+                    }
+                    prev = Some(idx);
+                    let slot = out
+                        .get_mut(idx as usize)
+                        .ok_or_else(|| bad(format!("sparse index {idx} out of bounds {n}")))?;
+                    *slot += v;
+                }
+                out
+            }
+        };
+        decoded.push(
+            Tensor::from_vec(data, &t.dims)
+                .map_err(|e| bad(format!("encoded tensor reconstruction: {e}")))?,
+        );
+    }
+    let mut layers = Vec::with_capacity(decoded.len() / 2);
+    let mut it = decoded.into_iter();
+    while let (Some(w), Some(b)) = (it.next(), it.next()) {
+        layers.push(LayerWeights { w, b });
+    }
+    Ok(ModelWeights::new(layers))
+}
+
+/// The worst-case per-coefficient reconstruction error an [`Int8`]
+/// round-trip of `weights` can introduce: the largest tensor's
+/// `scale / 2` plus float slack.
+///
+/// [`Int8`]: CodecKind::Int8
+pub fn int8_error_bound(weights: &ModelWeights) -> f32 {
+    let mut bound = 0.0f32;
+    for t in flatten(weights) {
+        let data = t.data();
+        let (min, max) = data
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &x| {
+                (lo.min(x), hi.max(x))
+            });
+        if max > min {
+            bound = bound.max((max - min) / 255.0 / 2.0);
+        }
+    }
+    // Slack for the affine arithmetic itself.
+    bound * 1.01 + f32::EPSILON
+}
+
+// ---------------------------------------------------------------------
+// Wire framing (length-prefixed, bounded by `message::limits`).
+// ---------------------------------------------------------------------
+
+impl Wire for EncodedTensor {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.dims.len() as u64);
+        for &d in &self.dims {
+            buf.put_u64_le(d as u64);
+        }
+        match &self.body {
+            EncodedBody::Dense(v) => {
+                buf.put_u8(0);
+                for &x in v {
+                    buf.put_f32_le(x);
+                }
+            }
+            EncodedBody::Int8 { zero, scale, q } => {
+                buf.put_u8(1);
+                buf.put_f32_le(*zero);
+                buf.put_f32_le(*scale);
+                buf.put_slice(q);
+            }
+            EncodedBody::TopK { indices, values } => {
+                buf.put_u8(2);
+                buf.put_u64_le(indices.len() as u64);
+                for &i in indices {
+                    buf.put_u32_le(i);
+                }
+                for &v in values {
+                    buf.put_f32_le(v);
+                }
+            }
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        let ndim = decode_len(buf, "encoded tensor rank")?;
+        if ndim > limits::MAX_TENSOR_RANK {
+            return Err(FlError::BadConfig {
+                reason: format!("encoded tensor rank {ndim} exceeds protocol maximum"),
+            });
+        }
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(decode_len(buf, "encoded tensor dim")?);
+        }
+        let n = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .filter(|&n| n <= limits::MAX_FIELD_BYTES)
+            .ok_or(FlError::BadConfig {
+                reason: "encoded tensor element count exceeds protocol maximum".to_owned(),
+            })?;
+        need(buf, 1, "encoded body tag")?;
+        let body = match buf.get_u8() {
+            0 => {
+                need(buf, 4 * n, "dense body")?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(buf.get_f32_le());
+                }
+                EncodedBody::Dense(v)
+            }
+            1 => {
+                need(buf, 8 + n, "int8 body")?;
+                let zero = buf.get_f32_le();
+                let scale = buf.get_f32_le();
+                let mut q = vec![0u8; n];
+                buf.copy_to_slice(&mut q);
+                EncodedBody::Int8 { zero, scale, q }
+            }
+            2 => {
+                let k = decode_len(buf, "sparse entry count")?;
+                if k > n {
+                    return Err(FlError::BadConfig {
+                        reason: format!("sparse entry count {k} exceeds tensor size {n}"),
+                    });
+                }
+                need(buf, 8 * k, "sparse body")?;
+                let mut indices = Vec::with_capacity(k);
+                let mut prev: Option<u32> = None;
+                for _ in 0..k {
+                    let idx = buf.get_u32_le();
+                    if (idx as usize) >= n || prev.is_some_and(|p| idx <= p) {
+                        return Err(FlError::BadConfig {
+                            reason: format!("sparse index {idx} invalid for tensor of {n}"),
+                        });
+                    }
+                    prev = Some(idx);
+                    indices.push(idx);
+                }
+                let mut values = Vec::with_capacity(k);
+                for _ in 0..k {
+                    values.push(buf.get_f32_le());
+                }
+                EncodedBody::TopK { indices, values }
+            }
+            other => {
+                return Err(FlError::BadConfig {
+                    reason: format!("unknown encoded body tag {other}"),
+                })
+            }
+        };
+        Ok(EncodedTensor { dims, body })
+    }
+}
+
+impl Wire for EncodedWeights {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.codec.as_u8());
+        buf.put_u64_le(self.epoch);
+        match self.base_epoch {
+            Some(e) => {
+                buf.put_u8(1);
+                buf.put_u64_le(e);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u64_le(self.tensors.len() as u64);
+        for t in &self.tensors {
+            t.encode_into(buf);
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 10, "encoded weights header")?;
+        let codec = CodecKind::from_u8(buf.get_u8())?;
+        let epoch = buf.get_u64_le();
+        let base_epoch = match buf.get_u8() {
+            0 => None,
+            1 => {
+                need(buf, 8, "base epoch")?;
+                Some(buf.get_u64_le())
+            }
+            other => {
+                return Err(FlError::BadConfig {
+                    reason: format!("bad base epoch presence flag {other}"),
+                })
+            }
+        };
+        let n = decode_len(buf, "encoded tensor count")?;
+        if n > limits::MAX_ENCODED_TENSORS {
+            return Err(FlError::BadConfig {
+                reason: format!("encoded tensor count {n} exceeds protocol maximum"),
+            });
+        }
+        let mut tensors = Vec::with_capacity(n);
+        for _ in 0..n {
+            tensors.push(EncodedTensor::decode_from(buf)?);
+        }
+        Ok(EncodedWeights {
+            codec,
+            epoch,
+            base_epoch,
+            tensors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{decode, encode};
+    use gradsec_nn::zoo;
+
+    fn weights(seed: u64) -> ModelWeights {
+        zoo::tiny_mlp(32, 16, 4, seed).unwrap().weights()
+    }
+
+    fn max_abs_diff(a: &ModelWeights, b: &ModelWeights) -> f32 {
+        a.iter()
+            .zip(b.iter())
+            .flat_map(|(x, y)| {
+                x.w.data()
+                    .iter()
+                    .zip(y.w.data())
+                    .chain(x.b.data().iter().zip(y.b.data()))
+                    .map(|(&p, &q)| (p - q).abs())
+            })
+            .fold(0.0f32, f32::max)
+    }
+
+    #[test]
+    fn parse_and_env_names_are_stable() {
+        for kind in [CodecKind::Identity, CodecKind::Int8, CodecKind::DeltaTopK] {
+            assert_eq!(CodecKind::parse(kind.name()), Some(kind));
+            assert_eq!(CodecKind::from_u8(kind.as_u8()).unwrap(), kind);
+        }
+        assert_eq!(CodecKind::parse("DELTA_TOPK"), Some(CodecKind::DeltaTopK));
+        assert_eq!(CodecKind::parse("gzip"), None);
+        assert!(CodecKind::from_u8(9).is_err());
+        assert!(!CodecKind::Identity.is_lossy());
+        assert!(CodecKind::Int8.is_lossy());
+    }
+
+    #[test]
+    fn identity_roundtrip_is_bit_exact() {
+        let w = weights(7);
+        let enc = encode_weights(CodecKind::Identity, 0, &w, None);
+        assert_eq!(enc.base_epoch, None);
+        let back = decode_weights(&enc, None).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn int8_roundtrip_is_within_its_bound_and_smaller() {
+        let w = weights(3);
+        let enc = encode_weights(CodecKind::Int8, 0, &w, None);
+        let back = decode_weights(&enc, None).unwrap();
+        let bound = int8_error_bound(&w);
+        let diff = max_abs_diff(&w, &back);
+        assert!(diff <= bound, "diff {diff} > bound {bound}");
+        assert!(
+            enc.wire_bytes() * 3 <= dense_wire_bytes(&w),
+            "int8 {} vs dense {}",
+            enc.wire_bytes(),
+            dense_wire_bytes(&w)
+        );
+    }
+
+    #[test]
+    fn delta_without_reference_falls_back_to_dense() {
+        let w = weights(5);
+        let enc = encode_weights(CodecKind::DeltaTopK, 4, &w, None);
+        assert_eq!(enc.base_epoch, None);
+        assert!(enc
+            .tensors
+            .iter()
+            .all(|t| matches!(t.body, EncodedBody::Dense(_))));
+        assert_eq!(decode_weights(&enc, None).unwrap(), w);
+    }
+
+    #[test]
+    fn delta_against_reference_is_sparse_exact_and_smaller() {
+        let reference = weights(5);
+        // Perturb the reference slightly — the realistic one-round drift.
+        let mut moved = reference.clone();
+        moved.add_scaled(&reference, 0.01).unwrap();
+        let enc = encode_weights(CodecKind::DeltaTopK, 9, &moved, Some((8, &reference)));
+        assert_eq!(enc.base_epoch, Some(8));
+        assert!(enc
+            .tensors
+            .iter()
+            .any(|t| matches!(t.body, EncodedBody::TopK { .. })));
+        assert!(
+            enc.wire_bytes() * 3 <= dense_wire_bytes(&moved),
+            "delta {} vs dense {}",
+            enc.wire_bytes(),
+            dense_wire_bytes(&moved)
+        );
+        let back = decode_weights(&enc, Some(&reference)).unwrap();
+        // Kept coefficients are exact; dropped ones revert to the
+        // reference, so the error is bounded by the largest dropped
+        // delta — here every delta is 1% of the reference magnitude.
+        let bound = 0.011
+            * reference
+                .iter()
+                .flat_map(|l| l.w.data().iter().chain(l.b.data()))
+                .fold(0.0f32, |m, &x| m.max(x.abs()));
+        let diff = max_abs_diff(&moved, &back);
+        assert!(diff <= bound, "diff {diff} > bound {bound}");
+    }
+
+    #[test]
+    fn delta_decode_without_reference_is_an_error_not_a_panic() {
+        let reference = weights(2);
+        let mut moved = reference.clone();
+        moved.add_scaled(&reference, 0.5).unwrap();
+        let enc = encode_weights(CodecKind::DeltaTopK, 1, &moved, Some((0, &reference)));
+        assert!(decode_weights(&enc, None).is_err());
+    }
+
+    #[test]
+    fn shape_mismatched_reference_falls_back_to_dense() {
+        let w = weights(1);
+        let other = zoo::tiny_mlp(16, 8, 2, 1).unwrap().weights();
+        let enc = encode_weights(CodecKind::DeltaTopK, 2, &w, Some((1, &other)));
+        assert_eq!(enc.base_epoch, None);
+        assert_eq!(decode_weights(&enc, None).unwrap(), w);
+    }
+
+    #[test]
+    fn wire_roundtrip_every_codec() {
+        let reference = weights(11);
+        let mut moved = reference.clone();
+        moved.add_scaled(&reference, -0.02).unwrap();
+        for enc in [
+            encode_weights(CodecKind::Identity, 1, &moved, None),
+            encode_weights(CodecKind::Int8, 2, &moved, None),
+            encode_weights(CodecKind::DeltaTopK, 3, &moved, Some((2, &reference))),
+        ] {
+            let back: EncodedWeights = decode(&encode(&enc)).unwrap();
+            assert_eq!(enc, back);
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_hostile_sparse_indices() {
+        let reference = weights(4);
+        let mut moved = reference.clone();
+        moved.add_scaled(&reference, 0.01).unwrap();
+        let mut enc = encode_weights(CodecKind::DeltaTopK, 1, &moved, Some((0, &reference)));
+        let sparse = enc
+            .tensors
+            .iter_mut()
+            .find(|t| matches!(t.body, EncodedBody::TopK { .. }))
+            .expect("a sparse tensor");
+        if let EncodedBody::TopK { indices, .. } = &mut sparse.body {
+            indices[0] = u32::MAX; // out of bounds and out of order
+        }
+        let bytes = encode(&enc);
+        assert!(decode::<EncodedWeights>(&bytes).is_err());
+        // In-memory decode re-validates too.
+        assert!(decode_weights(&enc, Some(&reference)).is_err());
+    }
+
+    #[test]
+    fn truncated_encodings_never_panic() {
+        let w = weights(6);
+        for kind in [CodecKind::Identity, CodecKind::Int8] {
+            let bytes = encode(&encode_weights(kind, 0, &w, None));
+            for cut in [1, bytes.len() / 3, bytes.len() - 1] {
+                assert!(decode::<EncodedWeights>(&bytes[..cut]).is_err());
+            }
+        }
+    }
+}

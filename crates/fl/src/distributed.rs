@@ -58,6 +58,7 @@ use gradsec_tee::crypto::sha256::sha256;
 
 use crate::aggregate::PartialAggregate;
 use crate::client::{DeviceProfile, FlClient};
+use crate::codec::CodecKind;
 use crate::config::{ShardLayout, TrainingPlan};
 use crate::engine::{ClientOutcome, ExecutionEngine};
 use crate::faults::{FaultPlan, FaultyEndpoint};
@@ -256,6 +257,7 @@ pub struct DistributedBuilder {
     shards: usize,
     workers: usize,
     backend: BackendKind,
+    codec: CodecKind,
     faults: Option<FaultPlan>,
     screening_sample: Option<usize>,
     scheduler: Arc<dyn ProtectionScheduler>,
@@ -274,6 +276,7 @@ impl DistributedBuilder {
             shards: 1,
             workers: 1,
             backend: BackendKind::from_env(),
+            codec: CodecKind::from_env(),
             faults: None,
             screening_sample: None,
             scheduler: Arc::new(NoProtection),
@@ -312,6 +315,15 @@ impl DistributedBuilder {
     /// Overrides the kernel backend every shard process uses.
     pub fn backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Selects the update codec every shard's sessions negotiate
+    /// (shipped by name in the [`ShardConfig`]; defaults to the
+    /// `GRADSEC_CODEC` environment variable, falling back to
+    /// [`CodecKind::Identity`]).
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -511,6 +523,7 @@ impl DistributedBuilder {
                     init_weights: init_weights.clone(),
                     plan: coordinator.server.plan().to_owned(),
                     backend: self.backend.name().to_owned(),
+                    codec: self.codec.name().to_owned(),
                     workers: self.workers as u64,
                     measurement: coordinator.measurement,
                     faults: coordinator.faults.clone(),
@@ -1212,6 +1225,9 @@ fn wire_shard(config: &ShardConfig) -> Result<ShardState> {
     let backend = BackendKind::parse(&config.backend).ok_or_else(|| FlError::BadConfig {
         reason: format!("unknown kernel backend {:?}", config.backend),
     })?;
+    let codec = CodecKind::parse(&config.codec).ok_or_else(|| FlError::BadConfig {
+        reason: format!("unknown update codec {:?}", config.codec),
+    })?;
     let dataset = build_dataset(&config.dataset);
     let mut prototype = build_model(&config.model)?;
     prototype.set_backend(backend);
@@ -1238,7 +1254,7 @@ fn wire_shard(config: &ShardConfig) -> Result<ShardState> {
             Some(plan) => Box::new(FaultyEndpoint::new(endpoint, plan.clone())),
             None => endpoint,
         };
-        remotes.push(RemoteClient::connect(endpoint)?);
+        remotes.push(RemoteClient::connect_with(endpoint, codec)?);
     }
     Ok(ShardState {
         remotes,

@@ -34,6 +34,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::message::limits::MAX_PLAN_ENTRIES;
 use crate::message::{decode_len, need, Envelope, HelloAck, MessageKind, Wire};
 use crate::transport::ServerEndpoint;
 use crate::{FlError, Result};
@@ -381,10 +382,6 @@ impl Wire for LatencyModel {
     }
 }
 
-/// Entry-count bound for the plan's per-client maps on the wire — far
-/// above any legitimate plan, far below an allocation attack.
-const MAX_PLAN_ENTRIES: usize = 1 << 20;
-
 impl Wire for FaultPlan {
     fn encode_into(&self, buf: &mut BytesMut) {
         buf.put_u64_le(self.seed);
@@ -536,14 +533,19 @@ impl FaultyEndpoint {
     /// carried in the payload's leading 8 bytes.
     fn round_of(&mut self, request: &Envelope) -> u64 {
         match request.kind {
-            MessageKind::ModelDownload => match self.attests_seen.checked_sub(1) {
-                Some(screened) => screened,
-                None => request
-                    .payload
-                    .first_chunk::<8>()
-                    .map(|b| u64::from_le_bytes(*b))
-                    .unwrap_or(0),
-            },
+            // Both download kinds lead with the round in their first 8
+            // payload bytes — the encoded (v4) layout preserves the plain
+            // one's prefix precisely so this peek stays codec-agnostic.
+            MessageKind::ModelDownload | MessageKind::EncodedModelDownload => {
+                match self.attests_seen.checked_sub(1) {
+                    Some(screened) => screened,
+                    None => request
+                        .payload
+                        .first_chunk::<8>()
+                        .map(|b| u64::from_le_bytes(*b))
+                        .unwrap_or(0),
+                }
+            }
             _ => {
                 let round = self.attests_seen;
                 self.attests_seen += 1;
@@ -563,7 +565,9 @@ impl ServerEndpoint for FaultyEndpoint {
                 }
                 Ok(reply)
             }
-            MessageKind::AttestationRequest | MessageKind::ModelDownload => {
+            MessageKind::AttestationRequest
+            | MessageKind::ModelDownload
+            | MessageKind::EncodedModelDownload => {
                 let client = self.client.unwrap_or_default();
                 let round = self.round_of(&request);
                 let nth = self.messages_seen;
@@ -804,6 +808,47 @@ mod tests {
         let err = remote.attest(&Challenge::new([1u8; 16])).unwrap_err();
         assert!(err.to_string().contains("down"), "{err}");
         let err = remote.train(&download).unwrap_err();
+        assert!(err.to_string().contains("down"), "{err}");
+    }
+
+    #[test]
+    fn encoded_downloads_are_faulted_by_their_payload_round_peek() {
+        use crate::config::TrainingPlan;
+        use crate::message::ModelDownload;
+        // No screening precedes these downloads, so the endpoint must
+        // read the round from the payload's leading bytes — which at
+        // protocol v4 belong to an *encoded* download. Client 3 crashes
+        // at round 2: rounds 0 and 1 pass, round 2 is refused.
+        let plan = Arc::new(FaultPlan::seeded(11).crash_at(3, 2));
+        let mut remote = endpoint(3, plan);
+        let tp = TrainingPlan {
+            rounds: 3,
+            clients_per_round: 1,
+            batches_per_cycle: 1,
+            batch_size: 2,
+            learning_rate: 0.05,
+            seed: 1,
+        };
+        let mut weights = zoo::tiny_mlp(4, 3, 2, 1).unwrap().weights();
+        for round in 0..2u64 {
+            let download = ModelDownload {
+                round,
+                weights: weights.clone(),
+                plan: tp,
+                protected_layers: vec![],
+            };
+            let upload = remote.train(&download).unwrap();
+            assert!(upload.cost.wire.download_encoded_bytes > 0);
+            weights = upload.weights;
+        }
+        let err = remote
+            .train(&ModelDownload {
+                round: 2,
+                weights,
+                plan: tp,
+                protected_layers: vec![],
+            })
+            .unwrap_err();
         assert!(err.to_string().contains("down"), "{err}");
     }
 

@@ -66,6 +66,7 @@
 
 pub mod aggregate;
 pub mod client;
+pub mod codec;
 pub mod config;
 pub mod distributed;
 pub mod engine;
@@ -80,6 +81,7 @@ pub mod server;
 pub mod trainer;
 pub mod transport;
 
+pub use codec::CodecKind;
 pub use config::{MuxOptions, ShardLayout, TransportKind};
 pub use distributed::DistributedCoordinator;
 pub use engine::{ClientOutcome, ExecutionEngine};

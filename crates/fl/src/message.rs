@@ -17,15 +17,48 @@ use serde::{Deserialize, Serialize};
 
 use gradsec_nn::model::{LayerWeights, ModelWeights};
 use gradsec_tee::attestation::{Challenge, Measurement, Quote};
-use gradsec_tee::cost::{ClientCycleCost, RoundLedger, TimeBreakdown};
+use gradsec_tee::cost::{ClientCycleCost, RoundLedger, TimeBreakdown, WireBill};
 use gradsec_tee::ta::Uuid;
 use gradsec_tee::tiop::Frame;
 use gradsec_tensor::Tensor;
 
 use crate::aggregate::PartialAggregate;
+use crate::codec::{CodecKind, EncodedWeights};
 use crate::config::TrainingPlan;
 use crate::faults::FaultPlan;
 use crate::{FlError, Result};
+
+/// The decode-side size caps every length-prefixed field in this
+/// protocol is validated against — one named home so hostile lengths
+/// are bounded uniformly across the base messages, the shard-control
+/// plane, the fault plan and the codec payloads.
+pub mod limits {
+    /// No single length-prefixed field legitimately exceeds 256 MiB
+    /// (bytes for byte fields, elements for f32 fields).
+    pub const MAX_FIELD_BYTES: usize = 256 * 1024 * 1024;
+
+    /// Maximum tensor rank any model in this protocol ships.
+    pub const MAX_TENSOR_RANK: usize = 16;
+
+    /// Maximum model layer count.
+    pub const MAX_LAYERS: usize = 4096;
+
+    /// Maximum protected-layer indices on a download (bounded by the
+    /// layer count they index into).
+    pub const MAX_PROTECTED_LAYERS: usize = MAX_LAYERS;
+
+    /// Item-count bound for list fields (candidate lists, pick lists,
+    /// aggregate terms, ledger entries): no shard legitimately hosts
+    /// more than a million clients, so a larger prefix is hostile.
+    pub const MAX_LIST_ITEMS: usize = 1 << 20;
+
+    /// Maximum entries a wire-shipped fault plan may carry (one per
+    /// client, same fleet bound as [`MAX_LIST_ITEMS`]).
+    pub const MAX_PLAN_ENTRIES: usize = MAX_LIST_ITEMS;
+
+    /// Maximum tensors in one encoded payload: two per layer.
+    pub const MAX_ENCODED_TENSORS: usize = 2 * MAX_LAYERS;
+}
 
 /// The newest protocol version this build speaks.
 ///
@@ -33,10 +66,15 @@ use crate::{FlError, Result};
 /// only); version 2 introduced the [`Envelope`] header and the TEE cost
 /// accounting carried on [`UpdateUpload`]; version 3 added the
 /// shard-control messages (`Shard*`) a distributed coordinator speaks to
-/// `shard-server` processes. Version 1 is no longer spoken; version 2
-/// peers interoperate on the client protocol (the shard-control kinds
-/// are new in 3, so a v2 peer never sees them).
-pub const PROTOCOL_VERSION: u16 = 3;
+/// `shard-server` processes; version 4 added the update-codec layer —
+/// the encoded payload kinds ([`EncodedModelDownload`],
+/// [`EncodedUpdateUpload`]), the codec byte negotiated on
+/// [`Hello`]/[`HelloAck`], and the wire-bytes bill carried on
+/// `ClientCycleCost`. Version 1 is no longer spoken; version 2 and 3
+/// peers interoperate on the client protocol (the kinds each version
+/// added are only spoken once both sides negotiated it, so an older
+/// peer never sees them).
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// The oldest protocol version this build still accepts.
 pub const MIN_SUPPORTED_VERSION: u16 = 2;
@@ -100,21 +138,66 @@ pub struct UpdateUpload {
     pub cost: ClientCycleCost,
 }
 
-/// Session setup, server → client: the server's supported version range.
+/// Server → client (protocol v4): a [`ModelDownload`] whose weights
+/// travel as an [`EncodedWeights`] codec payload. The leading round
+/// field keeps the same byte offset as the plain download so the fault
+/// layer's round peek works on both kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedModelDownload {
+    /// Round this download belongs to.
+    pub round: u64,
+    /// The encoded global model weights.
+    pub weights: EncodedWeights,
+    /// The training plan.
+    pub plan: TrainingPlan,
+    /// Indices of the layers the client must shelter this cycle.
+    pub protected_layers: Vec<usize>,
+}
+
+/// Client → server (protocol v4): an [`UpdateUpload`] whose weights
+/// travel as an [`EncodedWeights`] codec payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedUpdateUpload {
+    /// Uploading client.
+    pub client_id: u64,
+    /// Round the update belongs to.
+    pub round: u64,
+    /// The client's encoded post-training weights.
+    pub weights: EncodedWeights,
+    /// Samples trained on (FedAvg weighting).
+    pub num_samples: usize,
+    /// Mean training loss over the cycle.
+    pub train_loss: f32,
+    /// The cycle's TEE accounting (the server overwrites the wire-bytes
+    /// bill with what it actually observed on the wire).
+    pub cost: ClientCycleCost,
+}
+
+/// Session setup, server → client: the server's supported version range
+/// plus the update codec it intends to speak (v4; absent on the wire
+/// from older peers, which implies [`CodecKind::Identity`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Hello {
     /// Oldest protocol version the server accepts.
     pub min_version: u16,
     /// Newest protocol version the server speaks.
     pub max_version: u16,
+    /// The update codec the server proposes for this session.
+    pub codec: CodecKind,
 }
 
 impl Hello {
-    /// The Hello this build sends.
+    /// The Hello this build sends (identity codec).
     pub fn current() -> Self {
+        Hello::with_codec(CodecKind::Identity)
+    }
+
+    /// The Hello this build sends, proposing `codec`.
+    pub fn with_codec(codec: CodecKind) -> Self {
         Hello {
             min_version: MIN_SUPPORTED_VERSION,
             max_version: PROTOCOL_VERSION,
+            codec,
         }
     }
 }
@@ -127,6 +210,10 @@ pub struct HelloAck {
     pub version: u16,
     /// The connecting client's id.
     pub client_id: u64,
+    /// The codec the client accepted (echo of the server's proposal at
+    /// v4+; [`CodecKind::Identity`] when the negotiated version
+    /// predates codecs).
+    pub codec: CodecKind,
 }
 
 /// Either direction: a failure report that replaces the expected reply.
@@ -181,17 +268,13 @@ pub(crate) fn need(buf: &Bytes, n: usize, what: &str) -> Result<()> {
     Ok(())
 }
 
-/// Guard against adversarial length prefixes: no single field in this
-/// protocol legitimately exceeds 256 MiB.
-const MAX_FIELD: usize = 256 * 1024 * 1024;
-
 pub(crate) fn decode_len(buf: &mut Bytes, what: &str) -> Result<usize> {
     need(buf, 8, what)?;
     // Bound the raw u64 *before* casting: on 32-bit targets a
     // `as usize` cast truncates, which would let a hostile 2^32+k
     // prefix slip past the guard as k.
     let n = buf.get_u64_le();
-    if n > MAX_FIELD as u64 {
+    if n > limits::MAX_FIELD_BYTES as u64 {
         return Err(FlError::BadConfig {
             reason: format!("{what} length {n} exceeds protocol maximum"),
         });
@@ -246,6 +329,12 @@ pub enum MessageKind {
     /// [`ShardRoundReply`] — shard-server → coordinator: slot-tagged
     /// partial aggregate, non-completed outcomes and the shard ledger.
     ShardRoundReply = 16,
+    /// [`EncodedModelDownload`] — a [`ModelDownload`] whose weights
+    /// travel as a codec payload (protocol v4).
+    EncodedModelDownload = 17,
+    /// [`EncodedUpdateUpload`] — an [`UpdateUpload`] whose weights
+    /// travel as a codec payload (protocol v4).
+    EncodedUpdateUpload = 18,
 }
 
 impl MessageKind {
@@ -268,6 +357,8 @@ impl MessageKind {
             14 => MessageKind::ShardScreenReply,
             15 => MessageKind::ShardRound,
             16 => MessageKind::ShardRoundReply,
+            17 => MessageKind::EncodedModelDownload,
+            18 => MessageKind::EncodedUpdateUpload,
             other => {
                 return Err(FlError::Protocol {
                     reason: format!("unknown message kind {other}"),
@@ -463,7 +554,7 @@ impl Wire for Tensor {
 
     fn decode_from(buf: &mut Bytes) -> Result<Self> {
         let ndim = decode_len(buf, "tensor rank")?;
-        if ndim > 16 {
+        if ndim > limits::MAX_TENSOR_RANK {
             return Err(FlError::BadConfig {
                 reason: format!("tensor rank {ndim} exceeds protocol maximum"),
             });
@@ -500,7 +591,7 @@ impl Wire for ModelWeights {
 
     fn decode_from(buf: &mut Bytes) -> Result<Self> {
         let n = decode_len(buf, "layer count")?;
-        if n > 4096 {
+        if n > limits::MAX_LAYERS {
             return Err(FlError::BadConfig {
                 reason: format!("layer count {n} exceeds protocol maximum"),
             });
@@ -639,7 +730,7 @@ impl Wire for ModelDownload {
         let weights = ModelWeights::decode_from(buf)?;
         let plan = TrainingPlan::decode_from(buf)?;
         let n = decode_len(buf, "protected layer count")?;
-        if n > 4096 {
+        if n > limits::MAX_PROTECTED_LAYERS {
             return Err(FlError::BadConfig {
                 reason: format!("protected layer count {n} exceeds protocol maximum"),
             });
@@ -688,17 +779,93 @@ impl Wire for UpdateUpload {
     }
 }
 
+impl Wire for EncodedModelDownload {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.round);
+        self.weights.encode_into(buf);
+        self.plan.encode_into(buf);
+        buf.put_u64_le(self.protected_layers.len() as u64);
+        for &l in &self.protected_layers {
+            buf.put_u64_le(l as u64);
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 8, "round")?;
+        let round = buf.get_u64_le();
+        let weights = EncodedWeights::decode_from(buf)?;
+        let plan = TrainingPlan::decode_from(buf)?;
+        let n = decode_len(buf, "protected layer count")?;
+        if n > limits::MAX_PROTECTED_LAYERS {
+            return Err(FlError::BadConfig {
+                reason: format!("protected layer count {n} exceeds protocol maximum"),
+            });
+        }
+        let mut protected_layers = Vec::with_capacity(n);
+        for _ in 0..n {
+            need(buf, 8, "protected layer index")?;
+            protected_layers.push(buf.get_u64_le() as usize);
+        }
+        Ok(EncodedModelDownload {
+            round,
+            weights,
+            plan,
+            protected_layers,
+        })
+    }
+}
+
+impl Wire for EncodedUpdateUpload {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.client_id);
+        buf.put_u64_le(self.round);
+        self.weights.encode_into(buf);
+        buf.put_u64_le(self.num_samples as u64);
+        buf.put_f32_le(self.train_loss);
+        self.cost.encode_into(buf);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 16, "upload header")?;
+        let client_id = buf.get_u64_le();
+        let round = buf.get_u64_le();
+        let weights = EncodedWeights::decode_from(buf)?;
+        need(buf, 12, "upload footer")?;
+        let num_samples = buf.get_u64_le() as usize;
+        let train_loss = buf.get_f32_le();
+        let cost = ClientCycleCost::decode_from(buf)?;
+        Ok(EncodedUpdateUpload {
+            client_id,
+            round,
+            weights,
+            num_samples,
+            train_loss,
+            cost,
+        })
+    }
+}
+
 impl Wire for Hello {
     fn encode_into(&self, buf: &mut BytesMut) {
         buf.put_u16_le(self.min_version);
         buf.put_u16_le(self.max_version);
+        buf.put_u8(self.codec.as_u8());
     }
 
     fn decode_from(buf: &mut Bytes) -> Result<Self> {
         need(buf, 4, "hello")?;
+        let min_version = buf.get_u16_le();
+        let max_version = buf.get_u16_le();
+        // v2/v3 hellos end here; the codec byte is a v4 tail.
+        let codec = if buf.has_remaining() {
+            CodecKind::from_u8(buf.get_u8())?
+        } else {
+            CodecKind::Identity
+        };
         Ok(Hello {
-            min_version: buf.get_u16_le(),
-            max_version: buf.get_u16_le(),
+            min_version,
+            max_version,
+            codec,
         })
     }
 }
@@ -707,13 +874,23 @@ impl Wire for HelloAck {
     fn encode_into(&self, buf: &mut BytesMut) {
         buf.put_u16_le(self.version);
         buf.put_u64_le(self.client_id);
+        buf.put_u8(self.codec.as_u8());
     }
 
     fn decode_from(buf: &mut Bytes) -> Result<Self> {
         need(buf, 10, "hello ack")?;
+        let version = buf.get_u16_le();
+        let client_id = buf.get_u64_le();
+        // v2/v3 acks end here; the codec echo is a v4 tail.
+        let codec = if buf.has_remaining() {
+            CodecKind::from_u8(buf.get_u8())?
+        } else {
+            CodecKind::Identity
+        };
         Ok(HelloAck {
-            version: buf.get_u16_le(),
-            client_id: buf.get_u64_le(),
+            version,
+            client_id,
+            codec,
         })
     }
 }
@@ -760,20 +937,31 @@ impl Wire for ClientCycleCost {
         self.time.encode_into(buf);
         buf.put_u64_le(self.crossings);
         buf.put_u64_le(self.tee_peak_bytes as u64);
+        buf.put_u64_le(self.wire.download_encoded_bytes);
+        buf.put_u64_le(self.wire.download_raw_bytes);
+        buf.put_u64_le(self.wire.upload_encoded_bytes);
+        buf.put_u64_le(self.wire.upload_raw_bytes);
     }
 
     fn decode_from(buf: &mut Bytes) -> Result<Self> {
         need(buf, 8, "cost client id")?;
         let client_id = buf.get_u64_le();
         let time = TimeBreakdown::decode_from(buf)?;
-        need(buf, 16, "cost footer")?;
+        need(buf, 48, "cost footer")?;
         let crossings = buf.get_u64_le();
         let tee_peak_bytes = buf.get_u64_le() as usize;
+        let wire = WireBill {
+            download_encoded_bytes: buf.get_u64_le(),
+            download_raw_bytes: buf.get_u64_le(),
+            upload_encoded_bytes: buf.get_u64_le(),
+            upload_raw_bytes: buf.get_u64_le(),
+        };
         Ok(ClientCycleCost {
             client_id,
             time,
             crossings,
             tee_peak_bytes,
+            wire,
         })
     }
 }
@@ -823,14 +1011,9 @@ impl Wire for Frame {
 // Shard-control plane (protocol v3)
 // ---------------------------------------------------------------------------
 
-/// Item-count bound for the shard-control list fields (candidate lists,
-/// pick lists, aggregate terms, ledger entries): no shard legitimately
-/// hosts more than a million clients, so a larger prefix is hostile.
-const MAX_ITEMS: usize = 1 << 20;
-
 fn decode_count(buf: &mut Bytes, what: &str) -> Result<usize> {
     let n = decode_len(buf, what)?;
-    if n > MAX_ITEMS {
+    if n > limits::MAX_LIST_ITEMS {
         return Err(FlError::BadConfig {
             reason: format!("{what} {n} exceeds protocol maximum"),
         });
@@ -972,6 +1155,9 @@ pub struct ShardConfig {
     pub plan: TrainingPlan,
     /// Kernel backend name ([`gradsec_tensor::BackendKind::parse`]).
     pub backend: String,
+    /// Update codec name ([`CodecKind::parse`]) the shard's sessions
+    /// negotiate at handshake.
+    pub codec: String,
     /// Engine worker threads the shard runs (`0` = one per core).
     pub workers: u64,
     /// The whitelisted TA measurement.
@@ -1215,6 +1401,7 @@ impl Wire for ShardConfig {
         self.init_weights.encode_into(buf);
         self.plan.encode_into(buf);
         encode_str(&self.backend, buf);
+        encode_str(&self.codec, buf);
         buf.put_u64_le(self.workers);
         buf.put_slice(&self.measurement.0);
         match &self.faults {
@@ -1245,6 +1432,7 @@ impl Wire for ShardConfig {
         let init_weights = ModelWeights::decode_from(buf)?;
         let plan = TrainingPlan::decode_from(buf)?;
         let backend = decode_str(buf, "backend name")?;
+        let codec = decode_str(buf, "codec name")?;
         need(buf, 8 + 32 + 1, "shard config footer")?;
         let workers = buf.get_u64_le();
         let mut m = [0u8; 32];
@@ -1268,6 +1456,7 @@ impl Wire for ShardConfig {
             init_weights,
             plan,
             backend,
+            codec,
             workers,
             measurement: Measurement(m),
             faults,
@@ -1501,6 +1690,12 @@ mod tests {
             },
             crossings: 40,
             tee_peak_bytes: 219_576,
+            wire: WireBill {
+                download_encoded_bytes: 720,
+                download_raw_bytes: 2368,
+                upload_encoded_bytes: 630,
+                upload_raw_bytes: 2368,
+            },
         }
     }
 
@@ -1535,6 +1730,76 @@ mod tests {
         };
         let back: UpdateUpload = decode(&encode(&msg)).unwrap();
         assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn roundtrip_encoded_download_and_upload() {
+        use crate::codec::{encode_weights, CodecKind};
+        let enc = encode_weights(CodecKind::Int8, 5, &weights(), None);
+        let msg = EncodedModelDownload {
+            round: 5,
+            weights: enc.clone(),
+            plan: TrainingPlan::default(),
+            protected_layers: vec![0],
+        };
+        let back: EncodedModelDownload = decode(&encode(&msg)).unwrap();
+        assert_eq!(msg, back);
+        let up = EncodedUpdateUpload {
+            client_id: 3,
+            round: 5,
+            weights: enc,
+            num_samples: 64,
+            train_loss: 1.25,
+            cost: sample_cost(3),
+        };
+        let back: EncodedUpdateUpload = decode(&encode(&up)).unwrap();
+        assert_eq!(up, back);
+    }
+
+    #[test]
+    fn encoded_download_round_peek_matches_plain_layout() {
+        use crate::codec::{encode_weights, CodecKind};
+        // The fault layer reads the round from the first 8 payload
+        // bytes without knowing which download kind it is looking at.
+        let plain = encode(&ModelDownload {
+            round: 77,
+            weights: weights(),
+            plan: TrainingPlan::default(),
+            protected_layers: vec![],
+        });
+        let encoded = encode(&EncodedModelDownload {
+            round: 77,
+            weights: encode_weights(CodecKind::Identity, 0, &weights(), None),
+            plan: TrainingPlan::default(),
+            protected_layers: vec![],
+        });
+        assert_eq!(&plain[..8], &encoded[..8]);
+    }
+
+    #[test]
+    fn hello_messages_accept_the_codecless_v3_tail() {
+        use crate::codec::CodecKind;
+        // A v3 peer's hello/ack stops before the codec byte; decoding
+        // must default to identity rather than reject.
+        let hello = Hello::with_codec(CodecKind::Int8);
+        let mut bytes = encode(&hello);
+        assert_eq!(bytes.len(), 5);
+        let back: Hello = decode(&bytes).unwrap();
+        assert_eq!(back.codec, CodecKind::Int8);
+        bytes.truncate(4);
+        let back: Hello = decode(&bytes).unwrap();
+        assert_eq!(back.codec, CodecKind::Identity);
+        let ack = HelloAck {
+            version: PROTOCOL_VERSION,
+            client_id: 12,
+            codec: CodecKind::DeltaTopK,
+        };
+        let mut bytes = encode(&ack);
+        assert_eq!(bytes.len(), 11);
+        bytes.truncate(10);
+        let back: HelloAck = decode(&bytes).unwrap();
+        assert_eq!(back.codec, CodecKind::Identity);
+        assert_eq!(back.client_id, 12);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use gradsec_tee::crypto::sha256::sha256;
 
 use crate::aggregate::PartialAggregate;
 use crate::client::{DeviceProfile, FlClient};
+use crate::codec::CodecKind;
 use crate::config::{MuxOptions, ShardLayout, TrainingPlan, TransportKind};
 use crate::engine::{ClientOutcome, ExecutionEngine};
 use crate::faults::{FaultPlan, FaultyEndpoint};
@@ -144,6 +145,7 @@ pub struct FederationBuilder {
     shards: usize,
     faults: Option<Arc<FaultPlan>>,
     backend: BackendKind,
+    codec: CodecKind,
     screening_sample: Option<usize>,
 }
 
@@ -163,6 +165,7 @@ impl FederationBuilder {
             shards: 1,
             faults: None,
             backend: BackendKind::from_env(),
+            codec: CodecKind::from_env(),
             screening_sample: None,
         }
     }
@@ -270,6 +273,21 @@ impl FederationBuilder {
     /// changes f32 rounding, not semantics.
     pub fn backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Selects the update codec every session negotiates at handshake:
+    /// how model downloads and update uploads are packed on the wire.
+    /// [`CodecKind::Identity`] (the default) is bit-identical to the
+    /// uncompressed payloads; [`CodecKind::Int8`] and
+    /// [`CodecKind::DeltaTopK`] trade a pinned, deterministic amount of
+    /// precision for 3×+ smaller rounds. Defaults to the `GRADSEC_CODEC`
+    /// environment variable (`identity`/`int8`/`delta-topk`). The codec
+    /// is part of the run's reproducibility key: runs with the same
+    /// codec are bit-identical across shards, workers, transports and
+    /// process boundaries.
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -400,8 +418,13 @@ impl FederationBuilder {
             server.overprovision(plan.spare_count());
         }
         server.set_screening_sample(self.screening_sample);
-        let (clients, sessions) =
-            wire_fleet(fleet, self.transport, &self.mux, self.faults.as_ref())?;
+        let (clients, sessions) = wire_fleet(
+            fleet,
+            self.transport,
+            &self.mux,
+            self.faults.as_ref(),
+            self.codec,
+        )?;
         Ok(AssembledFleet {
             server,
             clients,
@@ -448,6 +471,7 @@ fn wire_fleet(
     transport: TransportKind,
     mux: &MuxOptions,
     faults: Option<&Arc<FaultPlan>>,
+    codec: CodecKind,
 ) -> Result<(Vec<RemoteClient>, SessionBackend)> {
     let wrap = move |endpoint: Box<dyn ServerEndpoint>| -> Box<dyn ServerEndpoint> {
         match faults {
@@ -459,7 +483,7 @@ fn wire_fleet(
         TransportKind::InProcess => {
             let remotes = fleet
                 .into_iter()
-                .map(|c| RemoteClient::connect(wrap(Box::new(LocalEndpoint::new(c)))))
+                .map(|c| RemoteClient::connect_with(wrap(Box::new(LocalEndpoint::new(c))), codec))
                 .collect::<Result<Vec<_>>>()?;
             Ok((remotes, SessionBackend::Threads(Vec::new())))
         }
@@ -488,7 +512,7 @@ fn wire_fleet(
             while remotes.len() < n {
                 match listener.try_accept()? {
                     Some(endpoint) => {
-                        remotes.push(RemoteClient::connect(wrap(Box::new(endpoint)))?)
+                        remotes.push(RemoteClient::connect_with(wrap(Box::new(endpoint)), codec)?)
                     }
                     None => {
                         if let Some(dead) = sessions.iter().position(JoinHandle::is_finished) {
@@ -550,7 +574,7 @@ fn wire_fleet(
             }
             let mut remotes = endpoints
                 .into_iter()
-                .map(|endpoint| RemoteClient::connect(wrap(Box::new(endpoint))))
+                .map(|endpoint| RemoteClient::connect_with(wrap(Box::new(endpoint)), codec))
                 .collect::<Result<Vec<_>>>()?;
             remotes.sort_by_key(RemoteClient::id);
             Ok((remotes, SessionBackend::Mux(fleet_handle)))

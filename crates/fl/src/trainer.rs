@@ -8,7 +8,7 @@
 use gradsec_data::{batch_of, Dataset};
 use gradsec_nn::optim::Sgd;
 use gradsec_nn::Sequential;
-use gradsec_tee::cost::{ClientCycleCost, TimeBreakdown};
+use gradsec_tee::cost::{ClientCycleCost, TimeBreakdown, WireBill};
 
 use crate::Result;
 
@@ -41,6 +41,9 @@ impl CycleStats {
             time: self.time,
             crossings: self.crossings,
             tee_peak_bytes: self.tee_peak_bytes,
+            // The wire bill is filled in server-side: only the endpoint
+            // that framed the payloads knows the observed byte counts.
+            wire: WireBill::default(),
         }
     }
 }

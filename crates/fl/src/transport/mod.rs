@@ -41,14 +41,21 @@ pub mod poller;
 pub mod sealed;
 pub mod tcp;
 
+use gradsec_nn::model::ModelWeights;
 use gradsec_tee::attestation::Challenge;
+use gradsec_tee::cost::WireBill;
 
 use crate::client::{DeviceProfile, FlClient};
+use crate::codec::{decode_weights, dense_wire_bytes, encode_weights, CodecKind, BASE_MISMATCH};
 use crate::message::{
-    negotiate_version, AttestationRequest, AttestationResponse, Envelope, Hello, HelloAck,
-    MessageKind, ModelDownload, UpdateUpload, Wire, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+    negotiate_version, AttestationRequest, AttestationResponse, EncodedModelDownload,
+    EncodedUpdateUpload, Envelope, Hello, HelloAck, MessageKind, ModelDownload, UpdateUpload, Wire,
+    MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 use crate::{FlError, Result};
+
+/// The first protocol version that speaks the encoded payload kinds.
+const CODEC_VERSION: u16 = 4;
 
 /// The server's byte-level handle to one client.
 ///
@@ -120,6 +127,13 @@ impl ServerEndpoint for Box<dyn ServerEndpoint> {
 pub struct ClientHandler {
     client: FlClient,
     negotiated: Option<u16>,
+    /// The update codec the hello negotiated (None before a handshake;
+    /// a pre-codec peer implies identity).
+    codec: Option<CodecKind>,
+    /// The delta codec's committed reference view: the last downloaded
+    /// model this client both trained on and successfully replied to,
+    /// keyed by the server's epoch stamp.
+    view: Option<(u64, ModelWeights)>,
 }
 
 impl std::fmt::Debug for ClientHandler {
@@ -127,6 +141,7 @@ impl std::fmt::Debug for ClientHandler {
         f.debug_struct("ClientHandler")
             .field("client", &self.client.id())
             .field("negotiated", &self.negotiated)
+            .field("codec", &self.codec)
             .finish()
     }
 }
@@ -137,6 +152,8 @@ impl ClientHandler {
         ClientHandler {
             client,
             negotiated: None,
+            codec: None,
+            view: None,
         }
     }
 
@@ -208,7 +225,67 @@ impl ClientHandler {
                     Err(e) => Envelope::error(format!("malformed model download: {e}")),
                 }
             }
+            MessageKind::EncodedModelDownload => {
+                match request.open::<EncodedModelDownload>(MessageKind::EncodedModelDownload) {
+                    Ok(download) => self.handle_encoded_download(download),
+                    Err(e) => Envelope::error(format!("malformed encoded download: {e}")),
+                }
+            }
             other => Envelope::error(format!("unexpected request kind {other:?}")),
+        }
+    }
+
+    /// The encoded-payload training exchange (protocol v4): decode the
+    /// download through the session codec, train, and reply with the
+    /// update encoded the same way. The reference view for delta rounds
+    /// commits only on the success path, mirroring the server's commit
+    /// rule, so a failed cycle leaves both sides on the old base.
+    fn handle_encoded_download(&mut self, download: EncodedModelDownload) -> Envelope {
+        let codec = self.codec.unwrap_or(download.weights.codec);
+        let reference = match download.weights.base_epoch {
+            Some(base) => match &self.view {
+                Some((epoch, weights)) if *epoch == base => Some(weights),
+                _ => {
+                    return Envelope::error(format!(
+                        "{BASE_MISMATCH}: server referenced epoch {base} but this \
+                         client holds {:?}",
+                        self.view.as_ref().map(|(e, _)| *e)
+                    ))
+                }
+            },
+            None => None,
+        };
+        let weights = match decode_weights(&download.weights, reference) {
+            Ok(w) => w,
+            Err(e) => return Envelope::error(format!("malformed encoded download: {e}")),
+        };
+        let epoch = download.weights.epoch;
+        let plain = ModelDownload {
+            round: download.round,
+            weights,
+            plan: download.plan,
+            protected_layers: download.protected_layers,
+        };
+        match self.client.run_cycle(&plain) {
+            Ok(upload) => {
+                let encoded =
+                    encode_weights(codec, epoch, &upload.weights, Some((epoch, &plain.weights)));
+                if codec == CodecKind::DeltaTopK {
+                    self.view = Some((epoch, plain.weights));
+                }
+                Envelope::pack(
+                    MessageKind::EncodedUpdateUpload,
+                    &EncodedUpdateUpload {
+                        client_id: upload.client_id,
+                        round: upload.round,
+                        weights: encoded,
+                        num_samples: upload.num_samples,
+                        train_loss: upload.train_loss,
+                        cost: upload.cost,
+                    },
+                )
+            }
+            Err(e) => Envelope::error(format!("training cycle failed: {e}")),
         }
     }
 
@@ -219,12 +296,21 @@ impl ClientHandler {
         };
         match negotiate_version(hello.min_version, hello.max_version) {
             Some(version) => {
+                // The codec byte is a v4 negotiation: an older dialect
+                // keeps the identity semantics it always had.
+                let codec = if version >= CODEC_VERSION {
+                    hello.codec
+                } else {
+                    CodecKind::Identity
+                };
                 self.negotiated = Some(version);
+                self.codec = Some(codec);
                 Envelope::pack(
                     MessageKind::HelloAck,
                     &HelloAck {
                         version,
                         client_id: self.client.id(),
+                        codec,
                     },
                 )
             }
@@ -279,6 +365,13 @@ pub struct RemoteClient {
     id: u64,
     attestation_key: Vec<u8>,
     version: u16,
+    codec: CodecKind,
+    /// Epoch counter stamping each encoded download (one per train
+    /// attempt, retries included, so the sequence is deterministic).
+    epoch: u64,
+    /// The delta codec's committed reference view: the last download
+    /// this client demonstrably decoded and replied to.
+    view: Option<(u64, ModelWeights)>,
     endpoint: Box<dyn ServerEndpoint>,
 }
 
@@ -287,32 +380,62 @@ impl std::fmt::Debug for RemoteClient {
         f.debug_struct("RemoteClient")
             .field("id", &self.id)
             .field("version", &self.version)
+            .field("codec", &self.codec)
             .field("endpoint", &self.endpoint.descriptor())
             .finish()
     }
 }
 
 impl RemoteClient {
-    /// Handshakes with the client behind `endpoint`.
+    /// Handshakes with the client behind `endpoint` at the identity
+    /// codec (the bit-exact default).
     ///
     /// # Errors
     ///
     /// Returns [`FlError::Protocol`] when no common version exists or the
     /// ack is malformed, and [`FlError::Transport`] on pipe failures.
-    pub fn connect(mut endpoint: Box<dyn ServerEndpoint>) -> Result<Self> {
-        let reply = endpoint.exchange(Envelope::pack(MessageKind::Hello, &Hello::current()))?;
+    pub fn connect(endpoint: Box<dyn ServerEndpoint>) -> Result<Self> {
+        RemoteClient::connect_with(endpoint, CodecKind::Identity)
+    }
+
+    /// Handshakes with the client behind `endpoint`, proposing `codec`
+    /// for the session's model payloads. A peer that negotiates a
+    /// pre-codec protocol version falls back to identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Protocol`] when no common version exists or the
+    /// ack is malformed, and [`FlError::Transport`] on pipe failures.
+    pub fn connect_with(mut endpoint: Box<dyn ServerEndpoint>, codec: CodecKind) -> Result<Self> {
+        let reply = endpoint.exchange(Envelope::pack(
+            MessageKind::Hello,
+            &Hello::with_codec(codec),
+        ))?;
         let ack: HelloAck = reply.open(MessageKind::HelloAck)?;
         if !(MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION).contains(&ack.version) {
             return Err(FlError::Protocol {
                 reason: format!("client acked unsupported version {}", ack.version),
             });
         }
+        let codec = if ack.version >= CODEC_VERSION {
+            ack.codec
+        } else {
+            CodecKind::Identity
+        };
         Ok(RemoteClient {
             id: ack.client_id,
             attestation_key: DeviceProfile::provisioned_key(ack.client_id),
             version: ack.version,
+            codec,
+            epoch: 0,
+            view: None,
             endpoint,
         })
+    }
+
+    /// The update codec this session negotiated.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
     }
 
     /// The client's id (learned during the handshake).
@@ -374,16 +497,114 @@ impl RemoteClient {
     /// Ships the global model and plan, blocking for the trained update
     /// (Figure 2-➋/➌/➍).
     ///
+    /// At protocol v4 both directions travel as encoded codec payloads
+    /// (identity included, so every session is billed uniformly); the
+    /// decoded update plus its wire-bytes bill come back as the familiar
+    /// [`UpdateUpload`] — the single chokepoint every execution path
+    /// (flat, sharded, distributed) funnels through.
+    ///
     /// # Errors
     ///
     /// Transport/protocol failures; a failed training cycle surfaces as
     /// [`FlError::ClientFailure`].
     pub fn train(&mut self, download: &ModelDownload) -> Result<UpdateUpload> {
-        self.request(
-            MessageKind::ModelDownload,
-            download,
-            MessageKind::UpdateUpload,
-        )
+        if self.version < CODEC_VERSION {
+            return self.request(
+                MessageKind::ModelDownload,
+                download,
+                MessageKind::UpdateUpload,
+            );
+        }
+        match self.train_encoded(download) {
+            Err(FlError::ClientFailure { reason, .. }) if reason.contains(BASE_MISMATCH) => {
+                // The client lost the reference view this delta was coded
+                // against (e.g. its previous reply never arrived, so only
+                // one side committed). Drop ours and re-send dense, once.
+                self.view = None;
+                self.train_encoded(download)
+            }
+            other => other,
+        }
+    }
+
+    fn train_encoded(&mut self, download: &ModelDownload) -> Result<UpdateUpload> {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let reference = self.view.as_ref().map(|(e, w)| (*e, w));
+        let encoded = encode_weights(self.codec, epoch, &download.weights, reference);
+        // The client trains on the *decoded* model, so for delta commits
+        // the server must mirror that decode (lossy codecs make it differ
+        // from `download.weights`). Only the delta codec needs the mirror.
+        let view_next = if self.codec == CodecKind::DeltaTopK {
+            Some(decode_weights(
+                &encoded,
+                self.view.as_ref().map(|(_, w)| w),
+            )?)
+        } else {
+            None
+        };
+        // The raw column is the dense payload size; Identity's body IS
+        // that payload bit-for-bit (its codec envelope is constant
+        // per-message overhead, not payload), so it bills the two
+        // columns equal and reports a ratio of exactly 1.
+        let download_raw = dense_wire_bytes(&download.weights);
+        let wire = WireBill {
+            download_encoded_bytes: if self.codec == CodecKind::Identity {
+                download_raw
+            } else {
+                encoded.wire_bytes()
+            },
+            download_raw_bytes: download_raw,
+            ..WireBill::default()
+        };
+        let request = EncodedModelDownload {
+            round: download.round,
+            weights: encoded,
+            plan: download.plan,
+            protected_layers: download.protected_layers.clone(),
+        };
+        let reply: EncodedUpdateUpload = self.request(
+            MessageKind::EncodedModelDownload,
+            &request,
+            MessageKind::EncodedUpdateUpload,
+        )?;
+        if reply.weights.base_epoch.is_some_and(|base| base != epoch) {
+            return Err(FlError::Protocol {
+                reason: format!(
+                    "client {} coded its update against epoch {:?}, expected {epoch}",
+                    self.id, reply.weights.base_epoch
+                ),
+            });
+        }
+        let upload_reference = view_next.as_ref();
+        let weights = decode_weights(&reply.weights, upload_reference)?;
+        let upload_raw = dense_wire_bytes(&weights);
+        let wire = WireBill {
+            upload_encoded_bytes: if self.codec == CodecKind::Identity {
+                upload_raw
+            } else {
+                reply.weights.wire_bytes()
+            },
+            upload_raw_bytes: upload_raw,
+            ..wire
+        };
+        // Commit the reference only after a decodable reply: the client
+        // commits on its success path, so the views advance in lockstep
+        // (a dropped or garbled reply leaves both sides on the old base,
+        // and a half-committed pair recovers via the mismatch retry).
+        if let Some(view) = view_next {
+            self.view = Some((epoch, view));
+        }
+        let mut cost = reply.cost;
+        cost.wire = wire;
+        Ok(UpdateUpload {
+            client_id: reply.client_id,
+            round: reply.round,
+            weights,
+            num_samples: reply.num_samples,
+            train_loss: reply.train_loss,
+            cost,
+        })
     }
 
     /// Ends the session (best effort — the client does not reply).
@@ -437,6 +658,7 @@ mod tests {
             &Hello {
                 min_version: PROTOCOL_VERSION + 7,
                 max_version: PROTOCOL_VERSION + 9,
+                codec: CodecKind::Identity,
             },
         );
         let reply = handler.handle(futuristic).expect("hello gets a reply");
@@ -483,6 +705,84 @@ mod tests {
             .expect("a reply");
         assert_eq!(reply.kind, MessageKind::AttestationResponse);
         assert_eq!(reply.version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn handshake_negotiates_the_proposed_codec() {
+        let remote = RemoteClient::connect_with(
+            Box::new(LocalEndpoint::new(fl_client(3))),
+            CodecKind::DeltaTopK,
+        )
+        .unwrap();
+        assert_eq!(remote.codec(), CodecKind::DeltaTopK);
+        let identity = RemoteClient::connect(Box::new(LocalEndpoint::new(fl_client(4)))).unwrap();
+        assert_eq!(identity.codec(), CodecKind::Identity);
+    }
+
+    #[test]
+    fn encoded_train_matches_plain_train_bit_for_bit() {
+        use crate::config::TrainingPlan;
+        // The same client trained through the v4 encoded identity path
+        // and the legacy plain path must produce identical updates —
+        // that is the refactor's bit-identity contract.
+        let download = ModelDownload {
+            round: 0,
+            weights: zoo::tiny_mlp(3 * 32 * 32, 4, 2, 1).unwrap().weights(),
+            plan: TrainingPlan {
+                batches_per_cycle: 2,
+                batch_size: 4,
+                ..TrainingPlan::default()
+            },
+            protected_layers: vec![],
+        };
+        let mut encoded_path =
+            RemoteClient::connect(Box::new(LocalEndpoint::new(fl_client(7)))).unwrap();
+        assert!(encoded_path.protocol_version() >= CODEC_VERSION);
+        let via_codec = encoded_path.train(&download).unwrap();
+        assert!(via_codec.cost.wire.download_encoded_bytes > 0);
+        assert_eq!(
+            via_codec.cost.wire.download_encoded_bytes, via_codec.cost.wire.download_raw_bytes,
+            "identity bills encoded == raw"
+        );
+        // Same client, same data, forced through the legacy kind.
+        let mut handler = ClientHandler::new(fl_client(7));
+        let reply = handler
+            .handle(Envelope::pack(MessageKind::ModelDownload, &download))
+            .expect("a reply");
+        let legacy: UpdateUpload = reply.open(MessageKind::UpdateUpload).unwrap();
+        assert_eq!(via_codec.weights, legacy.weights);
+        assert_eq!(via_codec.train_loss, legacy.train_loss);
+    }
+
+    #[test]
+    fn delta_sessions_recover_from_a_lost_reference_view() {
+        use crate::config::TrainingPlan;
+        let download = ModelDownload {
+            round: 0,
+            weights: zoo::tiny_mlp(3 * 32 * 32, 4, 2, 1).unwrap().weights(),
+            plan: TrainingPlan {
+                batches_per_cycle: 1,
+                batch_size: 4,
+                ..TrainingPlan::default()
+            },
+            protected_layers: vec![],
+        };
+        let mut remote = RemoteClient::connect_with(
+            Box::new(LocalEndpoint::new(fl_client(9))),
+            CodecKind::DeltaTopK,
+        )
+        .unwrap();
+        remote.train(&download).unwrap();
+        // Simulate one-sided state loss: the server thinks epoch 0 is
+        // committed but pretends a newer epoch exists.
+        remote.view = Some((99, download.weights.clone()));
+        // The client rejects the unknown base, the server retries dense,
+        // and the exchange still completes.
+        let upload = remote.train(&download).unwrap();
+        assert!(upload.cost.wire.upload_encoded_bytes > 0);
+        // The session is re-synchronised afterwards: a further delta
+        // round works without retry.
+        remote.train(&download).unwrap();
     }
 
     #[test]

@@ -8,15 +8,17 @@
 //! were written — every [`MessageKind`] the protocol speaks, in order,
 //! bit-identical — and reject a corrupt header without reading past it.
 
+use gradsec_fl::codec::{encode_weights, CodecKind};
 use gradsec_fl::config::TrainingPlan;
 use gradsec_fl::message::{
-    encode, AttestationRequest, AttestationResponse, Envelope, ErrorReply, Hello, HelloAck,
-    MessageKind, ModelDownload, UpdateUpload, ENVELOPE_HEADER_LEN,
+    encode, AttestationRequest, AttestationResponse, EncodedModelDownload, EncodedUpdateUpload,
+    Envelope, ErrorReply, Hello, HelloAck, MessageKind, ModelDownload, UpdateUpload,
+    ENVELOPE_HEADER_LEN,
 };
 use gradsec_fl::transport::mux::FrameReassembler;
 use gradsec_nn::model::{LayerWeights, ModelWeights};
 use gradsec_tee::attestation::{sign_quote, Challenge, Measurement};
-use gradsec_tee::cost::{ClientCycleCost, TimeBreakdown};
+use gradsec_tee::cost::{ClientCycleCost, TimeBreakdown, WireBill};
 use gradsec_tee::ta::Uuid;
 use gradsec_tee::tiop::SecureChannel;
 use gradsec_tensor::init;
@@ -46,6 +48,7 @@ fn envelope_of(kind_index: usize, seed: u64) -> Envelope {
             &HelloAck {
                 version: 2,
                 client_id: seed,
+                codec: codec_of(seed),
             },
         ),
         2 => Envelope::pack(
@@ -95,6 +98,12 @@ fn envelope_of(kind_index: usize, seed: u64) -> Envelope {
                     },
                     crossings: seed,
                     tee_peak_bytes: width << 10,
+                    wire: WireBill {
+                        download_encoded_bytes: seed,
+                        download_raw_bytes: seed * 3,
+                        upload_encoded_bytes: seed + 1,
+                        upload_raw_bytes: (seed + 1) * 3,
+                    },
                 },
             },
         ),
@@ -105,15 +114,59 @@ fn envelope_of(kind_index: usize, seed: u64) -> Envelope {
             },
         ),
         7 => Envelope::control(MessageKind::Goodbye),
-        _ => {
+        8 => {
             let (mut tx, _rx) = SecureChannel::pair(&seed.to_le_bytes());
             let frame = tx.seal(&seed.to_le_bytes());
             Envelope::pack(MessageKind::Sealed, &frame)
         }
+        9 => Envelope::pack(
+            MessageKind::EncodedModelDownload,
+            &EncodedModelDownload {
+                round: seed,
+                weights: encoded_weights_of(seed, width),
+                plan: TrainingPlan::default(),
+                protected_layers: vec![(seed % 5) as usize],
+            },
+        ),
+        _ => Envelope::pack(
+            MessageKind::EncodedUpdateUpload,
+            &EncodedUpdateUpload {
+                client_id: seed,
+                round: 3,
+                weights: encoded_weights_of(seed, width),
+                num_samples: 10,
+                train_loss: 0.5,
+                cost: ClientCycleCost {
+                    client_id: seed,
+                    time: TimeBreakdown::default(),
+                    crossings: seed,
+                    tee_peak_bytes: width << 10,
+                    wire: WireBill::default(),
+                },
+            },
+        ),
     }
 }
 
-const NUM_KINDS: usize = 9;
+/// Cycles through every codec so encoded payloads of all three body
+/// layouts cross the reassembler.
+fn codec_of(seed: u64) -> CodecKind {
+    match seed % 3 {
+        0 => CodecKind::Identity,
+        1 => CodecKind::Int8,
+        _ => CodecKind::DeltaTopK,
+    }
+}
+
+fn encoded_weights_of(seed: u64, width: usize) -> gradsec_fl::codec::EncodedWeights {
+    let codec = codec_of(seed);
+    let w = weights(1 + (seed % 3) as usize, width, seed);
+    let base = weights(1 + (seed % 3) as usize, width, seed + 9);
+    let reference = (codec == CodecKind::DeltaTopK).then_some((seed, &base));
+    encode_weights(codec, seed + 1, &w, reference)
+}
+
+const NUM_KINDS: usize = 11;
 
 /// Splits `bytes` into chunks following the (cycled) size schedule and
 /// feeds each chunk to a fresh reassembler, returning the emitted frames.

@@ -5,17 +5,21 @@
 //! (the TCP frame) → decode the envelope → open the payload.
 
 use gradsec_fl::aggregate::{fedavg, PartialAggregate};
+use gradsec_fl::codec::{
+    decode_weights, dense_wire_bytes, encode_weights, int8_error_bound, CodecKind,
+};
 use gradsec_fl::config::TrainingPlan;
 use gradsec_fl::faults::{FaultPlan, LatencyModel};
 use gradsec_fl::message::{
-    decode, encode, AttestationRequest, AttestationResponse, DatasetSpec, Envelope, ErrorReply,
-    Hello, HelloAck, MessageKind, ModelDownload, ModelSpec, ScreenProbe, ShardConfig,
-    ShardConfigAck, ShardHello, ShardHelloAck, ShardOutcome, ShardOutcomeKind, ShardRound,
-    ShardRoundReply, ShardScreen, ShardScreenReply, UpdateUpload, Wire, ENVELOPE_MAGIC,
+    decode, encode, AttestationRequest, AttestationResponse, DatasetSpec, EncodedModelDownload,
+    EncodedUpdateUpload, Envelope, ErrorReply, Hello, HelloAck, MessageKind, ModelDownload,
+    ModelSpec, ScreenProbe, ShardConfig, ShardConfigAck, ShardHello, ShardHelloAck, ShardOutcome,
+    ShardOutcomeKind, ShardRound, ShardRoundReply, ShardScreen, ShardScreenReply, UpdateUpload,
+    Wire, ENVELOPE_MAGIC,
 };
 use gradsec_nn::model::{LayerWeights, ModelWeights};
 use gradsec_tee::attestation::{sign_quote, Challenge, Measurement};
-use gradsec_tee::cost::{ClientCycleCost, RoundLedger, TimeBreakdown};
+use gradsec_tee::cost::{ClientCycleCost, RoundLedger, TimeBreakdown, WireBill};
 use gradsec_tee::ta::Uuid;
 use gradsec_tee::tiop::{Frame, SecureChannel};
 use gradsec_tensor::{init, Tensor};
@@ -42,6 +46,22 @@ fn cost(client_id: u64, scale: f64, crossings: u64, peak: usize) -> ClientCycleC
         },
         crossings,
         tee_peak_bytes: peak,
+        wire: WireBill {
+            download_encoded_bytes: peak as u64,
+            download_raw_bytes: peak as u64 * 3,
+            upload_encoded_bytes: crossings,
+            upload_raw_bytes: crossings * 3,
+        },
+    }
+}
+
+/// An arbitrary codec from a primitive draw (the vendored proptest has
+/// no combinators, so variants are selected by tag in the test body).
+fn codec_from(tag: u8) -> CodecKind {
+    match tag % 3 {
+        0 => CodecKind::Identity,
+        1 => CodecKind::Int8,
+        _ => CodecKind::DeltaTopK,
     }
 }
 
@@ -145,6 +165,7 @@ fn shard_config(
         init_weights: weights(2, 3, 11),
         plan: TrainingPlan::default(),
         backend: "reference".to_owned(),
+        codec: "identity".to_owned(),
         workers: 4,
         measurement: Measurement([9u8; 32]),
         faults,
@@ -212,10 +233,10 @@ proptest! {
     }
 
     #[test]
-    fn handshake_wire_roundtrip(min in 0u16..100, span in 0u16..100, id in any::<u64>()) {
-        let hello = Hello { min_version: min, max_version: min.saturating_add(span) };
+    fn handshake_wire_roundtrip(min in 0u16..100, span in 0u16..100, id in any::<u64>(), tag in any::<u8>()) {
+        let hello = Hello { min_version: min, max_version: min.saturating_add(span), codec: codec_from(tag) };
         prop_assert_eq!(hello, through_envelope(MessageKind::Hello, &hello));
-        let ack = HelloAck { version: min, client_id: id };
+        let ack = HelloAck { version: min, client_id: id, codec: codec_from(tag) };
         prop_assert_eq!(ack, through_envelope(MessageKind::HelloAck, &ack));
     }
 
@@ -526,6 +547,156 @@ proptest! {
         // Either decodes to something or errors — no panic, no OOM.
         if let Ok(env) = decode::<Envelope>(&bytes) {
             let _ = env.open::<ShardRoundReply>(MessageKind::ShardRoundReply);
+        }
+    }
+}
+
+// Update codecs (protocol v4): every codec's payloads round-trip through
+// the full envelope path, hostile bytes never panic, and the lossy
+// codecs honour their pinned error bounds for arbitrary weights.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encoded_download_wire_roundtrip(layers in 1usize..4, width in 1usize..6, round in 0u64..1000, tag in any::<u8>()) {
+        let codec = codec_from(tag);
+        let w = weights(layers, width, round);
+        let base = weights(layers, width, round + 77);
+        let reference = (codec == CodecKind::DeltaTopK).then_some((round, &base));
+        let msg = EncodedModelDownload {
+            round,
+            weights: encode_weights(codec, round, &w, reference),
+            plan: TrainingPlan::default(),
+            protected_layers: vec![0],
+        };
+        let back = through_envelope(MessageKind::EncodedModelDownload, &msg);
+        prop_assert_eq!(&msg, &back);
+        // The framed encoding decodes back to same-shaped weights.
+        let decoded = decode_weights(
+            &back.weights,
+            (codec == CodecKind::DeltaTopK).then_some(&base),
+        ).unwrap();
+        prop_assert_eq!(decoded.num_layers(), w.num_layers());
+    }
+
+    #[test]
+    fn encoded_upload_wire_roundtrip(layers in 1usize..4, width in 1usize..6, id in 0u64..64, tag in any::<u8>()) {
+        let codec = codec_from(tag);
+        let w = weights(layers, width, id + 5);
+        let base = weights(layers, width, id + 55);
+        let reference = (codec == CodecKind::DeltaTopK).then_some((id, &base));
+        let msg = EncodedUpdateUpload {
+            client_id: id,
+            round: 3,
+            weights: encode_weights(codec, id, &w, reference),
+            num_samples: 10,
+            train_loss: 0.5,
+            cost: cost(id, 1.0, 3, 2048),
+        };
+        let back = through_envelope(MessageKind::EncodedUpdateUpload, &msg);
+        prop_assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn identity_codec_is_bit_exact_for_arbitrary_weights(layers in 1usize..4, width in 1usize..6, seed in any::<u64>()) {
+        let w = weights(layers, width, seed);
+        let enc = encode_weights(CodecKind::Identity, 0, &w, None);
+        let back = decode_weights(&enc, None).unwrap();
+        prop_assert_eq!(w, back);
+    }
+
+    #[test]
+    fn int8_codec_stays_within_its_pinned_error_bound(layers in 1usize..4, width in 1usize..6, seed in any::<u64>()) {
+        let w = weights(layers, width, seed);
+        let bound = int8_error_bound(&w);
+        let enc = encode_weights(CodecKind::Int8, 0, &w, None);
+        let back = decode_weights(&enc, None).unwrap();
+        for (a, b) in w.iter().zip(back.iter()) {
+            for (x, y) in a.w.data().iter().zip(b.w.data().iter()) {
+                prop_assert!((x - y).abs() <= bound, "|{x} - {y}| > {bound}");
+            }
+            for (x, y) in a.b.data().iter().zip(b.b.data().iter()) {
+                prop_assert!((x - y).abs() <= bound, "|{x} - {y}| > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_topk_error_never_exceeds_the_dropped_delta(layers in 1usize..3, width in 1usize..6, seed in any::<u64>()) {
+        // Reconstruction is `base + kept deltas`: a coordinate is either
+        // restored to (float) x or left at base, so its error is bounded
+        // by the delta magnitude itself.
+        let w = weights(layers, width, seed);
+        let base = weights(layers, width, seed ^ 0xABCD);
+        let enc = encode_weights(CodecKind::DeltaTopK, 7, &w, Some((7, &base)));
+        let back = decode_weights(&enc, Some(&base)).unwrap();
+        for ((t, b), r) in w.iter().zip(base.iter()).zip(back.iter()) {
+            for ((x, y), z) in t.w.data().iter().zip(b.w.data().iter()).zip(r.w.data().iter()) {
+                let slack = (x - y).abs() + 1e-4 * (x.abs() + y.abs() + 1.0);
+                prop_assert!((z - x).abs() <= slack, "|{z} - {x}| > {slack}");
+            }
+            for ((x, y), z) in t.b.data().iter().zip(b.b.data().iter()).zip(r.b.data().iter()) {
+                let slack = (x - y).abs() + 1e-4 * (x.abs() + y.abs() + 1.0);
+                prop_assert!((z - x).abs() <= slack, "|{z} - {x}| > {slack}");
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_codecs_never_grow_the_payload(layers in 1usize..4, width in 2usize..6, seed in any::<u64>(), tag in any::<u8>()) {
+        let codec = codec_from(tag);
+        let w = weights(layers, width, seed);
+        let base = weights(layers, width, seed + 1);
+        let reference = (codec == CodecKind::DeltaTopK).then_some((0, &base));
+        let enc = encode_weights(codec, 0, &w, reference);
+        // The envelope adds a bounded header over the raw dense bytes;
+        // no codec may blow past that.
+        prop_assert!(enc.wire_bytes() <= dense_wire_bytes(&w) + 64);
+    }
+
+    #[test]
+    fn truncated_encoded_messages_never_panic(cut in 0usize..300, tag in any::<u8>()) {
+        let codec = codec_from(tag);
+        let w = weights(2, 3, 7);
+        let base = weights(2, 3, 8);
+        let reference = (codec == CodecKind::DeltaTopK).then_some((1, &base));
+        let msg = EncodedModelDownload {
+            round: 2,
+            weights: encode_weights(codec, 1, &w, reference),
+            plan: TrainingPlan::default(),
+            protected_layers: vec![1],
+        };
+        let mut bytes = encode(&Envelope::pack(MessageKind::EncodedModelDownload, &msg));
+        bytes.truncate(cut.min(bytes.len().saturating_sub(1)));
+        prop_assert!(decode::<Envelope>(&bytes).is_err());
+    }
+
+    #[test]
+    fn garbled_encoded_messages_never_panic(pos in 0usize..256, byte in any::<u8>(), tag in any::<u8>()) {
+        let codec = codec_from(tag);
+        let w = weights(2, 3, 7);
+        let base = weights(2, 3, 8);
+        let reference = (codec == CodecKind::DeltaTopK).then_some((1, &base));
+        let msg = EncodedUpdateUpload {
+            client_id: 1,
+            round: 2,
+            weights: encode_weights(codec, 1, &w, reference),
+            num_samples: 10,
+            train_loss: 0.5,
+            cost: cost(1, 1.0, 12, 4096),
+        };
+        let mut bytes = encode(&Envelope::pack(MessageKind::EncodedUpdateUpload, &msg));
+        if pos < bytes.len() {
+            bytes[pos] = byte;
+        }
+        // Either decodes to something or errors — no panic, no OOM. A
+        // decoded envelope may hold a corrupt payload; opening it, and
+        // decoding whatever weights it claims to carry, must be equally
+        // safe.
+        if let Ok(env) = decode::<Envelope>(&bytes) {
+            if let Ok(up) = env.open::<EncodedUpdateUpload>(MessageKind::EncodedUpdateUpload) {
+                let _ = decode_weights(&up.weights, Some(&base));
+            }
         }
     }
 }

@@ -124,6 +124,52 @@ impl TimeBreakdown {
     }
 }
 
+/// The wire-bytes bill of one client's cycle: what the model payloads
+/// actually cost on the wire under the session's update codec, next to
+/// what they would have cost dense. Encoded bytes are the billable
+/// column; the raw column exists so compression ratios can be reported
+/// without re-encoding anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WireBill {
+    /// Encoded bytes of the model-download payload (server → client).
+    pub download_encoded_bytes: u64,
+    /// Dense-equivalent bytes of the same download payload.
+    pub download_raw_bytes: u64,
+    /// Encoded bytes of the update-upload payload (client → server).
+    pub upload_encoded_bytes: u64,
+    /// Dense-equivalent bytes of the same upload payload.
+    pub upload_raw_bytes: u64,
+}
+
+impl WireBill {
+    /// Total encoded bytes billed, both directions.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.download_encoded_bytes + self.upload_encoded_bytes
+    }
+
+    /// Total dense-equivalent bytes, both directions.
+    pub fn raw_bytes(&self) -> u64 {
+        self.download_raw_bytes + self.upload_raw_bytes
+    }
+
+    /// `raw / encoded` — how many times smaller the codec made the
+    /// round trip (1.0 for an empty bill).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.encoded_bytes() == 0 {
+            return 1.0;
+        }
+        self.raw_bytes() as f64 / self.encoded_bytes() as f64
+    }
+
+    /// Folds another bill into this one.
+    pub fn add(&mut self, other: &WireBill) {
+        self.download_encoded_bytes += other.download_encoded_bytes;
+        self.download_raw_bytes += other.download_raw_bytes;
+        self.upload_encoded_bytes += other.upload_encoded_bytes;
+        self.upload_raw_bytes += other.upload_raw_bytes;
+    }
+}
+
 /// One client's accounted cost for a single FL cycle, as recorded into a
 /// [`RoundLedger`].
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -136,6 +182,9 @@ pub struct ClientCycleCost {
     pub crossings: u64,
     /// Peak TEE memory of the cycle in bytes.
     pub tee_peak_bytes: usize,
+    /// The cycle's wire-bytes bill (zero when the exchange never ran or
+    /// predates the codec layer).
+    pub wire: WireBill,
 }
 
 impl ClientCycleCost {
@@ -235,6 +284,16 @@ impl RoundLedger {
             .unwrap_or(0)
     }
 
+    /// Sum of all clients' wire bills — the round's byte totals in both
+    /// the encoded (billable) and dense-equivalent columns.
+    pub fn total_wire(&self) -> WireBill {
+        let mut out = WireBill::default();
+        for e in &self.entries {
+            out.add(&e.wire);
+        }
+        out
+    }
+
     /// Folds another ledger into this one.
     pub fn merge(&mut self, other: &RoundLedger) {
         for e in &other.entries {
@@ -252,25 +311,31 @@ impl RoundLedger {
             .iter()
             .map(|e| {
                 format!(
-                    r#"{{"client_id":{},"user_s":{},"kernel_s":{},"alloc_s":{},"crossings":{},"tee_peak_bytes":{}}}"#,
+                    r#"{{"client_id":{},"user_s":{},"kernel_s":{},"alloc_s":{},"crossings":{},"tee_peak_bytes":{},"wire_encoded_bytes":{},"wire_raw_bytes":{}}}"#,
                     e.client_id,
                     num(e.time.user_s),
                     num(e.time.kernel_s),
                     num(e.time.alloc_s),
                     e.crossings,
                     e.tee_peak_bytes,
+                    e.wire.encoded_bytes(),
+                    e.wire.raw_bytes(),
                 )
             })
             .collect();
         let total = self.total_time();
+        let wire = self.total_wire();
         format!(
-            r#"{{"entries":[{}],"total_user_s":{},"total_kernel_s":{},"total_alloc_s":{},"total_crossings":{},"critical_path_s":{}}}"#,
+            r#"{{"entries":[{}],"total_user_s":{},"total_kernel_s":{},"total_alloc_s":{},"total_crossings":{},"critical_path_s":{},"total_wire_encoded_bytes":{},"total_wire_raw_bytes":{},"compression_ratio":{}}}"#,
             entries.join(","),
             num(total.user_s),
             num(total.kernel_s),
             num(total.alloc_s),
             self.total_crossings(),
             num(self.critical_path_s()),
+            wire.encoded_bytes(),
+            wire.raw_bytes(),
+            num(wire.compression_ratio()),
         )
     }
 }
@@ -494,6 +559,7 @@ mod tests {
                 time: t(u),
                 crossings: x,
                 tee_peak_bytes: peak,
+                wire: WireBill::default(),
             });
         }
         let ids: Vec<u64> = ledger.entries().iter().map(|e| e.client_id).collect();
@@ -508,6 +574,7 @@ mod tests {
             time: t(9.0),
             crossings: 1,
             tee_peak_bytes: 1,
+            wire: WireBill::default(),
         });
         assert_eq!(ledger.len(), 3);
         assert_eq!(ledger.total_crossings(), 7);
@@ -529,6 +596,7 @@ mod tests {
                         },
                         crossings: id,
                         tee_peak_bytes: id as usize,
+                        wire: WireBill::default(),
                     });
                 });
             }
@@ -554,6 +622,7 @@ mod tests {
             },
             crossings: 3,
             tee_peak_bytes: 64,
+            wire: WireBill::default(),
         });
         assert_eq!(ledger.len(), 2);
         let failed = ledger.client(9).expect("accounted");
@@ -572,6 +641,7 @@ mod tests {
             time: TimeBreakdown::default(),
             crossings: 1,
             tee_peak_bytes: 0,
+            wire: WireBill::default(),
         };
         let mut a = RoundLedger::new();
         a.record(entry(1));
@@ -581,6 +651,31 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.total_crossings(), 2);
+    }
+
+    #[test]
+    fn wire_bill_totals_and_ratio() {
+        let mut ledger = RoundLedger::new();
+        for (id, enc, raw) in [(1u64, 100u64, 400u64), (2, 300, 800)] {
+            ledger.record(ClientCycleCost {
+                client_id: id,
+                wire: WireBill {
+                    download_encoded_bytes: enc,
+                    download_raw_bytes: raw,
+                    upload_encoded_bytes: enc,
+                    upload_raw_bytes: raw,
+                },
+                ..ClientCycleCost::default()
+            });
+        }
+        let wire = ledger.total_wire();
+        assert_eq!(wire.encoded_bytes(), 800);
+        assert_eq!(wire.raw_bytes(), 2400);
+        assert!((wire.compression_ratio() - 3.0).abs() < 1e-9);
+        assert_eq!(WireBill::default().compression_ratio(), 1.0);
+        let json = ledger.to_json();
+        assert!(json.contains(r#""total_wire_encoded_bytes":800"#), "{json}");
+        assert!(json.contains(r#""wire_raw_bytes":800"#), "{json}");
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub trait Buf {
         u16::from_le_bytes(b)
     }
 
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
     /// Reads a little-endian `u64`.
     fn get_u64_le(&mut self) -> u64 {
         let mut b = [0u8; 8];
@@ -86,6 +94,11 @@ pub trait BufMut {
 
     /// Appends a little-endian `u16`.
     fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
     }
 
@@ -205,6 +218,7 @@ mod tests {
         let mut w = BytesMut::new();
         w.put_u8(7);
         w.put_u16_le(0xBEEF);
+        w.put_u32_le(0xFEED_FACE);
         w.put_u64_le(0xDEAD_BEEF);
         w.put_f32_le(1.5);
         w.put_f64_le(-2.25);
@@ -212,6 +226,7 @@ mod tests {
         let mut r = Bytes::copy_from_slice(&w.to_vec());
         assert_eq!(r.get_u8(), 7);
         assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xFEED_FACE);
         assert_eq!(r.get_u64_le(), 0xDEAD_BEEF);
         assert_eq!(r.get_f32_le(), 1.5);
         assert_eq!(r.get_f64_le(), -2.25);
