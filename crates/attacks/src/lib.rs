@@ -14,6 +14,9 @@
 //! * [`dpia`] — **Data-Property Inference Attack** (Melis et al.): a
 //!   random forest over *aggregated* gradients across FL cycles infers a
 //!   private property of the victim's data.
+//! * [`fleet`] — fleet-scale MIA: a colluding coalition pools the
+//!   global snapshots it legitimately observed across rounds and fits
+//!   one attack model on the longitudinal corpus.
 //! * [`dgrad`] — the attacker's gradient dataset `D_grad`, including the
 //!   paper's enclave semantics: "we simply delete from `D_grad` all the
 //!   gradients columns relative to a protected layer" (§8.1), with
@@ -35,6 +38,7 @@ pub mod dpia;
 pub mod dria;
 mod error;
 pub mod features;
+pub mod fleet;
 pub mod metrics;
 pub mod mia;
 

@@ -18,10 +18,78 @@
 //! grouping of updates into partials — 1 shard or 64, merged in any order
 //! — produces bit-identical global weights.
 
-use gradsec_nn::model::ModelWeights;
+use gradsec_nn::model::{LayerWeights, ModelWeights};
+use gradsec_tensor::Tensor;
 
 use crate::message::UpdateUpload;
 use crate::{FlError, Result};
+
+/// The aggregation rule a round commits with. [`FedAvg`](Self::FedAvg)
+/// is the paper's sample-weighted average; the robust variants are the
+/// standard Byzantine-tolerant estimators evaluated against hostile
+/// fleets ([`crate::adversary`]):
+///
+/// * [`TrimmedMean`](Self::TrimmedMean) — coordinate-wise mean after
+///   dropping the `trim` lowest and highest values per coordinate
+///   (Yin et al.); `trim = 0` delegates *literally* to the FedAvg fold,
+///   so the two agree bit-for-bit.
+/// * [`Median`](Self::Median) — coordinate-wise median (even counts
+///   average the two middle values).
+/// * [`NormClip`](Self::NormClip) — clips each update's delta from the
+///   previous global model to L2 norm `tau`, then sample-weighted
+///   FedAvg over the clipped updates.
+///
+/// The choice is coordinator-side state: it never crosses the wire, so
+/// every execution path (flat, sharded, distributed) aggregates with
+/// the one rule configured on the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Aggregator {
+    /// Sample-weighted averaging (the default).
+    #[default]
+    FedAvg,
+    /// Coordinate-wise trimmed mean, unweighted.
+    TrimmedMean {
+        /// How many extremes to drop per side, per coordinate.
+        trim: usize,
+    },
+    /// Coordinate-wise median, unweighted.
+    Median,
+    /// Per-update L2 delta clipping followed by FedAvg.
+    NormClip {
+        /// Maximum L2 norm of an update's delta from the previous
+        /// global model.
+        tau: f32,
+    },
+}
+
+impl Aggregator {
+    /// Short stable name for reports and bench rows.
+    pub fn name(&self) -> String {
+        match self {
+            Aggregator::FedAvg => "fedavg".to_owned(),
+            Aggregator::TrimmedMean { trim } => format!("trimmed-mean({trim})"),
+            Aggregator::Median => "median".to_owned(),
+            Aggregator::NormClip { tau } => format!("norm-clip({tau})"),
+        }
+    }
+
+    /// Checks the rule's parameters are usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::BadConfig`] for a non-finite or non-positive
+    /// clipping norm.
+    pub fn validate(&self) -> Result<()> {
+        if let Aggregator::NormClip { tau } = self {
+            if !tau.is_finite() || *tau <= 0.0 {
+                return Err(FlError::BadConfig {
+                    reason: format!("norm-clip tau must be finite and positive, got {tau}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
 
 /// The canonical FedAvg fold: sample-weighted averaging of the updates'
 /// post-training weights, accumulated strictly in iteration order. Both
@@ -138,7 +206,27 @@ impl PartialAggregate {
     /// Returns [`FlError::BadAggregation`] for an empty partial, duplicate
     /// slots (one update per selected client), a zero total sample count,
     /// or architecture mismatches.
-    pub fn finish(mut self) -> Result<AggregateOutcome> {
+    pub fn finish(self) -> Result<AggregateOutcome> {
+        self.finish_with(Aggregator::FedAvg, None)
+    }
+
+    /// Like [`finish`](Self::finish), but committing with an arbitrary
+    /// [`Aggregator`]. `reference` is the previous global model, needed
+    /// only by [`Aggregator::NormClip`] (the delta-clipping baseline);
+    /// the other rules ignore it. `FedAvg` and `TrimmedMean { trim: 0 }`
+    /// run *literally* the canonical FedAvg fold, so a robust run with
+    /// no trimming is bit-identical to the plain path.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`finish`](Self::finish) rejects, plus a trim that
+    /// leaves no coordinates (`2·trim ≥ n`), a missing reference for
+    /// norm clipping, and shape mismatches between updates.
+    pub fn finish_with(
+        mut self,
+        aggregator: Aggregator,
+        reference: Option<&ModelWeights>,
+    ) -> Result<AggregateOutcome> {
         if self.terms.is_empty() {
             return Err(FlError::BadAggregation {
                 reason: "no updates to aggregate".to_owned(),
@@ -151,7 +239,71 @@ impl PartialAggregate {
             });
         }
         let total = self.total_samples();
-        let weights = fold_updates(self.terms.iter().map(|(_, u)| u), total)?;
+        let n = self.terms.len();
+        let weights = match aggregator {
+            Aggregator::FedAvg | Aggregator::TrimmedMean { trim: 0 } => {
+                fold_updates(self.terms.iter().map(|(_, u)| u), total)?
+            }
+            Aggregator::TrimmedMean { trim } => {
+                if 2 * trim >= n {
+                    return Err(FlError::BadAggregation {
+                        reason: format!("trim {trim} leaves no values out of {n} updates"),
+                    });
+                }
+                coordinate_reduce(
+                    &self
+                        .terms
+                        .iter()
+                        .map(|(_, u)| &u.weights)
+                        .collect::<Vec<_>>(),
+                    |vals| {
+                        vals.sort_unstable_by(f32::total_cmp);
+                        let kept = &vals[trim..vals.len() - trim];
+                        kept.iter().sum::<f32>() / kept.len() as f32
+                    },
+                )?
+            }
+            Aggregator::Median => coordinate_reduce(
+                &self
+                    .terms
+                    .iter()
+                    .map(|(_, u)| &u.weights)
+                    .collect::<Vec<_>>(),
+                |vals| {
+                    vals.sort_unstable_by(f32::total_cmp);
+                    let mid = vals.len() / 2;
+                    if vals.len() % 2 == 1 {
+                        vals[mid]
+                    } else {
+                        0.5 * (vals[mid - 1] + vals[mid])
+                    }
+                },
+            )?,
+            Aggregator::NormClip { tau } => {
+                aggregator.validate()?;
+                let reference = reference.ok_or_else(|| FlError::BadAggregation {
+                    reason: "norm clipping needs the previous global model as reference".to_owned(),
+                })?;
+                let clipped: Vec<UpdateUpload> = self
+                    .terms
+                    .iter()
+                    .map(|(_, u)| {
+                        let norm = delta_norm(&u.weights, reference)?;
+                        if norm <= f64::from(tau) {
+                            return Ok(u.clone());
+                        }
+                        let factor = f64::from(tau) / norm;
+                        let mut w = reference.clone();
+                        w.add_scaled(&u.weights, factor as f32)?;
+                        w.add_scaled(reference, -(factor as f32))?;
+                        let mut out = u.clone();
+                        out.weights = w;
+                        Ok(out)
+                    })
+                    .collect::<Result<_>>()?;
+                fold_updates(clipped.iter(), total)?
+            }
+        };
         let mean_loss = self.terms.iter().map(|(_, u)| u.train_loss).sum::<f32>()
             / self.terms.len().max(1) as f32;
         Ok(AggregateOutcome {
@@ -160,6 +312,84 @@ impl PartialAggregate {
             total_samples: total,
         })
     }
+}
+
+/// The L2 norm of `w − reference` across all coordinates, accumulated
+/// in f64 (a fixed, canonical order — deterministic regardless of
+/// shard/worker layout since it runs on one update at a time).
+fn delta_norm(w: &ModelWeights, reference: &ModelWeights) -> Result<f64> {
+    if w.num_layers() != reference.num_layers() {
+        return Err(FlError::BadAggregation {
+            reason: "update and reference disagree on layer count".to_owned(),
+        });
+    }
+    let mut sum = 0.0f64;
+    for (a, b) in w.iter().zip(reference.iter()) {
+        if a.w.dims() != b.w.dims() || a.b.dims() != b.b.dims() {
+            return Err(FlError::BadAggregation {
+                reason: "update and reference disagree on layer shapes".to_owned(),
+            });
+        }
+        for (x, y) in a.w.data().iter().zip(b.w.data()) {
+            let d = f64::from(x - y);
+            sum += d * d;
+        }
+        for (x, y) in a.b.data().iter().zip(b.b.data()) {
+            let d = f64::from(x - y);
+            sum += d * d;
+        }
+    }
+    Ok(sum.sqrt())
+}
+
+/// Applies `reduce` to every coordinate across the updates' weights:
+/// for each position, the values from all updates land in a scratch
+/// slice (in canonical slot order) and `reduce` folds them to the
+/// output coefficient. All robust coordinate-wise estimators bottom
+/// out here.
+fn coordinate_reduce(
+    ws: &[&ModelWeights],
+    reduce: impl Fn(&mut [f32]) -> f32,
+) -> Result<ModelWeights> {
+    let first = ws.first().ok_or_else(|| FlError::BadAggregation {
+        reason: "no updates to aggregate".to_owned(),
+    })?;
+    for w in &ws[1..] {
+        if w.num_layers() != first.num_layers() {
+            return Err(FlError::BadAggregation {
+                reason: "updates disagree on layer count".to_owned(),
+            });
+        }
+        for (a, b) in w.iter().zip(first.iter()) {
+            if a.w.dims() != b.w.dims() || a.b.dims() != b.b.dims() {
+                return Err(FlError::BadAggregation {
+                    reason: "updates disagree on layer shapes".to_owned(),
+                });
+            }
+        }
+    }
+    let mut scratch = vec![0.0f32; ws.len()];
+    let mut layers = Vec::with_capacity(first.num_layers());
+    for li in 0..first.num_layers() {
+        let mut reduce_one = |pick: fn(&LayerWeights) -> &Tensor| -> Tensor {
+            let template = pick(first.layer(li).expect("layer index"));
+            let dims = template.dims().to_vec();
+            let n = template.data().len();
+            let data: Vec<f32> = (0..n)
+                .map(|i| {
+                    for (k, w) in ws.iter().enumerate() {
+                        scratch[k] = pick(w.layer(li).expect("layer index")).data()[i];
+                    }
+                    reduce(&mut scratch)
+                })
+                .collect();
+            Tensor::from_vec(data, &dims).expect("reduced tensor mirrors an existing shape")
+        };
+        let w = reduce_one(|l| &l.w);
+        let b = reduce_one(|l| &l.b);
+        layers.push(LayerWeights { w, b });
+    }
+    Ok(ModelWeights::new(layers))
 }
 
 #[cfg(test)]
@@ -291,6 +521,110 @@ mod tests {
             out.total_samples,
             updates.iter().map(|u| u.num_samples).sum::<usize>()
         );
+    }
+
+    fn collect(updates: &[UpdateUpload]) -> PartialAggregate {
+        let mut agg = PartialAggregate::new();
+        for (slot, u) in updates.iter().enumerate() {
+            agg.push(slot, u.clone());
+        }
+        agg
+    }
+
+    #[test]
+    fn trimmed_mean_drops_the_outlier() {
+        // Three honest updates at ~1.0, one poisoned at -100.
+        let updates = vec![
+            upload(0, 1.0, 10),
+            upload(1, 1.1, 10),
+            upload(2, 0.9, 10),
+            upload(3, -100.0, 10),
+        ];
+        let fed = collect(&updates).finish().unwrap();
+        let trimmed = collect(&updates)
+            .finish_with(Aggregator::TrimmedMean { trim: 1 }, None)
+            .unwrap();
+        let fed_val = fed.weights.layer(0).unwrap().w.data()[0];
+        let trim_val = trimmed.weights.layer(0).unwrap().w.data()[0];
+        assert!(
+            fed_val < -20.0,
+            "fedavg should be dragged down, got {fed_val}"
+        );
+        assert!(
+            (trim_val - 1.0).abs() < 0.1,
+            "trimmed mean held, got {trim_val}"
+        );
+    }
+
+    #[test]
+    fn median_resists_minority_outliers() {
+        let updates = vec![upload(0, 1.0, 10), upload(1, 1.0, 10), upload(2, 500.0, 10)];
+        let med = collect(&updates)
+            .finish_with(Aggregator::Median, None)
+            .unwrap();
+        assert_eq!(med.weights.layer(0).unwrap().w.data()[0], 1.0);
+        // Even count: average of the two middles.
+        let updates = vec![upload(0, 1.0, 10), upload(1, 3.0, 10)];
+        let med = collect(&updates)
+            .finish_with(Aggregator::Median, None)
+            .unwrap();
+        assert_eq!(med.weights.layer(0).unwrap().w.data()[0], 2.0);
+    }
+
+    #[test]
+    fn trim_zero_is_bit_identical_to_fedavg() {
+        let updates = awkward_uploads();
+        let fed = collect(&updates).finish().unwrap();
+        let trim0 = collect(&updates)
+            .finish_with(Aggregator::TrimmedMean { trim: 0 }, None)
+            .unwrap();
+        assert_eq!(fed.weights, trim0.weights);
+    }
+
+    #[test]
+    fn trim_too_large_is_rejected() {
+        let updates = vec![upload(0, 1.0, 10), upload(1, 2.0, 10)];
+        assert!(collect(&updates)
+            .finish_with(Aggregator::TrimmedMean { trim: 1 }, None)
+            .is_err());
+    }
+
+    #[test]
+    fn norm_clip_bounds_a_boosted_update() {
+        let reference = upload(0, 0.0, 1).weights;
+        let updates = vec![upload(0, 0.1, 10), upload(1, 1000.0, 10)];
+        let clipped = collect(&updates)
+            .finish_with(Aggregator::NormClip { tau: 0.5 }, Some(&reference))
+            .unwrap();
+        let val = clipped.weights.layer(0).unwrap().w.data()[0];
+        assert!(
+            val.abs() < 0.5,
+            "clipped aggregate stayed bounded, got {val}"
+        );
+        // Missing reference is an error, not a silent fallback.
+        assert!(collect(&updates)
+            .finish_with(Aggregator::NormClip { tau: 0.5 }, None)
+            .is_err());
+        // Within-norm updates pass through exactly: identical to fedavg.
+        let gentle = vec![upload(0, 0.01, 10), upload(1, 0.02, 10)];
+        let plain = collect(&gentle).finish().unwrap();
+        let clipped = collect(&gentle)
+            .finish_with(Aggregator::NormClip { tau: 10.0 }, Some(&reference))
+            .unwrap();
+        assert_eq!(plain.weights, clipped.weights);
+    }
+
+    #[test]
+    fn aggregator_names_and_validation() {
+        assert_eq!(Aggregator::FedAvg.name(), "fedavg");
+        assert_eq!(Aggregator::Median.name(), "median");
+        assert_eq!(
+            Aggregator::TrimmedMean { trim: 2 }.name(),
+            "trimmed-mean(2)"
+        );
+        assert!(Aggregator::NormClip { tau: 0.0 }.validate().is_err());
+        assert!(Aggregator::NormClip { tau: f32::NAN }.validate().is_err());
+        assert!(Aggregator::NormClip { tau: 1.0 }.validate().is_ok());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use gradsec_nn::Sequential;
 use gradsec_tee::attestation::{sign_quote, Challenge, Measurement};
 use gradsec_tee::ta::Uuid;
 
+use crate::adversary::{Adversary, Persona};
 use crate::message::{AttestationResponse, ModelDownload, UpdateUpload};
 use crate::trainer::{CycleStats, LocalTrainer};
 use crate::Result;
@@ -100,6 +101,7 @@ pub struct FlClient {
     model: Sequential,
     trainer: Box<dyn LocalTrainer>,
     last_stats: Option<CycleStats>,
+    adversary: Option<Adversary>,
 }
 
 impl std::fmt::Debug for FlClient {
@@ -130,6 +132,7 @@ impl FlClient {
             model,
             trainer,
             last_stats: None,
+            adversary: None,
         }
     }
 
@@ -159,6 +162,20 @@ impl FlClient {
         self.last_stats.as_ref()
     }
 
+    /// Assigns this client an adversarial persona (see
+    /// [`crate::adversary`]). All persona behavior is confined to
+    /// [`run_cycle`](Self::run_cycle) — attestation and the transport
+    /// exchange stay honest, so screening and bit-identity are
+    /// unaffected by *who* the client is, only by what it uploads.
+    pub fn set_adversary(&mut self, adversary: Adversary) {
+        self.adversary = Some(adversary);
+    }
+
+    /// This client's persona, if hostile.
+    pub fn persona(&self) -> Option<Persona> {
+        self.adversary.as_ref().map(|a| a.persona)
+    }
+
     /// Responds to an attestation challenge. Devices without a TEE (or
     /// without the TA) answer with no quote and are filtered out by the
     /// server.
@@ -185,6 +202,9 @@ impl FlClient {
     ///
     /// Propagates model/TEE failures.
     pub fn run_cycle(&mut self, download: &ModelDownload) -> Result<UpdateUpload> {
+        if self.persona() == Some(Persona::FreeRider) {
+            return self.free_ride(download);
+        }
         self.model.set_weights(&download.weights)?;
         let batcher = Batcher::new(
             self.shard.len(),
@@ -206,13 +226,48 @@ impl FlClient {
         )?;
         self.last_stats = Some(stats);
         self.model.clear_caches();
+        let weights = match &self.adversary {
+            Some(adv) => match adv.persona {
+                Persona::Poisoner => adv.plan.poisoned(
+                    self.id,
+                    download.round,
+                    &download.weights,
+                    &self.model.weights(),
+                )?,
+                Persona::Scaler => adv.plan.scaled(&download.weights, &self.model.weights())?,
+                Persona::Colluder => {
+                    if let Some(log) = &adv.log {
+                        log.observe(self.id, download.round, &download.weights);
+                    }
+                    self.model.weights()
+                }
+                Persona::FreeRider => unreachable!("free-riders return before training"),
+            },
+            None => self.model.weights(),
+        };
         Ok(UpdateUpload {
             client_id: self.id,
             round: download.round,
-            weights: self.model.weights(),
+            weights,
             num_samples: stats.samples.max(1),
             train_loss: stats.mean_loss,
             cost: stats.cost(self.id),
+        })
+    }
+
+    /// The free-rider cycle: no training at all — echo the global
+    /// weights back while claiming a full cycle's samples and zero
+    /// compute cost. Deterministic by construction (no RNG, no batches).
+    fn free_ride(&mut self, download: &ModelDownload) -> Result<UpdateUpload> {
+        let claimed = (download.plan.batch_size * download.plan.batches_per_cycle).max(1);
+        self.last_stats = Some(CycleStats::default());
+        Ok(UpdateUpload {
+            client_id: self.id,
+            round: download.round,
+            weights: download.weights.clone(),
+            num_samples: claimed,
+            train_loss: 0.0,
+            cost: CycleStats::default().cost(self.id),
         })
     }
 }
@@ -262,6 +317,66 @@ mod tests {
         let quote = c.attest(&ch).quote.unwrap();
         let expected = Measurement(gradsec_tee::crypto::sha256::sha256(b"gradsec-ta-code-v1"));
         assert!(verify_quote(b"device-key-7", &quote, expected, &ch).is_err());
+    }
+
+    #[test]
+    fn personas_shape_the_upload() {
+        use crate::adversary::{Adversary, AdversaryPlan, CollusionLog};
+
+        let plan = TrainingPlan {
+            rounds: 1,
+            clients_per_round: 1,
+            batches_per_cycle: 2,
+            batch_size: 8,
+            learning_rate: 0.05,
+            seed: 11,
+        };
+        let scenario = Arc::new(AdversaryPlan::seeded(5).poisoners(1.0));
+        let download = {
+            let c = client(DeviceProfile::trustzone(7));
+            ModelDownload {
+                round: 0,
+                weights: c.model.weights(),
+                plan,
+                protected_layers: vec![],
+            }
+        };
+
+        let honest = client(DeviceProfile::trustzone(7))
+            .run_cycle(&download)
+            .unwrap();
+
+        let mut poisoner = client(DeviceProfile::trustzone(7));
+        poisoner.set_adversary(Adversary {
+            persona: Persona::Poisoner,
+            plan: scenario.clone(),
+            log: None,
+        });
+        let poisoned = poisoner.run_cycle(&download).unwrap();
+        assert_ne!(poisoned.weights, honest.weights);
+        assert_eq!(poisoned.num_samples, honest.num_samples);
+
+        let mut rider = client(DeviceProfile::trustzone(7));
+        rider.set_adversary(Adversary {
+            persona: Persona::FreeRider,
+            plan: scenario.clone(),
+            log: None,
+        });
+        let echoed = rider.run_cycle(&download).unwrap();
+        assert_eq!(echoed.weights, download.weights);
+        assert_eq!(echoed.num_samples, 16, "claims a full cycle's samples");
+
+        let log = Arc::new(CollusionLog::default());
+        let mut colluder = client(DeviceProfile::trustzone(7));
+        colluder.set_adversary(Adversary {
+            persona: Persona::Colluder,
+            plan: scenario,
+            log: Some(log.clone()),
+        });
+        let observed = colluder.run_cycle(&download).unwrap();
+        assert_eq!(observed.weights, honest.weights, "colluders train honestly");
+        assert_eq!(log.colluders(), vec![7]);
+        assert_eq!(log.rounds_observed(), 1);
     }
 
     #[test]

@@ -140,6 +140,44 @@ impl MuxOptions {
     }
 }
 
+/// How the training dataset is partitioned across the client fleet.
+///
+/// The choice rides the `ShardConfig` to distributed shard processes by
+/// name (like backend and codec), so every execution path derives the
+/// identical per-client partition from `(kind, dataset, plan seed)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PartitionKind {
+    /// Seeded uniform shuffle into near-equal shards — every client sees
+    /// an IID sample of the label distribution (the default, via
+    /// `gradsec_data::split::shard`).
+    #[default]
+    Iid,
+    /// Label-skewed non-IID shards: samples grouped by label and dealt
+    /// as contiguous chunks, so each client holds as few distinct
+    /// classes as its shard size allows (via
+    /// `gradsec_data::split::shard_by_label`).
+    ByLabel,
+}
+
+impl PartitionKind {
+    /// Stable wire/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionKind::Iid => "iid",
+            PartitionKind::ByLabel => "by-label",
+        }
+    }
+
+    /// Parses a [`name`](Self::name) back; `None` for unknown names.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "iid" => Some(PartitionKind::Iid),
+            "by-label" => Some(PartitionKind::ByLabel),
+            _ => None,
+        }
+    }
+}
+
 /// How a registered client fleet is partitioned across engine shards.
 ///
 /// The layout is *contiguous*: shard `s` owns clients

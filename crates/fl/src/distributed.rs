@@ -50,16 +50,17 @@ use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gradsec_data::{split, Dataset, SyntheticCifar100, SyntheticMicro};
+use gradsec_data::{Dataset, SyntheticCifar100, SyntheticMicro};
 use gradsec_nn::{zoo, BackendKind, Sequential};
 use gradsec_tee::attestation::Measurement;
 use gradsec_tee::cost::{ClientCycleCost, RoundLedger};
 use gradsec_tee::crypto::sha256::sha256;
 
-use crate::aggregate::PartialAggregate;
+use crate::adversary::{Adversary, AdversaryPlan, ReputationBook};
+use crate::aggregate::{Aggregator, PartialAggregate};
 use crate::client::{DeviceProfile, FlClient};
 use crate::codec::CodecKind;
-use crate::config::{ShardLayout, TrainingPlan};
+use crate::config::{PartitionKind, ShardLayout, TrainingPlan};
 use crate::engine::{ClientOutcome, ExecutionEngine};
 use crate::faults::{FaultPlan, FaultyEndpoint};
 use crate::message::{
@@ -259,6 +260,10 @@ pub struct DistributedBuilder {
     backend: BackendKind,
     codec: CodecKind,
     faults: Option<FaultPlan>,
+    adversaries: Option<AdversaryPlan>,
+    aggregator: Aggregator,
+    partition: PartitionKind,
+    reputation: Option<ReputationBook>,
     screening_sample: Option<usize>,
     scheduler: Arc<dyn ProtectionScheduler>,
     measurement: Measurement,
@@ -278,6 +283,10 @@ impl DistributedBuilder {
             backend: BackendKind::from_env(),
             codec: CodecKind::from_env(),
             faults: None,
+            adversaries: None,
+            aggregator: Aggregator::FedAvg,
+            partition: PartitionKind::Iid,
+            reputation: None,
             screening_sample: None,
             scheduler: Arc::new(NoProtection),
             measurement: Measurement(sha256(b"gradsec-ta-code-v1")),
@@ -285,8 +294,10 @@ impl DistributedBuilder {
         }
     }
 
-    /// Sets the fleet: `n` clients sharing the dataset `spec` (sharded
-    /// by the same global `split::shard` the flat reference uses).
+    /// Sets the fleet: `n` clients sharing the dataset `spec`
+    /// (partitioned by the same global derivation the flat reference
+    /// uses — IID sharding by default, label-skewed via
+    /// [`partition`](Self::partition)).
     pub fn clients(mut self, n: usize, spec: DatasetSpec) -> Self {
         self.clients = n;
         self.dataset = Some(spec);
@@ -335,6 +346,38 @@ impl DistributedBuilder {
         self
     }
 
+    /// Installs a deterministic adversarial scenario (shipped to every
+    /// shard; persona assignment is a pure function of the scenario
+    /// seed and the *global* client id, so the hostile subset is
+    /// identical to an in-process run over the same plan).
+    pub fn adversaries(mut self, plan: AdversaryPlan) -> Self {
+        self.adversaries = Some(plan);
+        self
+    }
+
+    /// Selects the aggregation rule committed on the coordinator
+    /// (defaults to plain FedAvg; robust variants defend against
+    /// hostile uploads).
+    pub fn aggregator(mut self, aggregator: Aggregator) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Selects how the dataset is partitioned across clients (shipped
+    /// by name in the [`ShardConfig`]; defaults to IID).
+    pub fn partition(mut self, partition: PartitionKind) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Enables reputation-filtered selection on the coordinator:
+    /// clients whose accumulated outcome score falls below `threshold`
+    /// stop being screened (see [`crate::adversary::ReputationBook`]).
+    pub fn reputation(mut self, threshold: i64) -> Self {
+        self.reputation = Some(ReputationBook::new(threshold));
+        self
+    }
+
     /// Caps per-round screening at `m` sub-sampled candidates (see
     /// [`FlServer::set_screening_sample`]).
     pub fn screening_sample(mut self, m: usize) -> Self {
@@ -379,6 +422,10 @@ impl DistributedBuilder {
         if let Some(p) = &self.faults {
             p.validate()?;
         }
+        if let Some(p) = &self.adversaries {
+            p.validate()?;
+        }
+        self.aggregator.validate()?;
         let dataset = self.dataset.ok_or(FlError::BadConfig {
             reason: "distributed federation needs a dataset spec".to_owned(),
         })?;
@@ -398,6 +445,7 @@ impl DistributedBuilder {
             server.overprovision(p.spare_count());
         }
         server.set_screening_sample(self.screening_sample);
+        server.set_reputation(self.reputation);
         let layout = ShardLayout::new(self.clients, self.shards);
 
         let listener = TcpListener::bind(("127.0.0.1", 0))
@@ -429,6 +477,9 @@ impl DistributedBuilder {
             layout,
             scheduler: self.scheduler,
             faults: self.faults,
+            adversaries: self.adversaries,
+            aggregator: self.aggregator,
+            partition: self.partition,
             measurement: self.measurement,
             n_layers,
             reply_timeout: self.reply_timeout,
@@ -527,6 +578,8 @@ impl DistributedBuilder {
                     workers: self.workers as u64,
                     measurement: coordinator.measurement,
                     faults: coordinator.faults.clone(),
+                    partition: coordinator.partition.name().to_owned(),
+                    adversaries: coordinator.adversaries.clone(),
                 };
                 coordinator.shards[s]
                     .channel
@@ -583,6 +636,9 @@ pub struct DistributedCoordinator {
     layout: ShardLayout,
     scheduler: Arc<dyn ProtectionScheduler>,
     faults: Option<FaultPlan>,
+    adversaries: Option<AdversaryPlan>,
+    aggregator: Aggregator,
+    partition: PartitionKind,
     measurement: Measurement,
     n_layers: usize,
     reply_timeout: Option<Duration>,
@@ -864,6 +920,7 @@ impl DistributedCoordinator {
             ledger,
             protected,
             tolerate,
+            self.aggregator,
         )
     }
 
@@ -1232,16 +1289,30 @@ fn wire_shard(config: &ShardConfig) -> Result<ShardState> {
     let mut prototype = build_model(&config.model)?;
     prototype.set_backend(backend);
     prototype.set_weights(&config.init_weights)?;
-    let mut partition = split::shard(
-        dataset.len(),
+    // The *global* partition derivation, identical to the in-process
+    // runners — every shard computes the full fleet's shards and keeps
+    // only its range, so per-client data is layout-independent.
+    let partition_kind =
+        PartitionKind::parse(&config.partition).ok_or_else(|| FlError::BadConfig {
+            reason: format!("unknown partition kind {:?}", config.partition),
+        })?;
+    let mut partition = crate::runner::partition_dataset(
+        dataset.as_ref(),
         config.total_clients as usize,
+        partition_kind,
         config.plan.seed,
     );
     let faults = config.faults.clone().map(Arc::new);
+    // Personas re-derive from the shipped scenario plan and the global
+    // client id — the hostile subset matches the coordinator's view
+    // exactly. The collusion log stays `None` in shard processes: it is
+    // an observability artifact, and colluders train honestly, so its
+    // absence cannot perturb the committed weights.
+    let adversaries = config.adversaries.clone().map(Arc::new);
     let mut remotes = Vec::with_capacity((config.range_end - config.range_start) as usize);
     for g in config.range_start..config.range_end {
         let shard_data = std::mem::take(&mut partition[g as usize]);
-        let client = FlClient::new(
+        let mut client = FlClient::new(
             g,
             DeviceProfile::trustzone(g),
             dataset.clone(),
@@ -1249,6 +1320,15 @@ fn wire_shard(config: &ShardConfig) -> Result<ShardState> {
             prototype.replicate(),
             Box::new(PlainSgdTrainer),
         );
+        if let Some(plan) = &adversaries {
+            if let Some(persona) = plan.persona_of(g) {
+                client.set_adversary(Adversary {
+                    persona,
+                    plan: plan.clone(),
+                    log: None,
+                });
+            }
+        }
         let endpoint: Box<dyn ServerEndpoint> = Box::new(LocalEndpoint::new(client));
         let endpoint: Box<dyn ServerEndpoint> = match &faults {
             Some(plan) => Box::new(FaultyEndpoint::new(endpoint, plan.clone())),

@@ -122,7 +122,7 @@ const SALT_MSG_GARBLE: u64 = 0x4D53_4747_4152_4231; // "MSGGARB1"
 /// purpose salt, the client id and a per-purpose index, mixed through
 /// SplitMix64 by `seed_from_u64`. Pure function of its inputs — this is
 /// the whole determinism story.
-fn decision_rng(seed: u64, salt: u64, client: u64, index: u64) -> StdRng {
+pub(crate) fn decision_rng(seed: u64, salt: u64, client: u64, index: u64) -> StdRng {
     StdRng::seed_from_u64(
         seed ^ salt.rotate_left(17)
             ^ client.wrapping_mul(0x9E37_79B9_7F4A_7C15)

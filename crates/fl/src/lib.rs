@@ -27,7 +27,10 @@
 //! scaled-out wall clock. Imperfect fleets — stragglers, dropouts,
 //! crashes, lossy links — are simulated by the seeded, deterministic
 //! [`faults`] layer, with over-provisioned selection keeping faulted
-//! rounds aggregating a full cohort.
+//! rounds aggregating a full cohort. Hostile fleets — update poisoners,
+//! scalers, free-riders, colluding observers — are simulated by the
+//! equally-seeded [`adversary`] layer, defended by robust aggregation
+//! ([`aggregate::Aggregator`]) and reputation-filtered selection.
 //!
 //! # Example
 //!
@@ -64,6 +67,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod aggregate;
 pub mod client;
 pub mod codec;
@@ -81,8 +85,10 @@ pub mod server;
 pub mod trainer;
 pub mod transport;
 
+pub use adversary::{Adversary, AdversaryPlan, CollusionLog, Persona, ReputationBook};
+pub use aggregate::Aggregator;
 pub use codec::CodecKind;
-pub use config::{MuxOptions, ShardLayout, TransportKind};
+pub use config::{MuxOptions, PartitionKind, ShardLayout, TransportKind};
 pub use distributed::DistributedCoordinator;
 pub use engine::{ClientOutcome, ExecutionEngine};
 pub use error::FlError;

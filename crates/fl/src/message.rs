@@ -22,6 +22,7 @@ use gradsec_tee::ta::Uuid;
 use gradsec_tee::tiop::Frame;
 use gradsec_tensor::Tensor;
 
+use crate::adversary::AdversaryPlan;
 use crate::aggregate::PartialAggregate;
 use crate::codec::{CodecKind, EncodedWeights};
 use crate::config::TrainingPlan;
@@ -70,11 +71,14 @@ pub mod limits {
 /// the encoded payload kinds ([`EncodedModelDownload`],
 /// [`EncodedUpdateUpload`]), the codec byte negotiated on
 /// [`Hello`]/[`HelloAck`], and the wire-bytes bill carried on
-/// `ClientCycleCost`. Version 1 is no longer spoken; version 2 and 3
-/// peers interoperate on the client protocol (the kinds each version
-/// added are only spoken once both sides negotiated it, so an older
-/// peer never sees them).
-pub const PROTOCOL_VERSION: u16 = 4;
+/// `ClientCycleCost`; version 5 extended [`ShardConfig`] with the
+/// adversarial-scenario fields (the dataset partition kind and an
+/// optional `AdversaryPlan`) so shard-server processes re-derive the
+/// same hostile fleet the coordinator assembled. Version 1 is no longer
+/// spoken; version 2 and 3 peers interoperate on the client protocol
+/// (the kinds each version added are only spoken once both sides
+/// negotiated it, so an older peer never sees them).
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// The oldest protocol version this build still accepts.
 pub const MIN_SUPPORTED_VERSION: u16 = 2;
@@ -1164,6 +1168,12 @@ pub struct ShardConfig {
     pub measurement: Measurement,
     /// The fault plan, when the run injects faults.
     pub faults: Option<FaultPlan>,
+    /// Dataset partition kind name
+    /// ([`crate::config::PartitionKind::parse`]) — how the global data
+    /// partition the shard re-derives was drawn.
+    pub partition: String,
+    /// The adversarial scenario, when the run hosts hostile personas.
+    pub adversaries: Option<AdversaryPlan>,
 }
 
 /// Shard-server → coordinator: configuration applied, fleet wired.
@@ -1411,6 +1421,14 @@ impl Wire for ShardConfig {
             }
             None => buf.put_u8(0),
         }
+        encode_str(&self.partition, buf);
+        match &self.adversaries {
+            Some(p) => {
+                buf.put_u8(1);
+                p.encode_into(buf);
+            }
+            None => buf.put_u8(0),
+        }
     }
 
     fn decode_from(buf: &mut Bytes) -> Result<Self> {
@@ -1446,6 +1464,22 @@ impl Wire for ShardConfig {
                 })
             }
         };
+        let partition = decode_str(buf, "partition kind name")?;
+        if crate::config::PartitionKind::parse(&partition).is_none() {
+            return Err(FlError::BadConfig {
+                reason: format!("unknown partition kind {partition:?}"),
+            });
+        }
+        need(buf, 1, "adversary plan presence flag")?;
+        let adversaries = match buf.get_u8() {
+            0 => None,
+            1 => Some(AdversaryPlan::decode_from(buf)?),
+            other => {
+                return Err(FlError::BadConfig {
+                    reason: format!("bad adversary plan presence flag {other}"),
+                })
+            }
+        };
         Ok(ShardConfig {
             shard_index,
             range_start,
@@ -1460,6 +1494,8 @@ impl Wire for ShardConfig {
             workers,
             measurement: Measurement(m),
             faults,
+            partition,
+            adversaries,
         })
     }
 }

@@ -32,10 +32,11 @@ use gradsec_tee::attestation::Measurement;
 use gradsec_tee::cost::RoundLedger;
 use gradsec_tee::crypto::sha256::sha256;
 
-use crate::aggregate::PartialAggregate;
+use crate::adversary::{Adversary, AdversaryPlan, CollusionLog, ReputationBook};
+use crate::aggregate::{Aggregator, PartialAggregate};
 use crate::client::{DeviceProfile, FlClient};
 use crate::codec::CodecKind;
-use crate::config::{MuxOptions, ShardLayout, TrainingPlan, TransportKind};
+use crate::config::{MuxOptions, PartitionKind, ShardLayout, TrainingPlan, TransportKind};
 use crate::engine::{ClientOutcome, ExecutionEngine};
 use crate::faults::{FaultPlan, FaultyEndpoint};
 use crate::scheduler::{NoProtection, ProtectionScheduler};
@@ -147,6 +148,10 @@ pub struct FederationBuilder {
     backend: BackendKind,
     codec: CodecKind,
     screening_sample: Option<usize>,
+    adversaries: Option<Arc<AdversaryPlan>>,
+    aggregator: Aggregator,
+    partition: PartitionKind,
+    reputation: Option<ReputationBook>,
 }
 
 impl FederationBuilder {
@@ -167,6 +172,10 @@ impl FederationBuilder {
             backend: BackendKind::from_env(),
             codec: CodecKind::from_env(),
             screening_sample: None,
+            adversaries: None,
+            aggregator: Aggregator::FedAvg,
+            partition: PartitionKind::Iid,
+            reputation: None,
         }
     }
 
@@ -313,6 +322,45 @@ impl FederationBuilder {
         self
     }
 
+    /// Installs a deterministic adversarial scenario: each client's
+    /// persona is a pure function of `(scenario seed, client id)` (see
+    /// [`AdversaryPlan::persona_of`]), applied entirely client-side at
+    /// cycle time — screening, selection and the transport exchange
+    /// stay untouched, so a hostile run is bit-identical for any
+    /// `(shards, workers, transport)` combination under the same
+    /// scenario seed, and a quiet plan changes nothing at all.
+    pub fn adversaries(mut self, plan: AdversaryPlan) -> Self {
+        self.adversaries = Some(Arc::new(plan));
+        self
+    }
+
+    /// Selects the aggregation rule rounds commit with (see
+    /// [`Aggregator`]); defaults to plain FedAvg. Coordinator-side
+    /// state: it never crosses the wire, so flat, sharded and
+    /// distributed runs of the same rule are bit-identical.
+    pub fn aggregator(mut self, aggregator: Aggregator) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Selects how the dataset is partitioned across clients (see
+    /// [`PartitionKind`]); defaults to IID. Part of the run's
+    /// reproducibility key.
+    pub fn partition(mut self, partition: PartitionKind) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Enables reputation-filtered selection: round outcomes accumulate
+    /// per-client scores (+1 completed, −1 straggled/failed) and
+    /// clients below `threshold` are excluded from future eligibility
+    /// (see [`ReputationBook`]). The filter is a deterministic retain
+    /// before the selection shuffle — it consumes no server RNG.
+    pub fn reputation(mut self, threshold: i64) -> Self {
+        self.reputation = Some(ReputationBook::new(threshold));
+        self
+    }
+
     /// Assembles a flat (single-shard) federation: builds the fleet,
     /// wires it onto the configured transport and handshakes every
     /// endpoint.
@@ -341,6 +389,8 @@ impl FederationBuilder {
             engine: fleet.engine,
             sessions: fleet.sessions,
             faults: fleet.faults,
+            aggregator: fleet.aggregator,
+            collusion: fleet.collusion,
         })
     }
 
@@ -371,6 +421,8 @@ impl FederationBuilder {
             engine: fleet.engine,
             sessions: fleet.sessions,
             faults: fleet.faults,
+            aggregator: fleet.aggregator,
+            collusion: fleet.collusion,
         })
     }
 
@@ -390,27 +442,50 @@ impl FederationBuilder {
         if let Some(plan) = &self.faults {
             plan.validate()?;
         }
-        let shards = split::shard(dataset.len(), self.devices.len(), self.plan.seed);
+        if let Some(plan) = &self.adversaries {
+            plan.validate()?;
+        }
+        self.aggregator.validate()?;
+        let shards = partition_dataset(
+            dataset.as_ref(),
+            self.devices.len(),
+            self.partition,
+            self.plan.seed,
+        );
         // One factory invocation builds the prototype; every client gets a
         // replica (identical weights, fresh caches) — the same mechanism
         // the engine's per-worker replicas rely on. The run's kernel
         // backend is set once here and rides along in every replica.
         let mut prototype = model_factory();
         prototype.set_backend(self.backend);
+        let collusion = self
+            .adversaries
+            .as_ref()
+            .map(|_| Arc::new(CollusionLog::default()));
         let fleet: Vec<FlClient> = self
             .devices
             .into_iter()
             .zip(shards)
             .enumerate()
             .map(|(i, (device, shard))| {
-                FlClient::new(
+                let mut client = FlClient::new(
                     i as u64,
                     device,
                     dataset.clone(),
                     shard,
                     prototype.replicate(),
                     (self.trainer_factory)(i as u64),
-                )
+                );
+                if let Some(plan) = &self.adversaries {
+                    if let Some(persona) = plan.persona_of(i as u64) {
+                        client.set_adversary(Adversary {
+                            persona,
+                            plan: plan.clone(),
+                            log: collusion.clone(),
+                        });
+                    }
+                }
+                client
             })
             .collect();
         let mut server = FlServer::new(self.plan, prototype.weights(), self.measurement)?;
@@ -418,6 +493,7 @@ impl FederationBuilder {
             server.overprovision(plan.spare_count());
         }
         server.set_screening_sample(self.screening_sample);
+        server.set_reputation(self.reputation);
         let (clients, sessions) = wire_fleet(
             fleet,
             self.transport,
@@ -432,7 +508,29 @@ impl FederationBuilder {
             scheduler: self.scheduler,
             engine: self.engine,
             faults: self.faults,
+            aggregator: self.aggregator,
+            collusion,
         })
+    }
+}
+
+/// Derives the per-client data partition for `kind` — the one function
+/// both the in-process assemblers and the distributed shard servers call,
+/// so every execution path hands client `i` the identical local shard.
+pub(crate) fn partition_dataset(
+    dataset: &dyn Dataset,
+    clients: usize,
+    kind: PartitionKind,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    match kind {
+        PartitionKind::Iid => split::shard(dataset.len(), clients, seed),
+        PartitionKind::ByLabel => {
+            let labels: Vec<usize> = (0..dataset.len())
+                .map(|i| dataset.sample(i).label)
+                .collect();
+            split::shard_by_label(&labels, clients, seed)
+        }
     }
 }
 
@@ -445,6 +543,8 @@ struct AssembledFleet {
     scheduler: Arc<dyn ProtectionScheduler>,
     engine: ExecutionEngine,
     faults: Option<Arc<FaultPlan>>,
+    aggregator: Aggregator,
+    collusion: Option<Arc<CollusionLog>>,
 }
 
 /// The client-side machinery a socket-backed transport left running
@@ -591,6 +691,8 @@ pub struct Federation {
     engine: ExecutionEngine,
     sessions: SessionBackend,
     faults: Option<Arc<FaultPlan>>,
+    aggregator: Aggregator,
+    collusion: Option<Arc<CollusionLog>>,
 }
 
 impl std::fmt::Debug for Federation {
@@ -631,6 +733,13 @@ impl Federation {
     /// The configured execution engine.
     pub fn engine(&self) -> ExecutionEngine {
         self.engine
+    }
+
+    /// The colluding coalition's observation log, present when an
+    /// adversarial scenario is installed (empty until a colluder
+    /// participates in a round).
+    pub fn collusion_log(&self) -> Option<&Arc<CollusionLog>> {
+        self.collusion.as_ref()
     }
 
     /// Runs one FL cycle with the builder-configured engine.
@@ -679,6 +788,7 @@ impl Federation {
             ledger,
             protected,
             self.faults.is_some(),
+            self.aggregator,
         )
     }
 
@@ -740,6 +850,7 @@ impl Drop for Federation {
 /// failure in selection order — the strict contract healthy fleets always
 /// had. With tolerance, failures and stragglers are merely recorded, and
 /// the round only errors when *no* update committed.
+#[allow(clippy::too_many_arguments)] // the round's full classification context, one commit path
 pub(crate) fn finish_round(
     server: &mut FlServer,
     round: u64,
@@ -748,6 +859,7 @@ pub(crate) fn finish_round(
     ledger: RoundLedger,
     protected: Vec<usize>,
     tolerate: bool,
+    aggregator: Aggregator,
 ) -> Result<RoundReport> {
     let k = server.plan().clients_per_round;
     let mut agg = PartialAggregate::new();
@@ -788,7 +900,19 @@ pub(crate) fn finish_round(
             failures: failures.len(),
         }));
     }
-    let outcome = agg.finish()?;
+    // Robust variants need the previous global as a reference point (norm
+    // clipping measures drift against it); the immutable borrow ends
+    // before the commit below takes the server mutably.
+    let outcome = {
+        let reference = server.global();
+        agg.finish_with(aggregator, Some(reference))?
+    };
+    // Reputation accrues from outcome history: committed updates earn
+    // credit, shed ones (stragglers and failures alike) earn debit. A
+    // no-op unless a `ReputationBook` is installed on the server.
+    let completed: Vec<usize> = participants.iter().chain(surplus.iter()).copied().collect();
+    let shed: Vec<usize> = stragglers.iter().chain(failures.iter()).copied().collect();
+    server.note_round_outcomes(&completed, &shed);
     server.commit(outcome.weights);
     Ok(RoundReport {
         round,
@@ -872,6 +996,8 @@ pub struct ShardedFederation {
     engine: ExecutionEngine,
     sessions: SessionBackend,
     faults: Option<Arc<FaultPlan>>,
+    aggregator: Aggregator,
+    collusion: Option<Arc<CollusionLog>>,
 }
 
 impl std::fmt::Debug for ShardedFederation {
@@ -909,6 +1035,13 @@ impl ShardedFederation {
     /// this size).
     pub fn engine(&self) -> ExecutionEngine {
         self.engine
+    }
+
+    /// The colluding coalition's observation log, present when an
+    /// adversarial scenario is installed (empty until a colluder
+    /// participates in a round).
+    pub fn collusion_log(&self) -> Option<&Arc<CollusionLog>> {
+        self.collusion.as_ref()
     }
 
     /// Runs one FL cycle with the builder-configured engine.
@@ -963,6 +1096,7 @@ impl ShardedFederation {
             ledger,
             protected,
             self.faults.is_some(),
+            self.aggregator,
         )
     }
 
@@ -1260,6 +1394,65 @@ mod tests {
             rounds: vec![r],
         };
         assert!(report.to_json().contains(r#""rounds_completed":1"#));
+    }
+
+    #[test]
+    fn clean_fleet_consumes_no_server_rng() {
+        // Installing the adversary layer with a quiet plan (all
+        // fractions zero) must leave every report and weight
+        // bit-identical to a run that never heard of adversaries:
+        // persona assignment draws from its own salted streams, never
+        // the server's selection/screening RNG.
+        let mut plain = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .clients(4, dataset())
+            .build()
+            .unwrap();
+        let plain_report = plain.run().unwrap();
+        let mut quiet = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .clients(4, dataset())
+            .adversaries(AdversaryPlan::seeded(11))
+            .build()
+            .unwrap();
+        let quiet_report = quiet.run().unwrap();
+        assert_eq!(plain_report, quiet_report);
+        assert_eq!(plain.server().global(), quiet.server().global());
+        // A hostile fleet with reputation off still picks the same
+        // participants every round: personas alter uploads, never the
+        // server's sampling stream.
+        let mut hostile = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .clients(4, dataset())
+            .adversaries(AdversaryPlan::seeded(11).poisoners(0.5))
+            .build()
+            .unwrap();
+        let hostile_report = hostile.run().unwrap();
+        for (clean, dirty) in plain_report.rounds.iter().zip(hostile_report.rounds.iter()) {
+            assert_eq!(clean.participants, dirty.participants);
+        }
+    }
+
+    #[test]
+    fn hostile_fleet_with_robust_aggregation_runs() {
+        // End-to-end wiring check: personas, a robust aggregator, a
+        // label-skewed partition and reputation all active at once.
+        let mut fed = Federation::builder(plan())
+            .model(|| zoo::tiny_mlp(3 * 32 * 32, 8, 2, 9).unwrap())
+            .clients(4, dataset())
+            .adversaries(AdversaryPlan::seeded(3).poisoners(0.3).colluders(0.3))
+            .aggregator(Aggregator::Median)
+            .partition(PartitionKind::ByLabel)
+            .reputation(-2)
+            .build()
+            .unwrap();
+        let report = fed.run().unwrap();
+        assert_eq!(report.rounds_completed, 3);
+        let log = fed.collusion_log().expect("adversarial run keeps a log");
+        // With a 30% colluder band over 4 clients the coalition may be
+        // empty; either way the log observes at most one snapshot per
+        // round.
+        assert!(log.rounds_observed() <= 3);
     }
 
     #[test]

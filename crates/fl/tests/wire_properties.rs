@@ -4,6 +4,7 @@
 //! transport uses: encode → wrap in an [`Envelope`] → encode the envelope
 //! (the TCP frame) → decode the envelope → open the payload.
 
+use gradsec_fl::adversary::AdversaryPlan;
 use gradsec_fl::aggregate::{fedavg, PartialAggregate};
 use gradsec_fl::codec::{
     decode_weights, dense_wire_bytes, encode_weights, int8_error_bound, CodecKind,
@@ -169,7 +170,27 @@ fn shard_config(
         workers: 4,
         measurement: Measurement([9u8; 32]),
         faults,
+        partition: "iid".to_owned(),
+        adversaries: None,
     }
+}
+
+/// An arbitrary-but-valid adversarial scenario from primitive draws
+/// (fractions capped at 0.25 each so their sum stays within [0, 1];
+/// knobs nonnegative and finite, as validation demands).
+fn adversary_plan_from(
+    seed: u64,
+    fractions: (f64, f64, f64, f64),
+    knobs: (f32, f32, f32),
+) -> AdversaryPlan {
+    AdversaryPlan::seeded(seed)
+        .poisoners(fractions.0)
+        .scalers(fractions.1)
+        .free_riders(fractions.2)
+        .colluders(fractions.3)
+        .poison_strength(knobs.0)
+        .poison_noise(knobs.1)
+        .scale_boost(knobs.2)
 }
 
 /// Round-trips a message through the full transport path: message bytes →
@@ -697,6 +718,98 @@ proptest! {
             if let Ok(up) = env.open::<EncodedUpdateUpload>(MessageKind::EncodedUpdateUpload) {
                 let _ = decode_weights(&up.weights, Some(&base));
             }
+        }
+    }
+}
+
+// Adversarial scenario plane (protocol v5): the scenario plan riding on
+// the shard config round-trips through the full envelope path, invalid
+// scenarios never decode, and hostile bytes never panic.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adversary_plan_wire_roundtrip(
+        seed in any::<u64>(),
+        fractions in (0.0f64..0.25, 0.0f64..0.25, 0.0f64..0.25, 0.0f64..0.25),
+        knobs in (0.0f32..10.0, 0.0f32..1.0, 0.0f32..100.0),
+    ) {
+        let plan = adversary_plan_from(seed, fractions, knobs);
+        plan.validate().unwrap();
+        let back: AdversaryPlan = decode(&encode(&plan)).unwrap();
+        prop_assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn adversarial_shard_config_wire_roundtrip(
+        seed in any::<u64>(),
+        fractions in (0.0f64..0.25, 0.0f64..0.25, 0.0f64..0.25, 0.0f64..0.25),
+        by_label in any::<bool>(),
+        hostile in any::<bool>(),
+    ) {
+        let mut config = shard_config(
+            DatasetSpec::Micro { len: 32, classes: 4, dim: 4, seed: 1 },
+            ModelSpec::TinyMlp { inputs: 4, hidden: 2, outputs: 4, seed: 1 },
+            (0, 8, 16),
+            None,
+        );
+        config.partition = if by_label { "by-label" } else { "iid" }.to_owned();
+        config.adversaries =
+            hostile.then(|| adversary_plan_from(seed, fractions, (1.0, 0.1, 8.0)));
+        let back = through_envelope(MessageKind::ShardConfig, &config);
+        prop_assert_eq!(config, back);
+    }
+
+    #[test]
+    fn invalid_scenarios_never_decode(excess in 1.0f64..10.0) {
+        // Fractions summing past 1 encode fine (plain data) but must be
+        // rejected on decode — a shard server must never instantiate an
+        // impossible fleet mix.
+        let overfull = AdversaryPlan::seeded(1).poisoners(excess.min(1.0)).scalers(0.5);
+        prop_assert!(decode::<AdversaryPlan>(&encode(&overfull)).is_err());
+        let mut config = shard_config(
+            DatasetSpec::Micro { len: 8, classes: 2, dim: 4, seed: 1 },
+            ModelSpec::TinyMlp { inputs: 4, hidden: 2, outputs: 2, seed: 1 },
+            (0, 4, 8),
+            None,
+        );
+        config.partition = "bogus".to_owned();
+        prop_assert!(decode::<ShardConfig>(&encode(&config)).is_err());
+    }
+
+    #[test]
+    fn truncated_adversarial_configs_never_panic(cut in 0usize..400) {
+        let mut config = shard_config(
+            DatasetSpec::Cifar { len: 64, classes: 4, seed: 3 },
+            ModelSpec::LeNet5 { classes: 4, seed: 5 },
+            (0, 8, 16),
+            Some(FaultPlan::seeded(9).dropout(0.1)),
+        );
+        config.partition = "by-label".to_owned();
+        config.adversaries =
+            Some(adversary_plan_from(7, (0.2, 0.1, 0.1, 0.1), (1.0, 0.1, 8.0)));
+        let mut bytes = encode(&Envelope::pack(MessageKind::ShardConfig, &config));
+        bytes.truncate(cut.min(bytes.len().saturating_sub(1)));
+        prop_assert!(decode::<Envelope>(&bytes).is_err());
+    }
+
+    #[test]
+    fn garbled_adversarial_configs_never_panic(pos in 0usize..300, byte in any::<u8>()) {
+        let mut config = shard_config(
+            DatasetSpec::Micro { len: 16, classes: 2, dim: 4, seed: 1 },
+            ModelSpec::TinyMlp { inputs: 4, hidden: 2, outputs: 2, seed: 1 },
+            (0, 4, 8),
+            None,
+        );
+        config.adversaries =
+            Some(adversary_plan_from(3, (0.25, 0.0, 0.25, 0.0), (2.0, 0.05, 4.0)));
+        let mut bytes = encode(&Envelope::pack(MessageKind::ShardConfig, &config));
+        if pos < bytes.len() {
+            bytes[pos] = byte;
+        }
+        // Either decodes to something or errors — no panic, no OOM.
+        if let Ok(env) = decode::<Envelope>(&bytes) {
+            let _ = env.open::<ShardConfig>(MessageKind::ShardConfig);
         }
     }
 }
