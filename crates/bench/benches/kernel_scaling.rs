@@ -2,11 +2,13 @@
 //!
 //! Times the `TensorBackend` hot paths — the LeNet-5 and AlexNet conv
 //! stacks (forward + backward, batch 32) and the heaviest dense products
-//! (AlexNet FC7) — once per backend, and writes a machine-readable
-//! summary (median seconds per entry plus the blocked-over-reference
-//! speedup) to `target/kernel_scaling.json` for the performance
-//! trajectory (CI uploads it as a workflow artifact; the release-built
-//! `repro_kernels` bin rewrites the same file with its gated numbers).
+//! (AlexNet FC7) — once per backend (reference, blocked and tiled on its
+//! auto-selected ISA), and writes a machine-readable summary (median
+//! seconds per entry, the blocked-over-reference and tiled-over-blocked
+//! speedups, and the achieved tiled GFLOP/s) to
+//! `target/kernel_scaling.json` for the performance trajectory (CI
+//! uploads it as a workflow artifact; the release-built `repro_kernels`
+//! bin rewrites the same file with its gated per-ISA numbers).
 //!
 //! Numerical parity between the backends is asserted elsewhere
 //! (`crates/tensor/tests/backend_properties.rs`, `repro_kernels`); this
@@ -14,7 +16,10 @@
 
 use criterion::{criterion_group, Criterion};
 
-use gradsec_bench::kernels::{alexnet_conv_geometries, conv_stack, lenet5_conv_geometries, BATCH};
+use gradsec_bench::kernels::{
+    alexnet_conv_geometries, conv_backward_flops, conv_forward_flops, conv_stack,
+    lenet5_conv_geometries, matmul_flops, BATCH,
+};
 use gradsec_tensor::backend::BackendKind;
 use gradsec_tensor::init;
 use gradsec_tensor::ops::conv::{conv2d_backward_with, conv2d_forward_with};
@@ -67,8 +72,33 @@ fn bench_kernels(c: &mut Criterion) {
 
 criterion_group!(benches, bench_kernels);
 
-/// Renders the JSON summary: median seconds per `entry/backend` pair plus
-/// the blocked speedup over reference for each entry.
+/// Multiply-add FLOPs one run of a bench entry performs (the whole conv
+/// stack for stack entries), so medians convert to achieved GFLOP/s.
+fn entry_flops(entry: &str) -> Option<f64> {
+    let stack_flops = |geos: &[gradsec_tensor::ops::conv::Conv2dGeometry], backward: bool| {
+        geos.iter()
+            .map(|g| {
+                if backward {
+                    conv_backward_flops(g, BATCH)
+                } else {
+                    conv_forward_flops(g, BATCH)
+                }
+            })
+            .sum()
+    };
+    match entry {
+        "conv2d_forward_lenet5" => Some(stack_flops(&lenet5_conv_geometries(), false)),
+        "conv2d_backward_lenet5" => Some(stack_flops(&lenet5_conv_geometries(), true)),
+        "conv2d_forward_alexnet" => Some(stack_flops(&alexnet_conv_geometries(), false)),
+        "conv2d_backward_alexnet" => Some(stack_flops(&alexnet_conv_geometries(), true)),
+        "matmul_nt_alexnet_fc7" | "matmul_alexnet_fc7" => Some(matmul_flops(BATCH, 4096, 4096)),
+        _ => None,
+    }
+}
+
+/// Renders the JSON summary: median seconds per `entry/backend` pair,
+/// the blocked-over-reference and tiled-over-blocked speedups, and the
+/// tiled backend's achieved GFLOP/s for each entry.
 fn summary_json(c: &Criterion) -> String {
     let median_of = |id: &str| -> Option<f64> {
         c.results()
@@ -84,13 +114,18 @@ fn summary_json(c: &Criterion) -> String {
             let entry = r.id.strip_prefix("kernel/")?.strip_suffix("/reference")?;
             let reference_s = r.median.as_secs_f64();
             let blocked_s = median_of(&format!("kernel/{entry}/blocked"))?;
+            let tiled_s = median_of(&format!("kernel/{entry}/tiled"))?;
             let speedup = if blocked_s > 0.0 {
                 reference_s / blocked_s
             } else {
                 1.0
             };
+            let speedup_tiled = if tiled_s > 0.0 { blocked_s / tiled_s } else { 1.0 };
+            let gflops_tiled = entry_flops(entry)
+                .filter(|_| tiled_s > 0.0)
+                .map_or_else(|| "null".to_string(), |f| format!("{:.3}", f / tiled_s / 1e9));
             Some(format!(
-                "    {{\"entry\": \"{entry}\", \"batch\": {BATCH}, \"reference_s\": {reference_s:.6}, \"blocked_s\": {blocked_s:.6}, \"speedup_blocked\": {speedup:.3}}}"
+                "    {{\"entry\": \"{entry}\", \"batch\": {BATCH}, \"reference_s\": {reference_s:.6}, \"blocked_s\": {blocked_s:.6}, \"tiled_s\": {tiled_s:.6}, \"speedup_blocked\": {speedup:.3}, \"speedup_tiled\": {speedup_tiled:.3}, \"gflops_tiled\": {gflops_tiled}}}"
             ))
         })
         .collect();

@@ -33,6 +33,26 @@ pub fn alexnet_conv_geometries() -> Vec<Conv2dGeometry> {
     ]
 }
 
+/// Forward-pass FLOPs of one conv layer over a batch: the im2col GEMM
+/// performs `F·(C·K·K)·OH·OW` multiply-adds per image (bias adds are
+/// noise at these shapes and ignored, as is conventional).
+pub fn conv_forward_flops(geo: &Conv2dGeometry, batch: usize) -> f64 {
+    let k2 = geo.in_channels * geo.kernel * geo.kernel;
+    2.0 * (geo.out_channels * k2 * geo.out_h * geo.out_w * batch) as f64
+}
+
+/// Backward-pass FLOPs of one conv layer over a batch: the `dW` GEMM
+/// (`Δ·colᵀ`) and the `dcol` GEMM (`Wᵀ·Δ`) each match the forward
+/// GEMM's multiply-add count; `db` sums are noise.
+pub fn conv_backward_flops(geo: &Conv2dGeometry, batch: usize) -> f64 {
+    2.0 * conv_forward_flops(geo, batch)
+}
+
+/// FLOPs of an `(m×k)·(k×n)` matrix product: `2·m·k·n`.
+pub fn matmul_flops(m: usize, k: usize, n: usize) -> f64 {
+    2.0 * (m * k * n) as f64
+}
+
 /// One conv layer's pre-built, seeded operands.
 #[derive(Debug, Clone)]
 pub struct ConvOperands {
@@ -78,6 +98,25 @@ pub fn conv_stack(geos: &[Conv2dGeometry], seed: u64) -> Vec<ConvOperands> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn flop_counts_are_consistent() {
+        let geo = Conv2dGeometry::new(3, 32, 32, 64, 3, 2, 1).unwrap();
+        // 2 · F·C·K·K·OH·OW per image, linear in the batch.
+        assert_eq!(
+            conv_forward_flops(&geo, 1),
+            2.0 * (64 * 3 * 3 * 3 * 16 * 16) as f64
+        );
+        assert_eq!(
+            conv_forward_flops(&geo, BATCH),
+            BATCH as f64 * conv_forward_flops(&geo, 1)
+        );
+        assert_eq!(
+            conv_backward_flops(&geo, 4),
+            2.0 * conv_forward_flops(&geo, 4)
+        );
+        assert_eq!(matmul_flops(2, 3, 4), 48.0);
+    }
 
     #[test]
     fn stacks_build_with_matching_shapes() {

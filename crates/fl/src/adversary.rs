@@ -467,6 +467,34 @@ impl ReputationBook {
     pub fn tracked(&self) -> usize {
         self.scores.len()
     }
+
+    /// Applies one round of outcome feedback: every completing client
+    /// is credited, every shed client debited, and every tracked client
+    /// the round did *not* touch decays toward zero (`s ← s·3/4`,
+    /// truncating toward zero, entries reaching zero forgotten).
+    ///
+    /// Decaying only the untouched keeps both halves of the feature
+    /// honest: a device that churned away (or was excluded and is never
+    /// selected again) sheds its debt within a few rounds and becomes
+    /// eligible once more, while a persistent straggler — debited every
+    /// round it appears in — never decays and stays below threshold.
+    /// Decaying everyone each round would instead let an always-bad
+    /// client oscillate around the threshold (truncation pulls `−1`
+    /// back to `0` between debits) and erode earned credit.
+    pub fn note_round(&mut self, completed: &[u64], shed: &[u64]) {
+        for &c in completed {
+            self.credit(c);
+        }
+        for &c in shed {
+            self.debit(c);
+        }
+        self.scores.retain(|c, s| {
+            if !completed.contains(c) && !shed.contains(c) {
+                *s = *s * 3 / 4;
+            }
+            *s != 0
+        });
+    }
 }
 
 #[cfg(test)]
@@ -604,5 +632,65 @@ mod tests {
         assert!(book.eligible(7));
         assert_eq!(book.score(7), -2);
         assert_eq!(book.tracked(), 1);
+    }
+
+    #[test]
+    fn churned_device_decays_back_to_eligible() {
+        // A device that straggled below threshold, then disappeared
+        // (never selected again, so never touched by an outcome),
+        // sheds its debt over a few rounds and regains eligibility.
+        let mut book = ReputationBook::new(-2);
+        for _ in 0..4 {
+            book.note_round(&[], &[7]);
+        }
+        assert_eq!(book.score(7), -4);
+        assert!(!book.eligible(7));
+        let mut rounds = 0;
+        while !book.eligible(7) {
+            book.note_round(&[1], &[]); // other clients' round; 7 untouched
+            rounds += 1;
+            assert!(rounds < 16, "client 7 never recovered");
+        }
+        // −4 → −3 → −2: two decay rounds reach the −2 threshold.
+        assert_eq!(rounds, 2);
+        // Left alone, the debt is fully forgotten and the entry dropped.
+        book.note_round(&[1], &[]);
+        book.note_round(&[1], &[]);
+        assert_eq!(book.score(7), 0);
+        assert!(!book.scores.contains_key(&7), "zero score not forgotten");
+    }
+
+    #[test]
+    fn persistent_straggler_never_decays_free() {
+        // A client shed every round it appears in is touched every
+        // round, so decay never applies: it crosses the threshold and
+        // stays below it no matter how long the federation runs.
+        let mut book = ReputationBook::new(-2);
+        for round in 0..20 {
+            book.note_round(&[1, 2], &[7]);
+            if round >= 2 {
+                assert!(!book.eligible(7), "straggler escaped at round {round}");
+            }
+        }
+        assert_eq!(book.score(7), -20);
+        // Completing clients keep their earned credit while active.
+        assert_eq!(book.score(1), 20);
+    }
+
+    #[test]
+    fn decay_erodes_idle_credit_toward_zero() {
+        // Earned credit is not a permanent shield: a formerly-good
+        // client that stops participating drifts back to the neutral
+        // score instead of banking goodwill forever.
+        let mut book = ReputationBook::new(-2);
+        for _ in 0..5 {
+            book.note_round(&[7], &[]);
+        }
+        assert_eq!(book.score(7), 5);
+        for _ in 0..8 {
+            book.note_round(&[1], &[]);
+        }
+        assert_eq!(book.score(7), 0);
+        assert!(book.eligible(7));
     }
 }

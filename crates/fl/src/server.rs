@@ -107,14 +107,15 @@ impl FlServer {
     /// Feeds one round's outcome classes into the reputation book (a
     /// no-op when reputation is disabled). Deterministic: outcome
     /// classes are already canonical, ascending lists in every path.
+    /// Besides crediting/debiting the touched clients, the book decays
+    /// every *untouched* score toward zero, so churned devices recover
+    /// eligibility while persistent stragglers stay caught (see
+    /// [`ReputationBook::note_round`]).
     pub fn note_round_outcomes(&mut self, completed: &[usize], shed: &[usize]) {
         if let Some(book) = &mut self.reputation {
-            for &g in completed {
-                book.credit(g as u64);
-            }
-            for &g in shed {
-                book.debit(g as u64);
-            }
+            let completed: Vec<u64> = completed.iter().map(|&g| g as u64).collect();
+            let shed: Vec<u64> = shed.iter().map(|&g| g as u64).collect();
+            book.note_round(&completed, &shed);
         }
     }
 

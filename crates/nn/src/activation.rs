@@ -66,6 +66,22 @@ impl Activation {
         z.map(|x| self.derivative(x))
     }
 
+    /// The tensor-backend fused-kernel counterpart of this activation.
+    ///
+    /// The [`FusedActivation`](gradsec_tensor::backend::FusedActivation)
+    /// formulas are kept textually identical to [`Activation::apply`],
+    /// so a fused forward pass is bit-identical to `forward` +
+    /// `apply_tensor` on backends that replay the unfused op order.
+    pub fn fused(self) -> gradsec_tensor::backend::FusedActivation {
+        use gradsec_tensor::backend::FusedActivation;
+        match self {
+            Activation::Linear => FusedActivation::Identity,
+            Activation::Relu => FusedActivation::Relu,
+            Activation::Sigmoid => FusedActivation::Sigmoid,
+            Activation::Tanh => FusedActivation::Tanh,
+        }
+    }
+
     /// Short human-readable name.
     pub fn name(self) -> &'static str {
         match self {
@@ -133,6 +149,20 @@ mod tests {
             for i in 0..3 {
                 assert_eq!(a.data()[i], act.apply(z.data()[i]));
                 assert_eq!(d.data()[i], act.derivative(z.data()[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_counterparts_agree_bitwise_with_scalar_apply() {
+        for act in ACTS {
+            let fused = act.fused();
+            for &z in &[-50.0f32, -2.0, -0.5, 0.0, 0.3, 1.7, 50.0] {
+                assert_eq!(
+                    fused.apply(z).to_bits(),
+                    act.apply(z).to_bits(),
+                    "{act}: fused kernel formula drifted at z={z}"
+                );
             }
         }
     }

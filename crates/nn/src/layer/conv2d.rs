@@ -1,6 +1,6 @@
 //! 2-D convolutional layer, optionally fused with `MP2` max pooling.
 
-use gradsec_tensor::ops::conv::{conv2d_backward_with, conv2d_forward_with, Conv2dGeometry};
+use gradsec_tensor::ops::conv::{conv2d_backward_with, conv2d_forward_fused_with, Conv2dGeometry};
 use gradsec_tensor::ops::elementwise::hadamard_with;
 use gradsec_tensor::ops::pool::{maxpool_backward_with, maxpool_forward_with, PoolGeometry};
 use gradsec_tensor::{init, BackendKind, Tensor};
@@ -146,8 +146,18 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        let z = conv2d_forward_with(input, &self.weights, &self.bias, &self.geo, self.backend)?;
-        let a = self.act.apply_tensor(&z);
+        // One fused kernel call computes Z and A = f(Z) together: the
+        // Reference/Blocked defaults replay the historical unfused op
+        // order bit-for-bit, while Tiled applies the activation inside
+        // its GEMM writeback instead of re-walking the output.
+        let (z, a) = conv2d_forward_fused_with(
+            input,
+            &self.weights,
+            &self.bias,
+            &self.geo,
+            self.act.fused(),
+            self.backend,
+        )?;
         self.cached_input = Some(input.clone());
         self.cached_preact = Some(z);
         match &self.pool {

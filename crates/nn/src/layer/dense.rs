@@ -1,7 +1,7 @@
 //! Fully-connected (dense) layer.
 
 use gradsec_tensor::ops::elementwise::hadamard_with;
-use gradsec_tensor::ops::matmul::{matmul_nt_with, matmul_tn_with, matmul_with};
+use gradsec_tensor::ops::matmul::{dense_forward_fused_with, matmul_tn_with, matmul_with};
 use gradsec_tensor::{init, BackendKind, Tensor};
 
 use crate::activation::Activation;
@@ -134,16 +134,18 @@ impl Layer for Dense {
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
         let flat = self.flatten_input(input)?;
-        // Z (N, out) = A (N, in) · Wᵀ  + b
-        let mut z = matmul_nt_with(&flat, &self.weights, self.backend)?;
-        let batch = flat.dims()[0];
-        for i in 0..batch {
-            let row = &mut z.data_mut()[i * self.outputs..(i + 1) * self.outputs];
-            for (j, zj) in row.iter_mut().enumerate() {
-                *zj += self.bias.data()[j];
-            }
-        }
-        let a = self.act.apply_tensor(&z);
+        // Z (N, out) = A (N, in) · Wᵀ + b and A = f(Z), in one fused
+        // kernel call: the Reference/Blocked defaults replay the
+        // historical matmul → bias sweep → activation order
+        // bit-for-bit, while Tiled seeds the bias and activates inside
+        // its GEMM writeback.
+        let (z, a) = dense_forward_fused_with(
+            &flat,
+            &self.weights,
+            &self.bias,
+            self.act.fused(),
+            self.backend,
+        )?;
         self.cached_input_dims = Some(input.dims().to_vec());
         self.cached_input = Some(flat);
         self.cached_preact = Some(z);

@@ -8,7 +8,7 @@
 //! validation, allocation, thread banding) and dispatch the innermost
 //! loops to a backend chosen per call site.
 //!
-//! Two backends ship today:
+//! Three backends ship today:
 //!
 //! * [`BackendKind::Reference`] — the original scalar kernels, extracted
 //!   verbatim from `ops::*`. This is the default everywhere and the
@@ -16,10 +16,18 @@
 //!   kernels, so every seeded test and federation bit-identity gate holds
 //!   unchanged.
 //! * [`BackendKind::Blocked`] — cache-blocked, unrolled, safe Rust tuned
-//!   for autovectorization (the crate keeps `#![forbid(unsafe_code)]`).
-//!   Deterministic (same inputs → bit-identical outputs) but *not*
-//!   bit-identical to `Reference`: its kernels reassociate floating-point
-//!   reductions, so outputs agree only to ~1e-5 relative error.
+//!   for autovectorization. Deterministic (same inputs → bit-identical
+//!   outputs) but *not* bit-identical to `Reference`: its kernels
+//!   reassociate floating-point reductions, so outputs agree only to
+//!   ~1e-5 relative error.
+//! * [`BackendKind::Tiled`] — register-tiled GEMM micro-kernels (6×16
+//!   tiles over packed panels) with two interchangeable inner kernels: a
+//!   portable safe-Rust one and an x86-64 AVX2+FMA one (the crate's only
+//!   `unsafe` island), selected at runtime via `is_x86_feature_detected!`
+//!   with a `GRADSEC_TILED_ISA` override. Convolutions consume their
+//!   input through a *virtual im2col* packer, so the conv path checks no
+//!   column scratch out of the pool at all. Same contract as `Blocked`:
+//!   deterministic per ISA path, ~1e-5 relative parity with `Reference`.
 //!
 //! Backend choice is a per-run policy, not a per-op one: the `nn` layers
 //! carry a [`BackendKind`] into every forward/backward call,
@@ -32,9 +40,20 @@
 mod blocked;
 mod reference;
 pub(crate) mod scratch;
+mod tiled;
 
 pub use blocked::Blocked;
 pub use reference::Reference;
+pub use tiled::{Tiled, TiledIsa};
+
+/// Column-scratch checkouts performed by the calling thread so far (a
+/// monotonic counter). Banded conv dispatchers run their kernels on
+/// scoped worker threads, so observe this across a *single-band* op to
+/// see exactly that op's scratch traffic — the `Tiled` backend's
+/// virtual-im2col conv path is asserted to add zero.
+pub fn thread_scratch_checkouts() -> u64 {
+    scratch::thread_checkouts()
+}
 
 use crate::ops::conv::Conv2dGeometry;
 use crate::ops::pool::PoolGeometry;
@@ -53,20 +72,30 @@ pub enum BackendKind {
     /// Cache-blocked, unrolled, autovectorization-friendly kernels —
     /// deterministic, ~1e-5 relative parity with `Reference`.
     Blocked,
+    /// Register-tiled GEMM micro-kernels (portable or AVX2+FMA, chosen
+    /// at runtime) with virtual-im2col convolutions — deterministic per
+    /// ISA path, ~1e-5 relative parity with `Reference`.
+    Tiled,
 }
 
 static REFERENCE: Reference = Reference;
 static BLOCKED: Blocked = Blocked;
+static TILED: Tiled = Tiled::auto();
 
 impl BackendKind {
     /// Every selectable backend, in documentation order.
-    pub const ALL: [BackendKind; 2] = [BackendKind::Reference, BackendKind::Blocked];
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Reference,
+        BackendKind::Blocked,
+        BackendKind::Tiled,
+    ];
 
     /// Resolves the selector to its kernel implementation.
     pub fn kernels(self) -> &'static dyn TensorBackend {
         match self {
             BackendKind::Reference => &REFERENCE,
             BackendKind::Blocked => &BLOCKED,
+            BackendKind::Tiled => &TILED,
         }
     }
 
@@ -77,6 +106,7 @@ impl BackendKind {
         match self {
             BackendKind::Reference => "reference",
             BackendKind::Blocked => "blocked",
+            BackendKind::Tiled => "tiled",
         }
     }
 
@@ -86,6 +116,7 @@ impl BackendKind {
         match s.trim().to_ascii_lowercase().as_str() {
             "reference" => Some(BackendKind::Reference),
             "blocked" => Some(BackendKind::Blocked),
+            "tiled" => Some(BackendKind::Tiled),
             _ => None,
         }
     }
@@ -105,6 +136,40 @@ impl BackendKind {
 impl std::fmt::Display for BackendKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// An elementwise activation a kernel may fuse into its output
+/// writeback.
+///
+/// The variants mirror the `nn` crate's activation formulas *exactly*
+/// (same scalar expressions), so a fused kernel that applies
+/// [`FusedActivation::apply`] to its final accumulated pre-activation
+/// produces bit-identical activations to the unfused
+/// kernel-then-elementwise-map path within the same backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FusedActivation {
+    /// Identity: `f(z) = z`.
+    #[default]
+    Identity,
+    /// Rectified linear unit: `f(z) = max(0, z)`.
+    Relu,
+    /// Logistic sigmoid: `f(z) = 1/(1+e^{−z})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl FusedActivation {
+    /// Applies the activation to a single pre-activation value.
+    #[inline]
+    pub fn apply(self, z: f32) -> f32 {
+        match self {
+            FusedActivation::Identity => z,
+            FusedActivation::Relu => z.max(0.0),
+            FusedActivation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+            FusedActivation::Tanh => z.tanh(),
+        }
     }
 }
 
@@ -211,6 +276,66 @@ pub trait TensorBackend: Send + Sync + std::fmt::Debug {
 
     /// `Σ a∗b` (inner product).
     fn dot(&self, a: &[f32], b: &[f32]) -> f32;
+
+    /// Convolution forward pass fused with an elementwise activation:
+    /// writes the pre-activations into `z` *and* `act(z)` into `a` over
+    /// one band of images (the `nn` conv layers cache `z` for the
+    /// backward pass and hand `a` to the next layer, so both buffers are
+    /// always needed).
+    ///
+    /// The default is the unfused two-sweep path — the kernel followed by
+    /// an elementwise map in the same order the layers used before fusion
+    /// existed, so `Reference`/`Blocked` stay bit-identical to their
+    /// historical behaviour. Backends that fuse (e.g. `Tiled`, which
+    /// applies `act` during the final tile writeback) must produce the
+    /// same `z` as their unfused kernel and `a = act(z)` exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn conv2d_forward_fused(
+        &self,
+        input: &[f32],
+        weights: &[f32],
+        bias: &[f32],
+        z: &mut [f32],
+        a: &mut [f32],
+        act: FusedActivation,
+        geo: &Conv2dGeometry,
+    ) {
+        self.conv2d_forward(input, weights, bias, z, geo);
+        for (ai, &zi) in a.iter_mut().zip(z.iter()) {
+            *ai = act.apply(zi);
+        }
+    }
+
+    /// Dense forward pass fused with bias and an elementwise activation:
+    /// `z (m×n) = input (m×k) · weightsᵀ + bias`, `a = act(z)`, with
+    /// `weights` stored `(n×k)` (the Darknet row-per-output convention).
+    ///
+    /// Same contract as [`TensorBackend::conv2d_forward_fused`]: the
+    /// default replays the historical unfused op order (matmul_nt, then
+    /// per-row bias add, then elementwise map) bit-for-bit.
+    #[allow(clippy::too_many_arguments)]
+    fn dense_forward_fused(
+        &self,
+        input: &[f32],
+        weights: &[f32],
+        bias: &[f32],
+        z: &mut [f32],
+        a: &mut [f32],
+        act: FusedActivation,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        self.matmul_nt(input, weights, z, m, k, n);
+        for row in z.chunks_mut(n) {
+            for (zj, &bj) in row.iter_mut().zip(bias) {
+                *zj += bj;
+            }
+        }
+        for (ai, &zi) in a.iter_mut().zip(z.iter()) {
+            *ai = act.apply(zi);
+        }
+    }
 }
 
 #[cfg(test)]

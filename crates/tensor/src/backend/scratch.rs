@@ -11,17 +11,48 @@
 //! the region it uses (`im2col` writes every element; the `dcol` buffer
 //! is `fill(0.0)`ed).
 //!
-//! The pool holds at most as many buffers as ran concurrently (bands ×
-//! engine workers at peak), each grown to the largest `col_len` it has
-//! served; the two lock round-trips per kernel call are nanoseconds
-//! against the micro/milliseconds the kernel itself takes. A buffer
-//! held across a kernel panic is simply dropped, never returned poisoned.
+//! The pool is bounded on both axes so long multi-shape federations
+//! cannot accumulate unbounded scratch memory: at most
+//! [`MAX_POOLED`] buffers are retained (a return beyond the cap is
+//! dropped), and a buffer that has grown past [`MAX_RETAIN_ELEMS`]
+//! elements is dropped on return instead of parked — oversized
+//! one-off shapes (a paper-scale layer probed once) must not pin tens of
+//! megabytes for the rest of the process. The two lock round-trips per
+//! kernel call are nanoseconds against the micro/milliseconds the kernel
+//! itself takes. A buffer held across a kernel panic is simply dropped,
+//! never returned poisoned.
+//!
+//! Each checkout also bumps a thread-local counter (read through
+//! [`crate::backend::thread_scratch_checkouts`]) so tests can assert how
+//! much column scratch an op consumed — in particular that the `Tiled`
+//! backend's virtual-im2col conv path checks out none at all.
 
+use std::cell::Cell;
 use std::sync::Mutex;
+
+/// Maximum buffers retained in the pool; returns beyond this are dropped.
+pub(crate) const MAX_POOLED: usize = 32;
+
+/// Maximum elements a retained buffer may hold; larger returns are
+/// dropped (16 MiB of `f32` per buffer).
+pub(crate) const MAX_RETAIN_ELEMS: usize = 4 * 1024 * 1024;
 
 static POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
 
+thread_local! {
+    static CHECKOUTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Column-scratch checkouts performed *by the calling thread* since it
+/// started. Banded conv calls run their kernels on scoped worker
+/// threads, so a caller observing its own counter across a single-band
+/// (single-threaded) op sees exactly that op's scratch traffic.
+pub(crate) fn thread_checkouts() -> u64 {
+    CHECKOUTS.with(Cell::get)
+}
+
 fn checkout(col_len: usize) -> Vec<f32> {
+    CHECKOUTS.with(|c| c.set(c.get() + 1));
     let mut buf = POOL
         .lock()
         .expect("scratch pool lock poisoned")
@@ -34,7 +65,30 @@ fn checkout(col_len: usize) -> Vec<f32> {
 }
 
 fn give_back(buf: Vec<f32>) {
-    POOL.lock().expect("scratch pool lock poisoned").push(buf);
+    if buf.capacity() > MAX_RETAIN_ELEMS {
+        return;
+    }
+    let mut pool = POOL.lock().expect("scratch pool lock poisoned");
+    if pool.len() < MAX_POOLED {
+        pool.push(buf);
+    }
+}
+
+/// Number of buffers currently parked in the pool (test observability).
+#[cfg(test)]
+fn pooled() -> usize {
+    POOL.lock().expect("scratch pool lock poisoned").len()
+}
+
+/// Largest capacity currently parked in the pool (test observability).
+#[cfg(test)]
+fn pooled_max_capacity() -> usize {
+    POOL.lock()
+        .expect("scratch pool lock poisoned")
+        .iter()
+        .map(Vec::capacity)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Runs `f` with a pooled column buffer of at least `col_len` elements
@@ -83,5 +137,56 @@ mod tests {
             assert_eq!(col.len(), 16);
             assert_eq!(dcol.len(), 16);
         });
+    }
+
+    #[test]
+    fn pool_never_retains_more_than_the_cap() {
+        // Churn far more buffers through the pool than the cap, from
+        // nested checkouts so several are outstanding at once. The pool
+        // is process-global and other tests run concurrently, so assert
+        // the *invariant* (never above the cap), not an exact count.
+        for _ in 0..3 {
+            with_col_pair(64, |_, _| {
+                with_col_pair(64, |_, _| {
+                    for _ in 0..2 * MAX_POOLED {
+                        with_col(32, |_| {});
+                    }
+                });
+            });
+            assert!(
+                pooled() <= MAX_POOLED,
+                "pool grew past cap: {} > {MAX_POOLED}",
+                pooled()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_returns_are_dropped_not_parked() {
+        // A one-off paper-scale checkout must not pin its memory in the
+        // pool. Invariant-style assertion again: no parked buffer may
+        // ever exceed the retain bound, whatever other tests are doing.
+        with_col(MAX_RETAIN_ELEMS + 1, |col| {
+            assert_eq!(col.len(), MAX_RETAIN_ELEMS + 1);
+        });
+        assert!(
+            pooled_max_capacity() <= MAX_RETAIN_ELEMS,
+            "oversized buffer was parked: {} elements",
+            pooled_max_capacity()
+        );
+    }
+
+    #[test]
+    fn checkouts_are_counted_per_thread() {
+        let before = thread_checkouts();
+        with_col(8, |_| {});
+        with_col_pair(8, |_, _| {});
+        assert_eq!(thread_checkouts() - before, 3);
+        // Another thread's checkouts never leak into this thread's count.
+        let here = thread_checkouts();
+        std::thread::spawn(|| with_col(8, |_| {}))
+            .join()
+            .expect("counter thread joins");
+        assert_eq!(thread_checkouts(), here);
     }
 }

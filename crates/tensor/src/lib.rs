@@ -10,9 +10,12 @@
 //!
 //! * [`Shape`] — row-major shapes with stride computation,
 //! * [`Tensor`] — owned dense `f32` tensors with elementwise algebra,
-//! * [`backend`] — pluggable kernel backends ([`BackendKind::Reference`],
-//!   the bit-identical default, and [`BackendKind::Blocked`], cache-blocked
-//!   autovectorization-friendly kernels) behind the [`TensorBackend`] trait,
+//! * [`backend`] — pluggable kernel backends behind the [`TensorBackend`]
+//!   trait: [`BackendKind::Reference`] (the bit-identical default),
+//!   [`BackendKind::Blocked`] (cache-blocked autovectorization-friendly
+//!   kernels) and [`BackendKind::Tiled`] (register-tiled GEMM micro-kernels
+//!   with virtual-im2col convolutions and a runtime-dispatched AVX2+FMA
+//!   path),
 //! * [`ops::matmul`] — blocked and multi-threaded matrix products,
 //! * [`ops::conv`] — im2col/col2im 2-D convolutions (forward and both
 //!   backward passes), the workhorse of LeNet-5 and AlexNet,
@@ -38,7 +41,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// `backend::tiled` AVX2 micro-kernel island, which opts back in with a
+// scoped `#[allow(unsafe_code)]` and documents its safety contract.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;

@@ -28,7 +28,7 @@
 //! function of the batch size. (This also bounds the threads a nested
 //! caller — e.g. a federation engine worker — can fan out per pass.)
 
-use crate::backend::BackendKind;
+use crate::backend::{BackendKind, FusedActivation};
 use crate::{Result, Tensor, TensorError};
 
 /// Batches whose total im2col volume (elements) is below this run
@@ -318,6 +318,69 @@ pub fn conv2d_forward_with(
         .expect("conv2d forward worker panicked");
     }
     Ok(out)
+}
+
+/// Fused convolution + activation forward pass through an explicit
+/// backend: returns `(Z, A)` where `Z = W ⊛ input + b` and
+/// `A = act(Z)`, banded exactly like [`conv2d_forward_with`] (both
+/// outputs split on the same image boundaries, so results are
+/// bit-identical under any banding).
+///
+/// Backends without a fused kernel fall back to the trait's default
+/// (unfused conv then an activation sweep), which reproduces the
+/// historical `forward` + `apply_tensor` op order bit-for-bit; the
+/// `Tiled` backend applies the activation inside its GEMM writeback.
+///
+/// # Errors
+///
+/// Same contract as [`conv2d_forward`].
+pub fn conv2d_forward_fused_with(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+    geo: &Conv2dGeometry,
+    act: FusedActivation,
+    backend: BackendKind,
+) -> Result<(Tensor, Tensor)> {
+    let n = check_batch_input(input, geo)?;
+    check_weights(weights, bias, geo)?;
+    let kernels = backend.kernels();
+    let mut z = Tensor::zeros(&[n, geo.out_channels, geo.out_h, geo.out_w]);
+    let mut a = Tensor::zeros(&[n, geo.out_channels, geo.out_h, geo.out_w]);
+    let bands = conv_bands(n, geo.col_len());
+    if bands == 1 {
+        kernels.conv2d_forward_fused(
+            input.data(),
+            weights.data(),
+            bias.data(),
+            z.data_mut(),
+            a.data_mut(),
+            act,
+            geo,
+        );
+    } else {
+        let per = n.div_ceil(bands);
+        let (wd, bd, id) = (weights.data(), bias.data(), input.data());
+        crossbeam::thread::scope(|s| {
+            let mut z_rest = z.data_mut();
+            let mut a_rest = a.data_mut();
+            let mut row = 0usize;
+            while row < n {
+                let take = per.min(n - row);
+                let (z_band, z_tail) = z_rest.split_at_mut(take * geo.out_len());
+                let (a_band, a_tail) = a_rest.split_at_mut(take * geo.out_len());
+                let in_band = &id[row * geo.in_len()..(row + take) * geo.in_len()];
+                s.spawn(move |_| {
+                    kernels.conv2d_forward_fused(in_band, wd, bd, z_band, a_band, act, geo)
+                });
+                z_rest = z_tail;
+                a_rest = a_tail;
+                row += take;
+            }
+        })
+        .expect("conv2d fused forward worker panicked");
+    }
+    Ok((z, a))
 }
 
 /// Convolution backward pass on the default backend.

@@ -18,7 +18,7 @@
 //! any banding whatever the backend. AlexNet's 4096×4096 dense layers are
 //! intractable per-cycle without this.
 
-use crate::backend::{BackendKind, TensorBackend};
+use crate::backend::{BackendKind, FusedActivation, TensorBackend};
 use crate::{Result, Tensor, TensorError};
 
 /// Outputs smaller than this (in elements) are computed single-threaded.
@@ -115,6 +115,51 @@ pub fn matmul_nt_with(a: &Tensor, b: &Tensor, backend: BackendKind) -> Result<Te
         .kernels()
         .matmul_nt(a.data(), b.data(), out.data_mut(), m, ka, n);
     Ok(out)
+}
+
+/// Fused dense-layer forward pass through an explicit backend: returns
+/// `(Z, A)` where `Z = input·Wᵀ + b` (one bias row broadcast over the
+/// batch) and `A = act(Z)`.
+///
+/// Backends without a fused kernel run the trait default — `matmul_nt`,
+/// then a bias sweep, then the activation — which reproduces the
+/// historical dense `forward` op order bit-for-bit; the `Tiled` backend
+/// seeds the bias and applies the activation inside its GEMM writeback.
+///
+/// # Errors
+///
+/// Same contract as [`matmul_nt`], plus a shape error when `bias` is not
+/// a length-`n` vector.
+pub fn dense_forward_fused_with(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+    act: FusedActivation,
+    backend: BackendKind,
+) -> Result<(Tensor, Tensor)> {
+    let (m, ka) = check2d(input, "dense_forward")?;
+    let (n, kb) = check2d(weights, "dense_forward")?;
+    if ka != kb || bias.dims() != [n] {
+        return Err(TensorError::ShapeMismatch {
+            op: "dense_forward",
+            lhs: input.dims().to_vec(),
+            rhs: weights.dims().to_vec(),
+        });
+    }
+    let mut z = Tensor::zeros(&[m, n]);
+    let mut a = Tensor::zeros(&[m, n]);
+    backend.kernels().dense_forward_fused(
+        input.data(),
+        weights.data(),
+        bias.data(),
+        z.data_mut(),
+        a.data_mut(),
+        act,
+        m,
+        ka,
+        n,
+    );
+    Ok((z, a))
 }
 
 /// Computes `C = Aᵀ·B` on the default backend.

@@ -201,4 +201,31 @@ fn backends_agree_within_rounding_and_default_follows_env() {
         );
         assert!(a.b.approx_eq(&b.b, 1e-2));
     }
+
+    // The tiled backend (register-tiled GEMM, virtual-im2col conv,
+    // fused activations — whichever micro-kernel ISA the host resolves)
+    // honours the same whole-run contract: identical control flow,
+    // kernel arithmetic within rounding distance of reference.
+    let (tld_report, tld_weights) = run_flat(BackendKind::Tiled, 1);
+    assert_eq!(tld_report.rounds_completed, ref_report.rounds_completed);
+    for (r, t) in ref_report.rounds.iter().zip(&tld_report.rounds) {
+        assert_eq!(
+            r.participants, t.participants,
+            "selection must not depend on backend"
+        );
+        assert!(
+            (r.mean_loss - t.mean_loss).abs() < 1e-3,
+            "round {}: loss {} vs {}",
+            r.round,
+            r.mean_loss,
+            t.mean_loss
+        );
+    }
+    for (a, t) in ref_weights.iter().zip(tld_weights.iter()) {
+        assert!(
+            a.w.approx_eq(&t.w, 1e-2),
+            "tiled weights drifted past rounding distance"
+        );
+        assert!(a.b.approx_eq(&t.b, 1e-2));
+    }
 }
